@@ -1,0 +1,81 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"crowdtopk/internal/crowd"
+	"crowdtopk/internal/dataset"
+	"crowdtopk/internal/engine"
+	"crowdtopk/internal/uncertainty"
+)
+
+func cmdDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	n := fs.Int("n", 6, "number of tuples")
+	k := fs.Int("k", 3, "result size K")
+	budget := fs.Int("budget", 8, "question budget")
+	alg := fs.String("alg", engine.AlgT1On, "algorithm")
+	measure := fs.String("measure", "MPO", "uncertainty measure")
+	accuracy := fs.Float64("accuracy", 1.0, "simulated worker accuracy (0,1]")
+	votes := fs.Int("votes", 1, "workers per question (majority vote)")
+	width := fs.Float64("width", 2.0, "score support width")
+	seed := fs.Int64("seed", 7, "seed")
+	interactive := fs.Bool("interactive", false, "you are the crowd: answer the questions on stdin")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ds, err := dataset.Generate(dataset.Spec{N: *n, Width: *width, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	m, err := uncertainty.New(*measure)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	truth := crowd.SampleTruth(ds, rng)
+	var cr crowd.Crowd
+	switch {
+	case *interactive:
+		cr = newInteractiveCrowd(os.Stdin, os.Stdout, func(id int) string {
+			return fmt.Sprintf("t%d %s", id, ds[id])
+		})
+	case *accuracy >= 1 && *votes <= 1:
+		cr = &crowd.PerfectOracle{Truth: truth}
+	default:
+		pf, err := crowd.NewUniformPlatform(truth, 12, *accuracy, rng)
+		if err != nil {
+			return err
+		}
+		pf.Votes = *votes
+		cr = pf
+	}
+
+	fmt.Printf("dataset: %d tuples with uncertain scores; query: top-%d, budget %d, %s/%s crowd accuracy %.2f\n",
+		*n, *k, *budget, *alg, *measure, *accuracy)
+	tw := tabwriter.NewWriter(os.Stdout, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "tuple\tscore distribution\trealized score")
+	for i, d := range ds {
+		fmt.Fprintf(tw, "t%d\t%s\t%.3f\n", i, d, truth.Scores[i])
+	}
+	tw.Flush()
+
+	res, err := engine.Run(engine.Config{
+		Dists: ds, K: *k, Budget: *budget, Algorithm: *alg,
+		Measure: m, Crowd: cr, Truth: truth, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nreal top-%d ordering: %v\n", *k, truth.TopK(*k))
+	fmt.Printf("possible orderings:  %d → %d (asked %d questions)\n",
+		res.InitialLeaves, res.FinalLeaves, res.Asked)
+	fmt.Printf("distance to truth:   %.4f → %.4f\n", res.InitialDistance, res.FinalDistance)
+	fmt.Printf("answer:              %v (resolved=%v)\n", res.FinalOrdering, res.Resolved)
+	return nil
+}

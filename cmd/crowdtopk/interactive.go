@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"crowdtopk/internal/tpo"
+)
+
+// interactiveCrowd turns the terminal user into the crowd: every question
+// the selection strategy picks is printed and answered on stdin. It is the
+// real crowdsourcing loop with a crowd of one.
+type interactiveCrowd struct {
+	in    *bufio.Scanner
+	out   io.Writer
+	names func(int) string
+	asked int
+}
+
+func newInteractiveCrowd(in io.Reader, out io.Writer, names func(int) string) *interactiveCrowd {
+	return &interactiveCrowd{in: bufio.NewScanner(in), out: out, names: names}
+}
+
+// Ask implements crowd.Crowd.
+func (c *interactiveCrowd) Ask(q tpo.Question) tpo.Answer {
+	c.asked++
+	for {
+		fmt.Fprintf(c.out, "Q%d: does %s rank above %s? [y/n] ", c.asked, c.names(q.I), c.names(q.J))
+		if !c.in.Scan() {
+			// EOF: answer arbitrarily but deterministically so a piped
+			// session terminates instead of hanging.
+			fmt.Fprintln(c.out, "(eof — assuming yes)")
+			return tpo.Answer{Q: q, Yes: true}
+		}
+		switch strings.ToLower(strings.TrimSpace(c.in.Text())) {
+		case "y", "yes":
+			return tpo.Answer{Q: q, Yes: true}
+		case "n", "no":
+			return tpo.Answer{Q: q, Yes: false}
+		default:
+			fmt.Fprintln(c.out, "please answer y or n")
+		}
+	}
+}
+
+// Reliability implements crowd.Crowd: interactive answers are trusted and
+// prune the tree outright.
+func (c *interactiveCrowd) Reliability() float64 { return 1 }

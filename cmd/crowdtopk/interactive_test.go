@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"crowdtopk/internal/tpo"
+)
+
+func TestInteractiveCrowdParsesAnswers(t *testing.T) {
+	in := strings.NewReader("y\nn\nYES\nno\n")
+	var out bytes.Buffer
+	c := newInteractiveCrowd(in, &out, func(id int) string { return fmt.Sprintf("item-%d", id) })
+	q := tpo.NewQuestion(0, 1)
+	wantYes := []bool{true, false, true, false}
+	for i, want := range wantYes {
+		a := c.Ask(q)
+		if a.Yes != want {
+			t.Fatalf("answer %d: got yes=%v, want %v", i, a.Yes, want)
+		}
+	}
+	if got := out.String(); !strings.Contains(got, "item-0") || !strings.Contains(got, "item-1") {
+		t.Fatalf("prompt does not name the items: %q", got)
+	}
+	if c.Reliability() != 1 {
+		t.Fatal("interactive answers must be trusted")
+	}
+}
+
+func TestInteractiveCrowdReprompts(t *testing.T) {
+	in := strings.NewReader("maybe\nwhat\ny\n")
+	var out bytes.Buffer
+	c := newInteractiveCrowd(in, &out, func(id int) string { return "x" })
+	a := c.Ask(tpo.NewQuestion(2, 3))
+	if !a.Yes {
+		t.Fatalf("final answer should be yes, got %v", a)
+	}
+	if n := strings.Count(out.String(), "please answer"); n != 2 {
+		t.Fatalf("expected 2 reprompts, saw %d", n)
+	}
+}
+
+func TestInteractiveCrowdEOFTerminates(t *testing.T) {
+	c := newInteractiveCrowd(strings.NewReader(""), &bytes.Buffer{}, func(id int) string { return "x" })
+	a := c.Ask(tpo.NewQuestion(0, 1))
+	// Deterministic fallback so piped sessions do not hang.
+	if !a.Yes {
+		t.Fatalf("EOF fallback = %v", a)
+	}
+}

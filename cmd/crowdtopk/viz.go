@@ -1,0 +1,50 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"crowdtopk/internal/dataset"
+	"crowdtopk/internal/tpo"
+)
+
+func cmdViz(args []string) error {
+	fs := flag.NewFlagSet("viz", flag.ExitOnError)
+	in := fs.String("in", "", "dataset CSV (required; see `crowdtopk gen`)")
+	k := fs.Int("k", 3, "tree depth K")
+	grid := fs.Int("grid", 0, "integration grid size")
+	maxLeaves := fs.Int("maxleaves", 0, "abort above this many orderings")
+	out := fs.String("out", "", "output DOT file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("viz: -in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ds, err := dataset.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	tree, err := tpo.Build(ds, *k, tpo.BuildOptions{GridSize: *grid, MaxLeaves: *maxLeaves})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		w = of
+	}
+	fmt.Fprintf(os.Stderr, "tree: %d orderings over %d tuples (depth %d)\n",
+		tree.NumLeaves(), len(tree.Tuples()), tree.Depth())
+	return tree.WriteDOT(w)
+}

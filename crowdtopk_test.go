@@ -1,0 +1,256 @@
+package crowdtopk_test
+
+import (
+	"strings"
+	"testing"
+
+	crowdtopk "crowdtopk"
+)
+
+func testDataset(t *testing.T) *crowdtopk.Dataset {
+	t.Helper()
+	scores := []crowdtopk.Uncertain{
+		crowdtopk.UniformScore(1.0, 1.2),
+		crowdtopk.UniformScore(1.4, 1.2),
+		crowdtopk.UniformScore(1.8, 1.2),
+		crowdtopk.UniformScore(2.2, 1.2),
+		crowdtopk.UniformScore(2.6, 1.2),
+	}
+	ds, err := crowdtopk.NewDataset(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestScoreConstructors(t *testing.T) {
+	cases := []struct {
+		name  string
+		score crowdtopk.Uncertain
+		valid bool
+	}{
+		{"uniform ok", crowdtopk.UniformScore(1, 0.5), true},
+		{"uniform bad width", crowdtopk.UniformScore(1, -1), false},
+		{"gaussian ok", crowdtopk.GaussianScore(0, 1), true},
+		{"gaussian bad sigma", crowdtopk.GaussianScore(0, 0), false},
+		{"triangular ok", crowdtopk.TriangularScore(0, 0.5, 1), true},
+		{"triangular bad mode", crowdtopk.TriangularScore(0, 2, 1), false},
+		{"histogram ok", crowdtopk.HistogramScore([]float64{0, 1, 2}, []float64{1, 2}), true},
+		{"histogram bad", crowdtopk.HistogramScore([]float64{0}, []float64{1}), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.score.Valid() != c.valid {
+				t.Fatalf("Valid() = %v, want %v", c.score.Valid(), c.valid)
+			}
+		})
+	}
+}
+
+func TestNewDatasetRejectsInvalidScores(t *testing.T) {
+	_, err := crowdtopk.NewDataset([]crowdtopk.Uncertain{crowdtopk.UniformScore(0, -1)})
+	if err == nil {
+		t.Fatal("invalid score accepted")
+	}
+	if _, err := crowdtopk.NewDataset(nil); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestDatasetNames(t *testing.T) {
+	ds := testDataset(t)
+	if got := ds.Name(2); got != "t2" {
+		t.Fatalf("unnamed tuple = %q", got)
+	}
+	if err := ds.SetNames([]string{"a", "b", "c", "d", "e"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Name(2); got != "c" {
+		t.Fatalf("named tuple = %q", got)
+	}
+	if err := ds.SetNames([]string{"too", "few"}); err == nil {
+		t.Fatal("mismatched name count accepted")
+	}
+}
+
+func TestProcessEndToEnd(t *testing.T) {
+	ds := testDataset(t)
+	cr, real, err := crowdtopk.SimulatedCrowd(ds, 1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := crowdtopk.Process(ds, crowdtopk.Query{K: 3, Budget: 20, Seed: 3}, cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resolved {
+		t.Fatalf("unresolved with generous budget: %+v", res)
+	}
+	if len(res.Ranking) != 3 || len(res.Names) != 3 {
+		t.Fatalf("ranking %v names %v", res.Ranking, res.Names)
+	}
+	if d := crowdtopk.RankDistance(res.Ranking, real[:3]); d != 0 {
+		t.Fatalf("distance to truth = %g with a perfect crowd", d)
+	}
+}
+
+func TestProcessDefaultsAndValidation(t *testing.T) {
+	ds := testDataset(t)
+	cr, _, err := crowdtopk.SimulatedCrowd(ds, 1, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults: T1On + MPO.
+	res, err := crowdtopk.Process(ds, crowdtopk.Query{K: 2, Budget: 3, Seed: 4}, cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QuestionsAsked > 3 {
+		t.Fatalf("budget exceeded: %d", res.QuestionsAsked)
+	}
+	if _, err := crowdtopk.Process(nil, crowdtopk.Query{K: 2, Budget: 1}, cr); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	if _, err := crowdtopk.Process(ds, crowdtopk.Query{K: 2, Budget: 1}, nil); err == nil {
+		t.Fatal("nil crowd accepted")
+	}
+	if _, err := crowdtopk.Process(ds, crowdtopk.Query{K: 99, Budget: 1}, cr); err == nil {
+		t.Fatal("K > N accepted")
+	}
+	bad := crowdtopk.Query{K: 2, Budget: 1, Measure: "nope"}
+	if _, err := crowdtopk.Process(ds, bad, cr); err == nil {
+		t.Fatal("unknown measure accepted")
+	}
+}
+
+func TestProcessAllAlgorithms(t *testing.T) {
+	ds := testDataset(t)
+	for _, alg := range []crowdtopk.Algorithm{
+		crowdtopk.Random, crowdtopk.Naive, crowdtopk.TBOff, crowdtopk.COff,
+		crowdtopk.T1On, crowdtopk.Incr,
+	} {
+		t.Run(string(alg), func(t *testing.T) {
+			cr, _, err := crowdtopk.SimulatedCrowd(ds, 1, 1, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := crowdtopk.Process(ds, crowdtopk.Query{
+				K: 2, Budget: 4, Algorithm: alg, Seed: 5,
+			}, cr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Ranking) != 2 {
+				t.Fatalf("ranking = %v", res.Ranking)
+			}
+		})
+	}
+}
+
+func TestSimulatedCrowdNoisy(t *testing.T) {
+	ds := testDataset(t)
+	cr, real, err := crowdtopk.SimulatedCrowd(ds, 0.8, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(real) != ds.Len() {
+		t.Fatalf("real ranking size %d", len(real))
+	}
+	rel := cr.Reliability()
+	if rel <= 0.8 || rel >= 1 {
+		t.Fatalf("3-vote reliability = %g, want between single accuracy and 1", rel)
+	}
+	// The answer orientation must respect the caller's question direction.
+	a := cr.Ask(crowdtopk.Question{I: real[0], J: real[len(real)-1]})
+	b := cr.Ask(crowdtopk.Question{I: real[len(real)-1], J: real[0]})
+	_ = a
+	_ = b // direction checked via Process-level tests; here just no panic
+}
+
+func TestExpectedRankingAndPossibleOrderings(t *testing.T) {
+	ds := testDataset(t)
+	exp := ds.ExpectedRanking()
+	if len(exp) != ds.Len() || exp[0] != 4 {
+		t.Fatalf("expected ranking %v, want tuple 4 first (highest mean)", exp)
+	}
+	paths, probs, err := ds.PossibleOrderings(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != len(probs) || len(paths) < 2 {
+		t.Fatalf("%d orderings, %d probs", len(paths), len(probs))
+	}
+	sum := 0.0
+	for _, p := range probs {
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("ordering probabilities sum to %g", sum)
+	}
+}
+
+func TestRankDistance(t *testing.T) {
+	if d := crowdtopk.RankDistance([]int{1, 2, 3}, []int{1, 2, 3}); d != 0 {
+		t.Fatalf("identical = %g", d)
+	}
+	if d := crowdtopk.RankDistance([]int{1, 2}, []int{3, 4}); d != 1 {
+		t.Fatalf("disjoint = %g", d)
+	}
+}
+
+func TestUncertainMean(t *testing.T) {
+	if m := crowdtopk.UniformScore(2, 1).Mean(); m != 2 {
+		t.Fatalf("mean = %g", m)
+	}
+	if m := (crowdtopk.Uncertain{}).Mean(); m != 0 {
+		t.Fatalf("invalid score mean = %g", m)
+	}
+}
+
+func TestAlgorithmAndMeasureNamesStable(t *testing.T) {
+	// The public constants are part of the API; a rename is a breaking
+	// change and must be caught.
+	for _, s := range []string{
+		string(crowdtopk.Random), string(crowdtopk.Naive), string(crowdtopk.TBOff),
+		string(crowdtopk.COff), string(crowdtopk.AStarOff), string(crowdtopk.T1On),
+		string(crowdtopk.AStarOn), string(crowdtopk.Incr),
+	} {
+		if s == "" || strings.ContainsAny(s, " \t") {
+			t.Fatalf("suspicious algorithm name %q", s)
+		}
+	}
+}
+
+func TestConditionedRefinesBeliefs(t *testing.T) {
+	ds := testDataset(t)
+	// Tuples 1 and 2 overlap; condition on the mild upset "1 ranks above 2".
+	ref, err := ds.Conditioned(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The original dataset is untouched and the refined one has fewer
+	// possible orderings for the same K.
+	before, _, err := ds.PossibleOrderings(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := ref.PossibleOrderings(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) >= len(before) {
+		t.Fatalf("conditioning did not shrink the ordering space: %d → %d", len(before), len(after))
+	}
+	// Validation of the pair.
+	if _, err := ds.Conditioned(0, 0); err == nil {
+		t.Fatal("self-pair accepted")
+	}
+	if _, err := ds.Conditioned(-1, 2); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	// Conditioning on an impossible event (disjoint supports) must fail
+	// loudly rather than return a broken dataset.
+	if _, err := ds.Conditioned(0, 4); err == nil {
+		t.Fatal("impossible event accepted")
+	}
+}

@@ -1,0 +1,32 @@
+// Package crowdtopk processes top-K queries over uncertain data with
+// crowdsourced uncertainty reduction, reproducing Ciceri, Fraternali,
+// Martinenghi and Tagliasacchi, "Crowdsourcing for Top-K Query Processing
+// over Uncertain Data" (ICDE 2016 / IEEE TKDE 28(1), 2016).
+//
+// Tuples have uncertain scores modelled as bounded continuous random
+// variables. Overlapping score distributions leave the top-K result
+// ambiguous: a whole tree of orderings (TPO) is compatible with the data.
+// Asking a crowd pairwise questions — "does a rank above b?" — prunes that
+// tree. Given a question budget, this library selects the questions that
+// minimize the expected residual uncertainty of the result, using the
+// paper's offline (TB-off, C-off, A*-off), online (T1-on, A*-on) and
+// incremental (incr) strategies, under four uncertainty measures (entropy,
+// weighted entropy, ORA- and MPO-distance).
+//
+// # Quickstart
+//
+//	scores := []crowdtopk.Uncertain{
+//		crowdtopk.UniformScore(0.7, 0.2), // photo A: estimated 0.7 ± 0.1
+//		crowdtopk.UniformScore(0.6, 0.3),
+//		crowdtopk.UniformScore(0.8, 0.4),
+//	}
+//	ds, err := crowdtopk.NewDataset(scores)
+//	...
+//	res, err := crowdtopk.Process(ds, crowdtopk.Query{K: 2, Budget: 5}, myCrowd)
+//	fmt.Println(res.Ranking, res.Resolved)
+//
+// A Crowd is anything that can answer comparison questions: a real
+// crowdsourcing integration, an interactive prompt, or the simulator in this
+// repository. See the examples/ directory for runnable end-to-end programs
+// and DESIGN.md for the system inventory and experiment index.
+package crowdtopk

@@ -1,0 +1,66 @@
+// Noisy crowd: the same query processed by crowds of decreasing reliability,
+// with and without majority voting — §III.C of the paper. With unreliable
+// workers answers can no longer prune orderings outright; the engine
+// reweights them with Bayes' rule instead, and majority voting buys back
+// accuracy at three worker-answers per question. Results are averaged over
+// many sampled worlds so the systematic effect is visible.
+//
+// Run with:
+//
+//	go run ./examples/noisycrowd
+package main
+
+import (
+	"fmt"
+	"log"
+
+	crowdtopk "crowdtopk"
+)
+
+func main() {
+	// Ten restaurants with uncertain ratings.
+	centers := []float64{4.4, 4.3, 4.5, 4.1, 3.9, 4.6, 4.2, 3.8, 4.0, 4.35}
+	scores := make([]crowdtopk.Uncertain, len(centers))
+	for i, c := range centers {
+		scores[i] = crowdtopk.UniformScore(c, 0.8)
+	}
+	ds, err := crowdtopk.NewDataset(scores)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const (
+		k      = 3
+		budget = 12
+		trials = 25
+	)
+	fmt.Printf("top-%d over %d restaurants, budget %d questions, %d worlds per setting\n\n",
+		k, len(centers), budget, trials)
+	fmt.Println("worker accuracy | votes | mean distance to truth | mean residual orderings")
+
+	type setting struct {
+		accuracy float64
+		votes    int
+	}
+	for _, s := range []setting{{1.0, 1}, {0.9, 1}, {0.7, 1}, {0.7, 3}} {
+		var sumDist, sumOrd float64
+		for trial := 0; trial < trials; trial++ {
+			seed := int64(1000 + trial)
+			cr, real, err := crowdtopk.SimulatedCrowd(ds, s.accuracy, s.votes, seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := crowdtopk.Process(ds, crowdtopk.Query{K: k, Budget: budget, Seed: seed}, cr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sumDist += crowdtopk.RankDistance(res.Ranking, real[:k])
+			sumOrd += float64(res.Orderings)
+		}
+		fmt.Printf("      %4.2f      |   %d   |         %.4f         | %8.1f\n",
+			s.accuracy, s.votes, sumDist/trials, sumOrd/trials)
+	}
+	fmt.Println("\nperfect workers prune orderings to 1; noisy workers only concentrate")
+	fmt.Println("probability mass, and majority voting (3 answers/question) recovers")
+	fmt.Println("most of the lost precision at triple the cost.")
+}

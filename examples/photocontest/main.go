@@ -1,0 +1,84 @@
+// Photo contest: pick the top-2 photos when aesthetic scores come from a
+// model that outputs score histograms — the social-media motivation of the
+// paper's introduction. The contest jury (the crowd) resolves ambiguous
+// pairs with side-by-side comparisons, selected with the offline C-off
+// strategy so all jury tasks can be published as a single batch.
+//
+// Run with:
+//
+//	go run ./examples/photocontest
+package main
+
+import (
+	"fmt"
+	"log"
+
+	crowdtopk "crowdtopk"
+)
+
+func main() {
+	// A vision model scored each photo; it emits a histogram over the
+	// score range rather than a point estimate.
+	photos := []struct {
+		name    string
+		edges   []float64
+		weights []float64
+	}{
+		{"sunrise", []float64{0.5, 0.6, 0.7, 0.8, 0.9}, []float64{1, 3, 4, 2}},
+		{"market", []float64{0.4, 0.55, 0.7, 0.85}, []float64{2, 5, 3}},
+		{"harbor-fog", []float64{0.55, 0.65, 0.75, 0.85, 0.95}, []float64{1, 2, 4, 3}},
+		{"street-cat", []float64{0.3, 0.5, 0.7, 0.9}, []float64{1, 4, 5}},
+		{"old-bridge", []float64{0.45, 0.6, 0.75, 0.9}, []float64{2, 4, 2}},
+		{"neon-rain", []float64{0.5, 0.65, 0.8, 0.95}, []float64{3, 4, 3}},
+	}
+	scores := make([]crowdtopk.Uncertain, len(photos))
+	names := make([]string, len(photos))
+	for i, p := range photos {
+		scores[i] = crowdtopk.HistogramScore(p.edges, p.weights)
+		names[i] = p.name
+	}
+	ds, err := crowdtopk.NewDataset(scores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ds.SetNames(names); err != nil {
+		log.Fatal(err)
+	}
+
+	const k = 2
+	orderings, probs, err := ds.PossibleOrderings(k, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("the model's histograms admit %d possible podiums; most likely:\n", len(orderings))
+	best, bestP := 0, probs[0]
+	for i, p := range probs {
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	fmt.Printf("  %s + %s with probability %.2f — too uncertain to publish\n",
+		ds.Name(orderings[best][0]), ds.Name(orderings[best][1]), bestP)
+
+	// Jury of three judges per question, each judge 85% reliable.
+	cr, real, err := crowdtopk.SimulatedCrowd(ds, 0.85, 3, 2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := crowdtopk.Process(ds, crowdtopk.Query{
+		K: k, Budget: 6,
+		Algorithm: crowdtopk.COff, // one batch of jury tasks, published at once
+		Measure:   crowdtopk.MeasureORA,
+		Seed:      2024,
+	}, cr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\npublished %d jury comparisons (3 judges each)\n", res.QuestionsAsked)
+	fmt.Printf("podium: 1. %s  2. %s\n", res.Names[0], res.Names[1])
+	fmt.Printf("orderings remaining: %d, residual U_ORA: %.4f\n", res.Orderings, res.Uncertainty)
+	fmt.Printf("true podium was %s + %s; distance %.3f\n",
+		ds.Name(real[0]), ds.Name(real[1]), crowdtopk.RankDistance(res.Ranking, real[:k]))
+}

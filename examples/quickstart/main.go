@@ -1,0 +1,70 @@
+// Quickstart: rank five products with uncertain review scores, asking a
+// simulated crowd up to four comparison questions to settle the top 3.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	crowdtopk "crowdtopk"
+)
+
+func main() {
+	// Each product's quality score was estimated from reviews; the width
+	// of each interval reflects how few or noisy the reviews were.
+	scores := []crowdtopk.Uncertain{
+		crowdtopk.UniformScore(4.1, 0.6), // espresso-one: many reviews
+		crowdtopk.UniformScore(4.3, 1.4), // brewmaster:   few reviews
+		crowdtopk.UniformScore(3.9, 1.0), // kettle-pro
+		crowdtopk.UniformScore(4.4, 1.2), // moka-classic
+		crowdtopk.UniformScore(3.2, 0.8), // drip-basic
+	}
+	ds, err := crowdtopk.NewDataset(scores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ds.SetNames([]string{"espresso-one", "brewmaster", "kettle-pro", "moka-classic", "drip-basic"}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Without the crowd: the expected-score ranking ignores uncertainty.
+	fmt.Println("expected-score ranking (no crowd):")
+	for i, id := range ds.ExpectedRanking()[:3] {
+		fmt.Printf("  %d. %s\n", i+1, ds.Name(id))
+	}
+
+	// How ambiguous is the data? Enumerate the possible top-3 orderings.
+	orderings, probs, err := ds.PossibleOrderings(3, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nthe data admits %d possible top-3 orderings, e.g.:\n", len(orderings))
+	for i := 0; i < len(orderings) && i < 3; i++ {
+		fmt.Printf("  %v with probability %.3f\n", orderings[i], probs[i])
+	}
+
+	// A simulated crowd of perfectly reliable judges (seed fixes the
+	// "true" quality draw). Real applications implement the Crowd
+	// interface against their task marketplace.
+	cr, realRanking, err := crowdtopk.SimulatedCrowd(ds, 1.0, 1, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := crowdtopk.Process(ds, crowdtopk.Query{K: 3, Budget: 4, Seed: 42}, cr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nafter %d crowd questions (budget 4):\n", res.QuestionsAsked)
+	for i, name := range res.Names {
+		fmt.Printf("  %d. %s\n", i+1, name)
+	}
+	fmt.Printf("resolved to a single ordering: %v (%d still possible)\n", res.Resolved, res.Orderings)
+	fmt.Printf("true top-3 was %v; distance of our answer: %.3f\n",
+		realRanking[:3], crowdtopk.RankDistance(res.Ranking, realRanking[:3]))
+}

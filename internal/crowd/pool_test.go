@@ -1,0 +1,225 @@
+package crowd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"crowdtopk/internal/tpo"
+)
+
+func TestHeterogeneousPlatformAccuracyRange(t *testing.T) {
+	g := TruthFromScores([]float64{1, 2, 3})
+	rng := rand.New(rand.NewSource(1))
+	p, err := NewHeterogeneousPlatform(g, PoolSpec{Workers: 200, MinAccuracy: 0.6}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := p.WorkerAccuracies()
+	if len(accs) != 200 {
+		t.Fatalf("%d workers", len(accs))
+	}
+	var spread bool
+	for _, a := range accs {
+		if a < 0.51 || a > 1 {
+			t.Fatalf("accuracy %g outside (0.5, 1]", a)
+		}
+		if math.Abs(a-accs[0]) > 0.05 {
+			spread = true
+		}
+	}
+	if !spread {
+		t.Fatal("pool accuracies suspiciously homogeneous")
+	}
+	mean := p.MeanAccuracy()
+	// Kumaraswamy(2,2) has mean ≈ 0.533: pool mean ≈ 0.6 + 0.4·0.533.
+	if mean < 0.7 || mean > 0.9 {
+		t.Fatalf("pool mean accuracy %g outside plausible band", mean)
+	}
+}
+
+func TestHeterogeneousPlatformValidation(t *testing.T) {
+	g := TruthFromScores([]float64{1, 2})
+	rng := rand.New(rand.NewSource(2))
+	if _, err := NewHeterogeneousPlatform(g, PoolSpec{Workers: -1}, rng); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+	if _, err := NewHeterogeneousPlatform(g, PoolSpec{Workers: 3, MinAccuracy: 1.2}, rng); err == nil {
+		t.Fatal("min accuracy > 1 accepted")
+	}
+}
+
+func TestKumaraswamyQuantile(t *testing.T) {
+	// a = b = 1 is the uniform distribution.
+	for _, p := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := kumaraswamyQuantile(p, 1, 1); math.Abs(got-p) > 1e-12 {
+			t.Fatalf("uniform quantile(%g) = %g", p, got)
+		}
+	}
+	// Monotone for bell-shaped parameters.
+	prev := -1.0
+	for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		got := kumaraswamyQuantile(p, 2, 2)
+		if got <= prev {
+			t.Fatalf("quantile not monotone at %g", p)
+		}
+		prev = got
+	}
+}
+
+func TestQualifyEstimatesTrackTrueAccuracy(t *testing.T) {
+	g := TruthFromScores([]float64{5, 4, 3, 2, 1, 0})
+	rng := rand.New(rand.NewSource(3))
+	good, err := NewWorker("good", 0.95, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := NewWorker("bad", 0.55, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlatform(g, []*Worker{good, bad}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gold []tpo.Question
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			gold = append(gold, tpo.NewQuestion(i, j))
+		}
+	}
+	// Repeat the gold set for a tighter estimate.
+	gold = append(gold, gold...)
+	results, err := p.Qualify(gold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	var estGood, estBad float64
+	for _, r := range results {
+		if r.Total != len(gold) {
+			t.Fatalf("worker %s answered %d of %d gold questions", r.Worker, r.Total, len(gold))
+		}
+		switch r.Worker {
+		case "good":
+			estGood = r.Estimated
+		case "bad":
+			estBad = r.Estimated
+		}
+	}
+	if estGood <= estBad {
+		t.Fatalf("qualification cannot separate workers: good %g vs bad %g", estGood, estBad)
+	}
+	if math.Abs(estGood-0.95) > 0.12 || math.Abs(estBad-0.55) > 0.17 {
+		t.Fatalf("estimates far from truth: %g (0.95), %g (0.55)", estGood, estBad)
+	}
+	// Accounting: gold answers are paid work.
+	if p.WorkerAnswers() != 2*len(gold) {
+		t.Fatalf("asked = %d, want %d", p.WorkerAnswers(), 2*len(gold))
+	}
+}
+
+func TestQualifyValidation(t *testing.T) {
+	g := TruthFromScores([]float64{1, 2})
+	p, err := NewUniformPlatform(g, 2, 0.8, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Qualify(nil); err == nil {
+		t.Fatal("empty gold set accepted")
+	}
+}
+
+func TestEstimatedAccuracyFallbacks(t *testing.T) {
+	g := TruthFromScores([]float64{1, 2})
+	p, err := NewUniformPlatform(g, 1, 0.8, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.EstimatedAccuracy("w00"); got != 0.8 {
+		t.Fatalf("unqualified fallback = %g, want true accuracy", got)
+	}
+	if got := p.EstimatedAccuracy("nobody"); got != 0.5 {
+		t.Fatalf("unknown worker = %g, want 0.5", got)
+	}
+}
+
+// TestWeightedVoteBeatsMajorityWithMixedPool is the payoff test: when the
+// pool mixes experts with near-spammers, weighting answers by qualification
+// estimates must outperform flat majority voting.
+func TestWeightedVoteBeatsMajorityWithMixedPool(t *testing.T) {
+	g := TruthFromScores([]float64{9, 7, 5, 3, 1})
+	q := tpo.NewQuestion(0, 4)
+	truthAns := g.Correct(q)
+
+	run := func(agg Aggregation, seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		var workers []*Worker
+		// 2 experts, 5 near-spammers.
+		for i := 0; i < 2; i++ {
+			w, err := NewWorker(fmt2("e", i), 0.97, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			workers = append(workers, w)
+		}
+		for i := 0; i < 5; i++ {
+			w, err := NewWorker(fmt2("s", i), 0.55, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			workers = append(workers, w)
+		}
+		p, err := NewPlatform(g, workers, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Aggregation = agg
+		p.Votes = 5
+		// Qualification on all pairs, repeated for stable estimates.
+		var gold []tpo.Question
+		for i := 0; i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				gold = append(gold, tpo.NewQuestion(i, j))
+			}
+		}
+		gold = append(gold, gold...)
+		if _, err := p.Qualify(gold); err != nil {
+			t.Fatal(err)
+		}
+		const trials = 3000
+		correct := 0
+		for i := 0; i < trials; i++ {
+			if p.Ask(q).Yes == truthAns.Yes {
+				correct++
+			}
+		}
+		return float64(correct) / trials
+	}
+
+	maj := run(MajorityVote, 10)
+	wei := run(WeightedVote, 10)
+	if wei <= maj {
+		t.Fatalf("weighted voting (%g) not better than majority (%g) on a mixed pool", wei, maj)
+	}
+}
+
+func fmt2(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}
+
+func TestWeightedVoteSingleWorkerMatchesDirectAnswer(t *testing.T) {
+	g := TruthFromScores([]float64{1, 2})
+	rng := rand.New(rand.NewSource(11))
+	p, err := NewUniformPlatform(g, 1, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Aggregation = WeightedVote
+	a := p.Ask(tpo.NewQuestion(0, 1))
+	if a.Higher() != 1 {
+		t.Fatalf("weighted single perfect worker answered %v", a)
+	}
+}

@@ -1,0 +1,89 @@
+// Package crowd simulates the crowdsourcing platform of the paper's
+// evaluation: a ground-truth ordering drawn from the uncertain score model,
+// and workers who answer pairwise comparison questions correctly with a
+// configurable accuracy (§III.C). It substitutes for a real crowdsourcing
+// marketplace — the algorithms only ever observe answers, and the simulated
+// answer statistics (correct with probability p, independently per task) are
+// exactly the paper's worker model.
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"crowdtopk/internal/dist"
+	"crowdtopk/internal/rank"
+	"crowdtopk/internal/tpo"
+)
+
+// GroundTruth holds the realized scores of every tuple and the induced real
+// ordering ω_r. In each simulation trial the "state of the world" is one
+// draw from the joint score distribution; the crowd knows it, the query
+// processor does not.
+type GroundTruth struct {
+	Scores []float64
+	// Real is the full ordering of all tuples by decreasing realized score.
+	Real rank.Ordering
+}
+
+// SampleTruth draws one world from the score model.
+func SampleTruth(ds []dist.Distribution, rng *rand.Rand) *GroundTruth {
+	scores := make([]float64, len(ds))
+	for i, d := range ds {
+		scores[i] = dist.Sample(d, rng)
+	}
+	return TruthFromScores(scores)
+}
+
+// TruthFromScores builds a ground truth from explicit scores (ties broken by
+// tuple id, matching the deterministic tie rule of §I).
+func TruthFromScores(scores []float64) *GroundTruth {
+	g := &GroundTruth{Scores: append([]float64(nil), scores...)}
+	g.Real = make(rank.Ordering, len(scores))
+	for i := range g.Real {
+		g.Real[i] = i
+	}
+	sort.SliceStable(g.Real, func(a, b int) bool {
+		sa, sb := g.Scores[g.Real[a]], g.Scores[g.Real[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return g.Real[a] < g.Real[b]
+	})
+	return g
+}
+
+// Correct returns the true answer to q under this world.
+func (g *GroundTruth) Correct(q tpo.Question) tpo.Answer {
+	si, sj := g.Scores[q.I], g.Scores[q.J]
+	yes := si > sj || (si == sj && q.I < q.J)
+	return tpo.Answer{Q: q, Yes: yes}
+}
+
+// TopK returns the real top-k prefix ordering.
+func (g *GroundTruth) TopK(k int) rank.Ordering { return g.Real.Prefix(k).Clone() }
+
+// Distance computes the paper's quality metric D(ω_r, T_K): the
+// probability-weighted generalized Kendall tau distance (penalty parameter
+// p) between the orderings of the tree and the real top-K prefix, normalized
+// to [0, 1].
+func (g *GroundTruth) Distance(ls *tpo.LeafSet, penalty float64) float64 {
+	if penalty == 0 {
+		penalty = rank.DefaultPenalty
+	}
+	d := rank.NewTopKDist(g.TopK(ls.K), penalty)
+	total := 0.0
+	for i, p := range ls.Paths {
+		if ls.W[i] == 0 {
+			continue
+		}
+		total += ls.W[i] * d.Normalized(p)
+	}
+	return total
+}
+
+// String implements fmt.Stringer.
+func (g *GroundTruth) String() string {
+	return fmt.Sprintf("world %v", g.Real)
+}

@@ -1,0 +1,207 @@
+// Package dataset generates the synthetic uncertain-score workloads of the
+// paper's evaluation (§IV) and loads/stores them as CSV. Workloads are
+// parameterized by the score-distribution family, the spacing of the score
+// centers, and the support width — the width/spacing ratio controls how many
+// orderings the TPO admits and therefore the hardness of the instance.
+package dataset
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+
+	"crowdtopk/internal/dist"
+)
+
+// Family names a score-distribution family.
+type Family string
+
+// Supported families.
+const (
+	Uniform    Family = "uniform"
+	Gaussian   Family = "gaussian"
+	Triangular Family = "triangular"
+)
+
+// ErrBadSpec reports an unusable generation spec.
+var ErrBadSpec = errors.New("dataset: invalid spec")
+
+// Spec describes a synthetic workload.
+type Spec struct {
+	// N is the number of tuples.
+	N int
+	// Family selects the distribution family (default Uniform).
+	Family Family
+	// Spacing is the distance between consecutive score centers
+	// (default 0.5).
+	Spacing float64
+	// Width is the support width of each tuple's distribution (for
+	// Gaussian it is interpreted as 4σ on each side, i.e. the support is
+	// Width wide in total). Default 2.0. Larger Width/Spacing means more
+	// overlap and more possible orderings.
+	Width float64
+	// Jitter perturbs each center by U[-Jitter, +Jitter] (default
+	// Spacing/2) so instances differ across seeds.
+	Jitter float64
+	// HeteroWidth, when positive, draws each tuple's width from
+	// U[Width·(1−HeteroWidth), Width·(1+HeteroWidth)], modeling tuples
+	// whose uncertainty differs (e.g. sensors of mixed quality).
+	HeteroWidth float64
+	// Seed drives the generator.
+	Seed int64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Family == "" {
+		s.Family = Uniform
+	}
+	if s.Spacing == 0 {
+		s.Spacing = 0.5
+	}
+	if s.Width == 0 {
+		s.Width = 2.0
+	}
+	if s.Jitter == 0 {
+		s.Jitter = s.Spacing / 2
+	}
+	return s
+}
+
+// Generate builds the workload described by spec. Tuple i has its score
+// centered near i·Spacing; tuple ids therefore correlate with the expected
+// ranking (higher id ⇒ higher expected score), which makes experiment output
+// easy to read.
+func Generate(spec Spec) ([]dist.Distribution, error) {
+	spec = spec.withDefaults()
+	if spec.N < 1 {
+		return nil, fmt.Errorf("%w: N = %d", ErrBadSpec, spec.N)
+	}
+	if spec.Spacing < 0 || spec.Width <= 0 || spec.Jitter < 0 || spec.HeteroWidth < 0 || spec.HeteroWidth >= 1 {
+		return nil, fmt.Errorf("%w: spacing %g, width %g, jitter %g, heteroWidth %g",
+			ErrBadSpec, spec.Spacing, spec.Width, spec.Jitter, spec.HeteroWidth)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	ds := make([]dist.Distribution, spec.N)
+	for i := range ds {
+		center := float64(i)*spec.Spacing + (rng.Float64()*2-1)*spec.Jitter
+		width := spec.Width
+		if spec.HeteroWidth > 0 {
+			width *= 1 + (rng.Float64()*2-1)*spec.HeteroWidth
+		}
+		var d dist.Distribution
+		var err error
+		switch spec.Family {
+		case Uniform:
+			d, err = dist.NewUniformAround(center, width)
+		case Gaussian:
+			// Support is ±4σ, so σ = width/8 gives a support of `width`.
+			d, err = dist.NewGaussian(center, width/8)
+		case Triangular:
+			mode := center + (rng.Float64()*2-1)*width/4
+			d, err = dist.NewTriangular(center-width/2, mode, center+width/2)
+		default:
+			return nil, fmt.Errorf("%w: unknown family %q", ErrBadSpec, spec.Family)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: tuple %d: %w", i, err)
+		}
+		ds[i] = d
+	}
+	return ds, nil
+}
+
+// WriteCSV stores the dataset with one row per tuple:
+//
+//	family,param1,param2,param3
+//
+// uniform: lo,hi,- · gaussian: mu,sigma,- · triangular: lo,mode,hi.
+func WriteCSV(w io.Writer, ds []dist.Distribution) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"family", "p1", "p2", "p3"}); err != nil {
+		return err
+	}
+	for i, d := range ds {
+		var rec []string
+		switch v := d.(type) {
+		case *dist.Uniform:
+			rec = []string{"uniform", fmtF(v.Lo), fmtF(v.Hi), ""}
+		case *dist.Gaussian:
+			rec = []string{"gaussian", fmtF(v.Mu), fmtF(v.Sigma), ""}
+		case *dist.Triangular:
+			rec = []string{"triangular", fmtF(v.Lo), fmtF(v.Mode), fmtF(v.Hi)}
+		default:
+			return fmt.Errorf("dataset: tuple %d: family %T not serializable", i, d)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 17, 64) }
+
+// ReadCSV loads a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) ([]dist.Distribution, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: empty csv")
+	}
+	if rows[0][0] == "family" {
+		rows = rows[1:]
+	}
+	ds := make([]dist.Distribution, 0, len(rows))
+	for i, row := range rows {
+		if len(row) < 3 {
+			return nil, fmt.Errorf("dataset: row %d: need at least 3 fields, got %d", i, len(row))
+		}
+		p := func(j int) (float64, error) {
+			return strconv.ParseFloat(row[j], 64)
+		}
+		var d dist.Distribution
+		switch Family(row[0]) {
+		case Uniform:
+			lo, err1 := p(1)
+			hi, err2 := p(2)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("dataset: row %d: bad uniform params %v", i, row)
+			}
+			d, err = dist.NewUniform(lo, hi)
+		case Gaussian:
+			mu, err1 := p(1)
+			sigma, err2 := p(2)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("dataset: row %d: bad gaussian params %v", i, row)
+			}
+			d, err = dist.NewGaussian(mu, sigma)
+		case Triangular:
+			if len(row) < 4 {
+				return nil, fmt.Errorf("dataset: row %d: triangular needs 3 params", i)
+			}
+			lo, err1 := p(1)
+			mode, err2 := p(2)
+			hi, err3 := p(3)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("dataset: row %d: bad triangular params %v", i, row)
+			}
+			d, err = dist.NewTriangular(lo, mode, hi)
+		default:
+			return nil, fmt.Errorf("dataset: row %d: unknown family %q", i, row[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d: %w", i, err)
+		}
+		ds = append(ds, d)
+	}
+	return ds, nil
+}

@@ -1,0 +1,214 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"crowdtopk/internal/dist"
+	"crowdtopk/internal/numeric"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	ds, err := Generate(Spec{N: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 10 {
+		t.Fatalf("generated %d tuples", len(ds))
+	}
+	for i, d := range ds {
+		if _, ok := d.(*dist.Uniform); !ok {
+			t.Fatalf("tuple %d: default family is %T, want uniform", i, d)
+		}
+		if w := dist.Width(d); !numeric.AlmostEqual(w, 2.0, 1e-9) {
+			t.Fatalf("tuple %d width %g, want default 2.0", i, w)
+		}
+	}
+	// Centers drift upward with the id.
+	if ds[9].Mean() <= ds[0].Mean() {
+		t.Fatal("expected increasing score centers with tuple id")
+	}
+}
+
+func TestGenerateFamilies(t *testing.T) {
+	for _, f := range []Family{Uniform, Gaussian, Triangular} {
+		ds, err := Generate(Spec{N: 5, Family: f, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if len(ds) != 5 {
+			t.Fatalf("%s: %d tuples", f, len(ds))
+		}
+	}
+	if _, err := Generate(Spec{N: 3, Family: "cauchy"}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("unknown family err = %v", err)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Spec{
+		{N: 0},
+		{N: 3, Width: -1},
+		{N: 3, Jitter: -0.5},
+		{N: 3, HeteroWidth: 1.5},
+		{N: 3, Spacing: -2},
+	}
+	for i, s := range bad {
+		if _, err := Generate(s); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("spec %d: err = %v, want ErrBadSpec", i, err)
+		}
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	a, err := Generate(Spec{N: 6, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Spec{N: 6, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Generate(Spec{N: 6, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Mean() != b[i].Mean() {
+			t.Fatal("same seed produced different datasets")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i].Mean() != c[i].Mean() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestGenerateHeteroWidths(t *testing.T) {
+	ds, err := Generate(Spec{N: 20, HeteroWidth: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minW, maxW := dist.Width(ds[0]), dist.Width(ds[0])
+	for _, d := range ds[1:] {
+		w := dist.Width(d)
+		if w < minW {
+			minW = w
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW-minW < 0.1 {
+		t.Fatalf("widths too homogeneous: [%g, %g]", minW, maxW)
+	}
+	if minW < 2.0*0.5-1e-9 || maxW > 2.0*1.5+1e-9 {
+		t.Fatalf("widths outside spec bounds: [%g, %g]", minW, maxW)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var ds []dist.Distribution
+	u, _ := dist.NewUniform(0, 1.5)
+	g, _ := dist.NewGaussian(2, 0.25)
+	tr, _ := dist.NewTriangular(-1, 0, 2)
+	ds = append(ds, u, g, tr)
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ds) {
+		t.Fatalf("round trip count %d vs %d", len(back), len(ds))
+	}
+	for i := range ds {
+		lo1, hi1 := ds[i].Support()
+		lo2, hi2 := back[i].Support()
+		if !numeric.AlmostEqual(lo1, lo2, 1e-12) || !numeric.AlmostEqual(hi1, hi2, 1e-12) {
+			t.Fatalf("tuple %d support changed: [%g,%g] vs [%g,%g]", i, lo1, hi1, lo2, hi2)
+		}
+		if !numeric.AlmostEqual(ds[i].Mean(), back[i].Mean(), 1e-12) {
+			t.Fatalf("tuple %d mean changed", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"unknown family", "family,p1,p2,p3\nlaplace,0,1,\n"},
+		{"bad number", "family,p1,p2,p3\nuniform,zero,1,\n"},
+		{"too few fields", "family,p1\nuniform,0\n"},
+		{"triangular missing param", "family,p1,p2,p3\ntriangular,0,1\n"},
+		{"invalid uniform", "family,p1,p2,p3\nuniform,2,1,\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(c.in)); err == nil {
+				t.Fatalf("ReadCSV(%q) succeeded", c.in)
+			}
+		})
+	}
+}
+
+func TestReadCSVWithoutHeader(t *testing.T) {
+	in := "uniform,0,1,\nuniform,0.5,2,\n"
+	ds, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("got %d tuples", len(ds))
+	}
+}
+
+func TestWriteCSVRejectsUnserializableFamily(t *testing.T) {
+	p, err := dist.NewPiecewiseUniform([]float64{0, 1}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []dist.Distribution{p}); err == nil {
+		t.Fatal("piecewise histogram serialization should be rejected")
+	}
+}
+
+func TestGenerateOverlapControls(t *testing.T) {
+	// Wider supports at fixed spacing must increase pairwise overlap.
+	narrow, err := Generate(Spec{N: 8, Width: 0.4, Jitter: 1e-9, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Generate(Spec{N: 8, Width: 3, Jitter: 1e-9, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	countOverlaps := func(ds []dist.Distribution) int {
+		n := 0
+		for i := range ds {
+			for j := i + 1; j < len(ds); j++ {
+				if dist.Overlaps(ds[i], ds[j]) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if countOverlaps(wide) <= countOverlaps(narrow) {
+		t.Fatal("width did not increase overlap")
+	}
+}

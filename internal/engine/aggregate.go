@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"crowdtopk/internal/numeric"
+)
+
+// TrialStats aggregates repeated runs of the same configuration over
+// independently sampled worlds.
+type TrialStats struct {
+	Algorithm string
+	Trials    int
+
+	MeanDistance, StdDistance     float64
+	MeanInitialDistance           float64
+	MeanAsked                     float64
+	MeanFinalLeaves               float64
+	ResolvedFraction              float64
+	MeanUncertainty               float64
+	MeanTotalTime                 time.Duration
+	MeanBuildTime, MeanSelectTime time.Duration
+	MeanApplyTime                 time.Duration
+	Contradictions                int
+}
+
+// RunTrials executes cfg `trials` times with per-trial seeds derived from
+// cfg.Seed, sampling a fresh world each time, and aggregates the results.
+func RunTrials(cfg Config, trials int) (*TrialStats, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("engine: trials = %d", trials)
+	}
+	dists := make([]float64, 0, trials)
+	st := &TrialStats{Algorithm: cfg.Algorithm, Trials: trials}
+	var totalNS, buildNS, selNS, applyNS float64
+	for t := 0; t < trials; t++ {
+		c := cfg
+		c.Seed = cfg.Seed*1_000_003 + int64(t)
+		c.Truth = nil // force a fresh world per trial
+		res, err := Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("engine: trial %d: %w", t, err)
+		}
+		dists = append(dists, res.FinalDistance)
+		st.MeanInitialDistance += res.InitialDistance
+		st.MeanAsked += float64(res.Asked)
+		st.MeanFinalLeaves += float64(res.FinalLeaves)
+		st.MeanUncertainty += res.FinalUncertainty
+		if res.Resolved {
+			st.ResolvedFraction++
+		}
+		st.Contradictions += res.Contradictions
+		totalNS += float64(res.TotalTime)
+		buildNS += float64(res.BuildTime)
+		selNS += float64(res.SelectTime)
+		applyNS += float64(res.ApplyTime)
+	}
+	n := float64(trials)
+	st.MeanDistance = numeric.Mean(dists)
+	st.StdDistance = numeric.StdDev(dists)
+	st.MeanInitialDistance /= n
+	st.MeanAsked /= n
+	st.MeanFinalLeaves /= n
+	st.MeanUncertainty /= n
+	st.ResolvedFraction /= n
+	st.MeanTotalTime = time.Duration(totalNS / n)
+	st.MeanBuildTime = time.Duration(buildNS / n)
+	st.MeanSelectTime = time.Duration(selNS / n)
+	st.MeanApplyTime = time.Duration(applyNS / n)
+	return st, nil
+}

@@ -1,0 +1,311 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"crowdtopk/internal/crowd"
+	"crowdtopk/internal/dataset"
+	"crowdtopk/internal/dist"
+	"crowdtopk/internal/uncertainty"
+)
+
+// testWorkload returns a small but genuinely uncertain workload.
+func testWorkload(t testing.TB, n int, seed int64) []dist.Distribution {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Spec{N: n, Width: 1.8, Spacing: 0.5, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func baseConfig(t testing.TB, alg string) Config {
+	return Config{
+		Dists:     testWorkload(t, 8, 7),
+		K:         3,
+		Budget:    6,
+		Algorithm: alg,
+		Seed:      11,
+	}
+}
+
+func TestRunAllAlgorithmsReduceDistance(t *testing.T) {
+	for _, alg := range []string{AlgNaive, AlgTBOff, AlgCOff, AlgT1On, AlgIncr} {
+		t.Run(alg, func(t *testing.T) {
+			st, err := RunTrials(baseConfig(t, alg), 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.MeanAsked == 0 {
+				t.Fatal("no questions asked")
+			}
+			if alg != AlgIncr && st.MeanDistance > st.MeanInitialDistance+1e-9 {
+				t.Fatalf("%s: distance grew %g → %g", alg, st.MeanInitialDistance, st.MeanDistance)
+			}
+		})
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	cfg := baseConfig(t, "bogus")
+	if _, err := Run(cfg); !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInformedBeatsRandomOnAverage(t *testing.T) {
+	// The headline claim of Fig. 1(a): informed selection reaches lower
+	// distance than the random baseline at equal budget.
+	const trials = 12
+	random, err := RunTrials(baseConfig(t, AlgRandom), trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := RunTrials(baseConfig(t, AlgT1On), trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.MeanDistance >= random.MeanDistance {
+		t.Fatalf("T1-on mean distance %g not below random %g", t1.MeanDistance, random.MeanDistance)
+	}
+}
+
+func TestOnlineEarlyTermination(t *testing.T) {
+	// A huge budget must not be fully spent: T1-on stops when a single
+	// ordering remains.
+	cfg := baseConfig(t, AlgT1On)
+	cfg.Budget = 10_000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resolved {
+		t.Fatalf("tree not resolved after unlimited budget (leaves %d)", res.FinalLeaves)
+	}
+	if res.Asked >= cfg.Budget {
+		t.Fatalf("asked %d questions, expected early termination", res.Asked)
+	}
+	if res.FinalDistance > 0.12 {
+		// With perfect answers the surviving ordering is the real top-K up
+		// to numerically pruned mass; allow a small slack.
+		t.Fatalf("resolved to distance %g from the real ordering", res.FinalDistance)
+	}
+}
+
+func TestPerfectCrowdResolvesToRealPrefix(t *testing.T) {
+	cfg := baseConfig(t, AlgT1On)
+	cfg.Budget = 1000
+	cfg.Seed = 5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resolved {
+		t.Skipf("tree unresolved (numerics), distance %g", res.FinalDistance)
+	}
+	if res.FinalDistance > 1e-6 && res.Contradictions == 0 {
+		t.Fatalf("resolved ordering %v has distance %g to the real prefix", res.FinalOrdering, res.FinalDistance)
+	}
+}
+
+func TestNoisyCrowdReweights(t *testing.T) {
+	cfg := baseConfig(t, AlgT1On)
+	rng := rand.New(rand.NewSource(3))
+	truth := crowd.SampleTruth(cfg.Dists, rng)
+	pf, err := crowd.NewUniformPlatform(truth, 5, 0.8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Truth = truth
+	cfg.Crowd = pf
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reweighting never removes leaves outright, so with a noisy crowd the
+	// tree can shrink only by renormalized zero-mass subtrees — resolution
+	// to a single leaf is practically impossible at budget 6.
+	if res.Resolved {
+		t.Fatal("noisy crowd should not fully resolve the tree at small budget")
+	}
+	if res.Asked != cfg.Budget {
+		t.Fatalf("asked %d, want the full budget %d", res.Asked, cfg.Budget)
+	}
+}
+
+func TestNoisyWorseThanPerfect(t *testing.T) {
+	const trials = 10
+	perfect, err := RunTrials(baseConfig(t, AlgT1On), trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := baseConfig(t, AlgT1On)
+	noisy.Crowd = nil
+	noisyStats := &TrialStats{}
+	// RunTrials with an injected noisy platform needs per-trial worlds, so
+	// emulate it manually.
+	var acc float64
+	for i := 0; i < trials; i++ {
+		cfg := baseConfig(t, AlgT1On)
+		cfg.Seed = 991 + int64(i)
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		truth := crowd.SampleTruth(cfg.Dists, rng)
+		pf, err := crowd.NewUniformPlatform(truth, 5, 0.65, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Truth = truth
+		cfg.Crowd = pf
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc += res.FinalDistance
+	}
+	noisyStats.MeanDistance = acc / trials
+	if noisyStats.MeanDistance <= perfect.MeanDistance {
+		t.Fatalf("noisy crowd (%g) should do worse than perfect (%g)",
+			noisyStats.MeanDistance, perfect.MeanDistance)
+	}
+}
+
+func TestIncrExtendsToFullDepth(t *testing.T) {
+	cfg := baseConfig(t, AlgIncr)
+	cfg.Budget = 4
+	cfg.RoundSize = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FinalOrdering) != cfg.K {
+		t.Fatalf("final ordering %v has length %d, want K=%d", res.FinalOrdering, len(res.FinalOrdering), cfg.K)
+	}
+	if res.Asked == 0 || res.Asked > cfg.Budget {
+		t.Fatalf("asked %d of budget %d", res.Asked, cfg.Budget)
+	}
+}
+
+func TestIncrCheaperThanFullBuildOnLargeTrees(t *testing.T) {
+	// §III.D: incr avoids materializing orderings that pruning kills.
+	ds := testWorkload(t, 14, 13)
+	mk := func(alg string) Config {
+		return Config{Dists: ds, K: 5, Budget: 12, Algorithm: alg, RoundSize: 4, Seed: 17}
+	}
+	full, err := Run(mk(AlgTBOff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := Run(mk(AlgIncr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.TotalTime >= full.TotalTime {
+		t.Logf("warning: incr %v not faster than TB-off %v on this instance (timing-sensitive)", inc.TotalTime, full.TotalTime)
+	}
+	if inc.FinalLeaves > full.InitialLeaves {
+		t.Fatalf("incr final tree (%d leaves) larger than the full initial tree (%d)", inc.FinalLeaves, full.InitialLeaves)
+	}
+}
+
+func TestBudgetZeroAsksNothing(t *testing.T) {
+	for _, alg := range []string{AlgRandom, AlgTBOff, AlgT1On, AlgIncr} {
+		cfg := baseConfig(t, alg)
+		cfg.Budget = 0
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.Asked != 0 {
+			t.Fatalf("%s asked %d questions with zero budget", alg, res.Asked)
+		}
+		if res.FinalDistance != res.InitialDistance && alg != AlgIncr {
+			t.Fatalf("%s changed the tree without questions", alg)
+		}
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	cfg := baseConfig(t, AlgT1On)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalDistance != b.FinalDistance || a.Asked != b.Asked {
+		t.Fatalf("same seed, different outcomes: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunTrialsAggregation(t *testing.T) {
+	st, err := RunTrials(baseConfig(t, AlgNaive), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Trials != 5 || st.Algorithm != AlgNaive {
+		t.Fatalf("stats header wrong: %+v", st)
+	}
+	if st.MeanDistance < 0 || st.StdDistance < 0 {
+		t.Fatalf("negative aggregates: %+v", st)
+	}
+	if st.MeanTotalTime <= 0 {
+		t.Fatal("timing not recorded")
+	}
+	if _, err := RunTrials(baseConfig(t, AlgNaive), 0); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestMeasureSelectionAffectsRuns(t *testing.T) {
+	cfg := baseConfig(t, AlgT1On)
+	for _, name := range []string{"H", "Hw", "ORA", "MPO"} {
+		m, err := uncertainty.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := cfg
+		c.Measure = m
+		res, err := Run(c)
+		if err != nil {
+			t.Fatalf("measure %s: %v", name, err)
+		}
+		if res.FinalDistance > res.InitialDistance+1e-9 {
+			t.Fatalf("measure %s: distance grew", name)
+		}
+	}
+}
+
+func TestAStarAlgorithmsOnTinyInstance(t *testing.T) {
+	cfg := Config{
+		Dists:     testWorkload(t, 5, 23),
+		K:         2,
+		Budget:    2,
+		Algorithm: AlgAStarOff,
+		Measure:   uncertainty.Entropy{},
+		Seed:      29,
+	}
+	offRes, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Algorithm = AlgAStarOn
+	onRes, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The online variant sees answers, so it can only do at least as well
+	// in expectation; on a single seed just require both to not regress.
+	for _, r := range []*Result{offRes, onRes} {
+		if r.FinalDistance > r.InitialDistance+1e-9 {
+			t.Fatalf("%s distance grew", r.Algorithm)
+		}
+	}
+	cfg.Algorithm = AlgExhaustive
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV renders the table as CSV (header row, then one row per x value).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{t.XLabel}, t.Columns...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, x := range t.XValues {
+		row := make([]string, 0, len(header))
+		row = append(row, strconv.FormatFloat(x, 'g', -1, 64))
+		for _, c := range t.Columns {
+			if v, ok := t.Get(c, x); ok {
+				row = append(row, strconv.FormatFloat(v, 'g', 8, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// tableJSON is the stable JSON form of a Table.
+type tableJSON struct {
+	Name     string               `json:"name"`
+	XLabel   string               `json:"x_label"`
+	XValues  []float64            `json:"x_values"`
+	Series   map[string][]float64 `json:"series"`
+	Footnote string               `json:"footnote,omitempty"`
+}
+
+// WriteJSON renders the table as a single JSON document with one series per
+// column, aligned to XValues (missing cells serialize as NaN-free nulls by
+// being skipped: series always have len(XValues) entries with zero for
+// absent cells, and an explicit mask is omitted for simplicity).
+func (t *Table) WriteJSON(w io.Writer) error {
+	out := tableJSON{
+		Name:     t.Name,
+		XLabel:   t.XLabel,
+		XValues:  t.XValues,
+		Series:   make(map[string][]float64, len(t.Columns)),
+		Footnote: t.Footnote,
+	}
+	for _, c := range t.Columns {
+		vals := make([]float64, len(t.XValues))
+		for i, x := range t.XValues {
+			v, _ := t.Get(c, x)
+			vals[i] = v
+		}
+		out.Series[c] = vals
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Render writes the table in the requested format: "text" (default), "csv"
+// or "json".
+func (t *Table) Render(w io.Writer, format string) error {
+	switch format {
+	case "", "text":
+		_, err := t.WriteTo(w)
+		return err
+	case "csv":
+		return t.WriteCSV(w)
+	case "json":
+		return t.WriteJSON(w)
+	default:
+		return fmt.Errorf("engine: unknown table format %q (want text, csv or json)", format)
+	}
+}

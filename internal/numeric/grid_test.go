@@ -1,0 +1,187 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGridValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		lo, hi float64
+		n      int
+	}{
+		{"one point", 0, 1, 1},
+		{"zero points", 0, 1, 0},
+		{"negative points", 0, 1, -3},
+		{"inverted bounds", 1, 0, 16},
+		{"equal bounds", 2, 2, 16},
+		{"nan lo", math.NaN(), 1, 16},
+		{"nan hi", 0, math.NaN(), 16},
+		{"inf hi", 0, math.Inf(1), 16},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewGrid(c.lo, c.hi, c.n); !errors.Is(err, ErrDegenerateGrid) {
+				t.Fatalf("NewGrid(%g, %g, %d) error = %v, want ErrDegenerateGrid", c.lo, c.hi, c.n, err)
+			}
+		})
+	}
+}
+
+func TestGridPoints(t *testing.T) {
+	g := MustGrid(-2, 3, 11)
+	if g.Len() != 11 {
+		t.Fatalf("Len = %d, want 11", g.Len())
+	}
+	if g.X(0) != -2 || g.X(10) != 3 {
+		t.Fatalf("endpoints = %g, %g; want -2, 3", g.X(0), g.X(10))
+	}
+	if !AlmostEqual(g.Step, 0.5, 1e-12) {
+		t.Fatalf("Step = %g, want 0.5", g.Step)
+	}
+	for i := 1; i < g.Len(); i++ {
+		if d := g.X(i) - g.X(i-1); !AlmostEqual(d, 0.5, 1e-12) {
+			t.Fatalf("non-uniform step at %d: %g", i, d)
+		}
+	}
+}
+
+func TestGridIndex(t *testing.T) {
+	g := MustGrid(0, 1, 5) // points 0, .25, .5, .75, 1
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{-1, 0}, {0, 0}, {0.1, 0}, {0.25, 1}, {0.26, 1}, {0.49, 1},
+		{0.5, 2}, {0.99, 3}, {1, 4}, {2, 4},
+	}
+	for _, c := range cases {
+		if got := g.Index(c.x); got != c.want {
+			t.Errorf("Index(%g) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestGridIndexInvariantQuick(t *testing.T) {
+	g := MustGrid(-5, 7, 257)
+	f := func(raw float64) bool {
+		x := math.Mod(math.Abs(raw), 14) - 6 // roam a bit beyond the grid
+		i := g.Index(x)
+		if i < 0 || i >= g.Len() {
+			return false
+		}
+		if x >= g.Lo && x <= g.Hi {
+			// X(i) <= x and, unless at the top, x < X(i+1).
+			if g.X(i) > x+1e-12 {
+				return false
+			}
+			if i+1 < g.Len() && x >= g.X(i+1)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterpExactAtNodesAndLinearBetween(t *testing.T) {
+	g := MustGrid(0, 4, 5)
+	ys := []float64{0, 1, 4, 9, 16} // x^2 at integer points
+	for i := 0; i < g.Len(); i++ {
+		if got := g.Interp(ys, g.X(i)); !AlmostEqual(got, ys[i], 1e-12) {
+			t.Errorf("Interp at node %d = %g, want %g", i, got, ys[i])
+		}
+	}
+	if got := g.Interp(ys, 1.5); !AlmostEqual(got, 2.5, 1e-12) {
+		t.Errorf("Interp(1.5) = %g, want 2.5 (linear between 1 and 4)", got)
+	}
+	if got := g.Interp(ys, -3); got != 0 {
+		t.Errorf("Interp left of grid = %g, want clamp to 0", got)
+	}
+	if got := g.Interp(ys, 99); got != 16 {
+		t.Errorf("Interp right of grid = %g, want clamp to 16", got)
+	}
+}
+
+func TestTrapezoidPolynomials(t *testing.T) {
+	g := MustGrid(0, 2, 2001)
+	cases := []struct {
+		name string
+		f    func(float64) float64
+		want float64
+	}{
+		{"constant", func(x float64) float64 { return 3 }, 6},
+		{"linear", func(x float64) float64 { return x }, 2},
+		{"quadratic", func(x float64) float64 { return x * x }, 8.0 / 3},
+		{"sin", math.Sin, 1 - math.Cos(2)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := g.Trapezoid(g.Sample(c.f))
+			if !AlmostEqual(got, c.want, 1e-5) {
+				t.Fatalf("Trapezoid = %.10f, want %.10f", got, c.want)
+			}
+		})
+	}
+}
+
+func TestCumTrapezoidLeftRightComplement(t *testing.T) {
+	g := MustGrid(-1, 3, 501)
+	ys := g.Sample(func(x float64) float64 { return math.Exp(-x * x) })
+	total := g.Trapezoid(ys)
+	left := g.CumTrapezoidLeft(ys, nil)
+	right := g.CumTrapezoidRight(ys, nil)
+	if left[0] != 0 || right[g.Len()-1] != 0 {
+		t.Fatalf("boundary conditions violated: left[0]=%g right[n-1]=%g", left[0], right[g.Len()-1])
+	}
+	for i := 0; i < g.Len(); i += 25 {
+		if s := left[i] + right[i]; !AlmostEqual(s, total, 1e-9) {
+			t.Fatalf("left[%d]+right[%d] = %g, want total %g", i, i, s, total)
+		}
+	}
+	// Monotonicity for a non-negative integrand.
+	for i := 1; i < g.Len(); i++ {
+		if left[i] < left[i-1]-1e-15 {
+			t.Fatalf("left cumulative not monotone at %d", i)
+		}
+		if right[i] > right[i-1]+1e-15 {
+			t.Fatalf("right cumulative not antitone at %d", i)
+		}
+	}
+}
+
+func TestCumTrapezoidAliasing(t *testing.T) {
+	g := MustGrid(0, 1, 101)
+	ys := g.Sample(func(x float64) float64 { return 1 + x })
+	want := g.CumTrapezoidLeft(ys, nil)
+	inPlace := append([]float64(nil), ys...)
+	g.CumTrapezoidLeft(inPlace, inPlace)
+	for i := range want {
+		if !AlmostEqual(want[i], inPlace[i], 1e-12) {
+			t.Fatalf("aliased CumTrapezoidLeft differs at %d: %g vs %g", i, inPlace[i], want[i])
+		}
+	}
+	want = g.CumTrapezoidRight(ys, nil)
+	inPlace = append([]float64(nil), ys...)
+	g.CumTrapezoidRight(inPlace, inPlace)
+	for i := range want {
+		if !AlmostEqual(want[i], inPlace[i], 1e-12) {
+			t.Fatalf("aliased CumTrapezoidRight differs at %d: %g vs %g", i, inPlace[i], want[i])
+		}
+	}
+}
+
+func TestTrapezoidPanicsOnLengthMismatch(t *testing.T) {
+	g := MustGrid(0, 1, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched slice length")
+		}
+	}()
+	g.Trapezoid(make([]float64, 7))
+}

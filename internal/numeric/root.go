@@ -1,0 +1,106 @@
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoBracket is returned by Bisect when the target is not bracketed by the
+// supplied interval.
+var ErrNoBracket = errors.New("numeric: root not bracketed")
+
+// Bisect finds x in [lo, hi] with f(x) = target, assuming f is monotone
+// non-decreasing on the interval (the CDF case). It runs until the bracket
+// width falls below tol or 200 iterations, whichever comes first.
+func Bisect(f func(float64) float64, lo, hi, target, tol float64) (float64, error) {
+	flo, fhi := f(lo), f(hi)
+	if math.IsNaN(flo) || math.IsNaN(fhi) {
+		return 0, fmt.Errorf("numeric: Bisect over NaN values at bracket [%g, %g]", lo, hi)
+	}
+	if flo > fhi {
+		return 0, fmt.Errorf("%w: f(%g)=%g > f(%g)=%g", ErrNoBracket, lo, flo, hi, fhi)
+	}
+	if target <= flo {
+		return lo, nil
+	}
+	if target >= fhi {
+		return hi, nil
+	}
+	for i := 0; i < 200 && hi-lo > tol; i++ {
+		mid := lo + (hi-lo)/2
+		if f(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+// LinSpace returns n evenly spaced values from lo to hi inclusive.
+func LinSpace(lo, hi float64, n int) []float64 {
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// ArgMax returns the index of the maximum of xs (first on ties) and the
+// maximum itself. It panics on an empty slice.
+func ArgMax(xs []float64) (int, float64) {
+	if len(xs) == 0 {
+		panic("numeric: ArgMax of empty slice")
+	}
+	bi, bv := 0, xs[0]
+	for i, v := range xs[1:] {
+		if v > bv {
+			bi, bv = i+1, v
+		}
+	}
+	return bi, bv
+}
+
+// ArgMin returns the index of the minimum of xs (first on ties) and the
+// minimum itself. It panics on an empty slice.
+func ArgMin(xs []float64) (int, float64) {
+	if len(xs) == 0 {
+		panic("numeric: ArgMin of empty slice")
+	}
+	bi, bv := 0, xs[0]
+	for i, v := range xs[1:] {
+		if v < bv {
+			bi, bv = i+1, v
+		}
+	}
+	return bi, bv
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (n-1 denominator), or 0
+// when fewer than two values are present.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var k KahanSum
+	for _, x := range xs {
+		d := x - m
+		k.Add(d * d)
+	}
+	return math.Sqrt(k.Sum() / float64(len(xs)-1))
+}

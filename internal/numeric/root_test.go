@@ -1,0 +1,79 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestBisectOnCDFLikeFunction(t *testing.T) {
+	// Standard logistic CDF: closed-form quantile to compare against.
+	f := func(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got, err := Bisect(f, -50, 50, p, 1e-12)
+		if err != nil {
+			t.Fatalf("Bisect(p=%g): %v", p, err)
+		}
+		want := math.Log(p / (1 - p))
+		if !AlmostEqual(got, want, 1e-8) {
+			t.Fatalf("quantile(%g) = %g, want %g", p, got, want)
+		}
+	}
+}
+
+func TestBisectClampsOutOfRangeTargets(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if got, err := Bisect(f, 2, 5, 1, 1e-12); err != nil || got != 2 {
+		t.Fatalf("below-range target: got %g, %v; want 2, nil", got, err)
+	}
+	if got, err := Bisect(f, 2, 5, 9, 1e-12); err != nil || got != 5 {
+		t.Fatalf("above-range target: got %g, %v; want 5, nil", got, err)
+	}
+}
+
+func TestBisectRejectsDecreasingFunction(t *testing.T) {
+	f := func(x float64) float64 { return -x }
+	if _, err := Bisect(f, 0, 1, -0.5, 1e-12); !errors.Is(err, ErrNoBracket) {
+		t.Fatalf("error = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestLinSpace(t *testing.T) {
+	xs := LinSpace(1, 3, 5)
+	want := []float64{1, 1.5, 2, 2.5, 3}
+	for i := range want {
+		if !AlmostEqual(xs[i], want[i], 1e-12) {
+			t.Fatalf("LinSpace[%d] = %g, want %g", i, xs[i], want[i])
+		}
+	}
+	if one := LinSpace(7, 9, 1); len(one) != 1 || one[0] != 7 {
+		t.Fatalf("LinSpace n=1 = %v", one)
+	}
+}
+
+func TestArgMaxArgMin(t *testing.T) {
+	xs := []float64{3, -1, 7, 7, 2}
+	if i, v := ArgMax(xs); i != 2 || v != 7 {
+		t.Fatalf("ArgMax = (%d, %g), want (2, 7) — first on ties", i, v)
+	}
+	if i, v := ArgMin(xs); i != 1 || v != -1 {
+		t.Fatalf("ArgMin = (%d, %g), want (1, -1)", i, v)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !AlmostEqual(m, 5, 1e-12) {
+		t.Fatalf("Mean = %g, want 5", m)
+	}
+	// Sample stddev with n-1: variance = 32/7.
+	if s := StdDev(xs); !AlmostEqual(s, math.Sqrt(32.0/7), 1e-12) {
+		t.Fatalf("StdDev = %g, want %g", s, math.Sqrt(32.0/7))
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("Mean(nil) = %g", m)
+	}
+	if s := StdDev([]float64{1}); s != 0 {
+		t.Fatalf("StdDev of singleton = %g", s)
+	}
+}

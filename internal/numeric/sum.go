@@ -1,0 +1,109 @@
+package numeric
+
+import "math"
+
+// KahanSum accumulates float64 values with compensated (Kahan–Babuška)
+// summation. The zero value is ready to use.
+type KahanSum struct {
+	sum float64
+	c   float64
+}
+
+// Add accumulates v.
+func (k *KahanSum) Add(v float64) {
+	t := k.sum + v
+	if math.Abs(k.sum) >= math.Abs(v) {
+		k.c += (k.sum - t) + v
+	} else {
+		k.c += (v - t) + k.sum
+	}
+	k.sum = t
+}
+
+// Sum returns the compensated total.
+func (k *KahanSum) Sum() float64 { return k.sum + k.c }
+
+// Sum returns the compensated sum of xs.
+func Sum(xs []float64) float64 {
+	var k KahanSum
+	for _, x := range xs {
+		k.Add(x)
+	}
+	return k.Sum()
+}
+
+// Normalize scales ws in place so it sums to 1 and returns the original sum.
+// If the sum is zero or non-finite the slice is left untouched and the sum is
+// returned for the caller to handle.
+func Normalize(ws []float64) float64 {
+	total := Sum(ws)
+	if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+		return total
+	}
+	inv := 1 / total
+	for i := range ws {
+		ws[i] *= inv
+	}
+	return total
+}
+
+// Clamp returns v restricted to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ClampNonNegative zeroes tiny negative values produced by floating-point
+// cancellation; values below -tol are preserved so genuine sign errors
+// stay visible to tests.
+func ClampNonNegative(v, tol float64) float64 {
+	if v < 0 && v > -tol {
+		return 0
+	}
+	return v
+}
+
+// AlmostEqual reports whether a and b differ by at most tol in absolute
+// terms, or by tol relative to the larger magnitude when both are large.
+func AlmostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol*m
+}
+
+// Log2Safe returns log2(x), with 0 mapped to 0 so that entropy terms
+// w*log2(w) vanish at w = 0 as they do in the limit.
+func Log2Safe(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log2(x)
+}
+
+// EntropyBits returns the Shannon entropy, in bits, of the weight vector ws.
+// The weights are treated as already normalized; non-positive entries
+// contribute zero, matching the w→0 limit of −w·log2 w.
+func EntropyBits(ws []float64) float64 {
+	var k KahanSum
+	for _, w := range ws {
+		if w > 0 {
+			k.Add(-w * math.Log2(w))
+		}
+	}
+	h := k.Sum()
+	if h < 0 { // rounding can produce e.g. -1e-17 on a singleton
+		return 0
+	}
+	return h
+}

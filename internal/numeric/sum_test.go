@@ -1,0 +1,170 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKahanSumCancellations(t *testing.T) {
+	// 1 + 1e-16 repeated: naive summation loses the small terms entirely.
+	var k KahanSum
+	k.Add(1)
+	for i := 0; i < 10_000_000; i++ {
+		k.Add(1e-16)
+	}
+	want := 1 + 1e-16*1e7
+	if !AlmostEqual(k.Sum(), want, 1e-12) {
+		t.Fatalf("KahanSum = %.17g, want %.17g", k.Sum(), want)
+	}
+}
+
+func TestSumMatchesExactForIntegers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var exact int64
+	for i := range xs {
+		v := int64(rng.Intn(2001) - 1000)
+		xs[i] = float64(v)
+		exact += v
+	}
+	if got := Sum(xs); got != float64(exact) {
+		t.Fatalf("Sum = %g, want %d", got, exact)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	ws := []float64{1, 2, 3, 4}
+	total := Normalize(ws)
+	if total != 10 {
+		t.Fatalf("returned total = %g, want 10", total)
+	}
+	if got := Sum(ws); !AlmostEqual(got, 1, 1e-12) {
+		t.Fatalf("normalized sum = %g, want 1", got)
+	}
+	if !AlmostEqual(ws[3], 0.4, 1e-12) {
+		t.Fatalf("ws[3] = %g, want 0.4", ws[3])
+	}
+}
+
+func TestNormalizeZeroAndNegativeTotals(t *testing.T) {
+	zero := []float64{0, 0}
+	if total := Normalize(zero); total != 0 {
+		t.Fatalf("zero-total Normalize returned %g", total)
+	}
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatal("zero-total Normalize must not modify the slice")
+	}
+	neg := []float64{1, -3}
+	if total := Normalize(neg); total != -2 {
+		t.Fatalf("negative-total Normalize returned %g", total)
+	}
+	if neg[0] != 1 {
+		t.Fatal("negative-total Normalize must not modify the slice")
+	}
+}
+
+func TestNormalizeQuickSumsToOne(t *testing.T) {
+	f := func(raw []float64) bool {
+		ws := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				ws = append(ws, math.Abs(v))
+			}
+		}
+		total := Sum(ws)
+		if total <= 0 || math.IsInf(total, 0) || math.IsNaN(total) {
+			return true // nothing to check
+		}
+		Normalize(ws)
+		return AlmostEqual(Sum(ws), 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ v, lo, hi, want float64 }{
+		{5, 0, 1, 1}, {-5, 0, 1, 0}, {0.5, 0, 1, 0.5}, {0, 0, 1, 0}, {1, 0, 1, 1},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%g, %g, %g) = %g, want %g", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestClampNonNegative(t *testing.T) {
+	if got := ClampNonNegative(-1e-15, 1e-9); got != 0 {
+		t.Errorf("tiny negative not clamped: %g", got)
+	}
+	if got := ClampNonNegative(-0.5, 1e-9); got != -0.5 {
+		t.Errorf("large negative must be preserved, got %g", got)
+	}
+	if got := ClampNonNegative(0.25, 1e-9); got != 0.25 {
+		t.Errorf("positive value altered: %g", got)
+	}
+}
+
+func TestEntropyBits(t *testing.T) {
+	cases := []struct {
+		name string
+		ws   []float64
+		want float64
+	}{
+		{"certain", []float64{1}, 0},
+		{"fair coin", []float64{0.5, 0.5}, 1},
+		{"four-way uniform", []float64{0.25, 0.25, 0.25, 0.25}, 2},
+		{"with zeros", []float64{0.5, 0, 0.5, 0}, 1},
+		{"skewed", []float64{0.9, 0.1}, -(0.9*math.Log2(0.9) + 0.1*math.Log2(0.1))},
+		{"empty", nil, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := EntropyBits(c.ws); !AlmostEqual(got, c.want, 1e-12) {
+				t.Fatalf("EntropyBits = %g, want %g", got, c.want)
+			}
+		})
+	}
+}
+
+func TestEntropyBitsBoundsQuick(t *testing.T) {
+	// 0 <= H <= log2(n) for any normalized weight vector.
+	f := func(raw []float64) bool {
+		ws := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				ws = append(ws, math.Abs(v))
+			}
+		}
+		if total := Sum(ws); total <= 0 || math.IsInf(total, 0) || math.IsNaN(total) {
+			return true
+		}
+		Normalize(ws)
+		h := EntropyBits(ws)
+		n := 0
+		for _, w := range ws {
+			if w > 0 {
+				n++
+			}
+		}
+		return h >= 0 && h <= math.Log2(float64(n))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLog2Safe(t *testing.T) {
+	if got := Log2Safe(8); got != 3 {
+		t.Errorf("Log2Safe(8) = %g", got)
+	}
+	if got := Log2Safe(0); got != 0 {
+		t.Errorf("Log2Safe(0) = %g, want 0", got)
+	}
+	if got := Log2Safe(-4); got != 0 {
+		t.Errorf("Log2Safe(-4) = %g, want 0", got)
+	}
+}

@@ -1,0 +1,271 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssignMinCostKnownMatrices(t *testing.T) {
+	cases := []struct {
+		name string
+		cost [][]float64
+		want float64
+	}{
+		{
+			"identity optimal",
+			[][]float64{
+				{1, 10, 10},
+				{10, 1, 10},
+				{10, 10, 1},
+			},
+			3,
+		},
+		{
+			"anti-diagonal optimal",
+			[][]float64{
+				{10, 10, 1},
+				{10, 1, 10},
+				{1, 10, 10},
+			},
+			3,
+		},
+		{
+			"classic 4x4",
+			[][]float64{
+				{82, 83, 69, 92},
+				{77, 37, 49, 92},
+				{11, 69, 5, 86},
+				{8, 9, 98, 23},
+			},
+			140, // known optimum of this standard instance
+		},
+		{"single", [][]float64{{7}}, 7},
+		{"empty", nil, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			assign, total, err := AssignMinCost(c.cost)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if total != c.want {
+				t.Fatalf("total = %g, want %g (assignment %v)", total, c.want, assign)
+			}
+			seen := map[int]bool{}
+			for _, j := range assign {
+				if seen[j] {
+					t.Fatalf("column %d assigned twice: %v", j, assign)
+				}
+				seen[j] = true
+			}
+		})
+	}
+}
+
+func TestAssignMinCostRejectsBadInput(t *testing.T) {
+	if _, _, err := AssignMinCost([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	if _, _, err := AssignMinCost([][]float64{{math.NaN()}}); err == nil {
+		t.Fatal("NaN cost accepted")
+	}
+	if _, _, err := AssignMinCost([][]float64{{math.Inf(1)}}); err == nil {
+		t.Fatal("infinite cost accepted")
+	}
+}
+
+// bruteForceAssignment enumerates all permutations for the true optimum.
+func bruteForceAssignment(cost [][]float64) float64 {
+	n := len(cost)
+	best := math.Inf(1)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int, acc float64)
+	rec = func(k int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if k == n {
+			best = acc
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k+1, acc+cost[k][perm[k]])
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestAssignMinCostMatchesBruteForceQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	f := func() bool {
+		n := 2 + rng.Intn(5)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = math.Floor(rng.Float64() * 100)
+			}
+		}
+		_, total, err := AssignMinCost(cost)
+		if err != nil {
+			return false
+		}
+		return math.Abs(total-bruteForceAssignment(cost)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFootruleAggregateUnanimous(t *testing.T) {
+	lists := []Ordering{{2, 0, 1}, {2, 0, 1}}
+	got, err := FootruleAggregate(lists, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(Ordering{2, 0, 1}) {
+		t.Fatalf("unanimous aggregate = %v", got)
+	}
+}
+
+func TestFootruleAggregateWeights(t *testing.T) {
+	lists := []Ordering{{0, 1}, {1, 0}}
+	got, err := FootruleAggregate(lists, []float64{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(Ordering{1, 0}) {
+		t.Fatalf("aggregate = %v, want the heavy list's order", got)
+	}
+}
+
+func TestFootruleAggregateEmptyAndValidation(t *testing.T) {
+	got, err := FootruleAggregate(nil, nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty aggregate = %v, %v", got, err)
+	}
+	if _, err := FootruleAggregate([]Ordering{{1}}, nil); err == nil {
+		t.Fatal("mismatched weights accepted")
+	}
+	if _, err := FootruleAggregate([]Ordering{{1}}, []float64{-1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+// TestFootruleOptimality verifies the aggregate minimizes the weighted
+// footrule over all permutations on small instances.
+func TestFootruleOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(3)
+		var lists []Ordering
+		var ws []float64
+		for l := 0; l < 4; l++ {
+			lists = append(lists, randomTopK(rng, n, 2+rng.Intn(n-1)))
+			ws = append(ws, rng.Float64()+0.1)
+		}
+		got, err := FootruleAggregate(lists, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items := Union(lists...)
+		gotCost := footruleCost(got, lists, ws)
+		best := math.Inf(1)
+		permute(items, func(p Ordering) {
+			if c := footruleCost(p, lists, ws); c < best {
+				best = c
+			}
+		})
+		if gotCost > best+1e-9 {
+			t.Fatalf("trial %d: aggregate cost %g, optimum %g (lists %v)", trial, gotCost, best, lists)
+		}
+	}
+}
+
+// footruleCost evaluates Σ_l w_l · F(π, list_l) with absent items at the
+// max list length, mirroring FootruleAggregate's objective.
+func footruleCost(pi Ordering, lists []Ordering, ws []float64) float64 {
+	maxLen := 0
+	for _, l := range lists {
+		if len(l) > maxLen {
+			maxLen = len(l)
+		}
+	}
+	pos := pi.Positions()
+	total := 0.0
+	for li, l := range lists {
+		lp := l.Positions()
+		for id, p := range pos {
+			pl, ok := lp[id]
+			if !ok {
+				pl = maxLen
+			}
+			d := p - pl
+			if d < 0 {
+				d = -d
+			}
+			total += ws[li] * float64(d)
+		}
+	}
+	return total
+}
+
+func permute(items []int, fn func(Ordering)) {
+	var rec func(k int, cur []int)
+	rec = func(k int, cur []int) {
+		if k == len(cur) {
+			fn(Ordering(append([]int(nil), cur...)))
+			return
+		}
+		for i := k; i < len(cur); i++ {
+			cur[k], cur[i] = cur[i], cur[k]
+			rec(k+1, cur)
+			cur[k], cur[i] = cur[i], cur[k]
+		}
+	}
+	rec(0, append([]int(nil), items...))
+}
+
+// TestFootruleTwoApproxOfKemeny checks the classical guarantee on random
+// instances: footrule aggregation's Kemeny cost is at most twice the exact
+// Kemeny optimum.
+func TestFootruleTwoApproxOfKemeny(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(3)
+		var lists []Ordering
+		var ws []float64
+		for l := 0; l < 5; l++ {
+			lists = append(lists, randomTopK(rng, n, n)) // full permutations
+			ws = append(ws, 1)
+		}
+		m, err := NewPreferenceMatrix(lists, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kemeny := m.Kemeny()
+		kc, err := m.Disagreement(kemeny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr, err := FootruleAggregate(lists, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc, err := m.Disagreement(fr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fc > 2*kc+1e-9 {
+			t.Fatalf("trial %d: footrule Kemeny-cost %g exceeds 2×optimum %g", trial, fc, kc)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package rank
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopKDistMatchesKendallTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	f := func() bool {
+		ref := randomTopK(rng, 9, 2+rng.Intn(4))
+		d := NewTopKDist(ref, DefaultPenalty)
+		// Probe several orderings against the same distancer to exercise
+		// the epoch/scratch reuse.
+		for probe := 0; probe < 5; probe++ {
+			o := randomTopK(rng, 9, 2+rng.Intn(4))
+			want := KendallTopK(o, ref, DefaultPenalty)
+			if got := d.Distance(o); got != want {
+				t.Logf("ref=%v o=%v: distancer %g, reference %g", ref, o, got, want)
+				return false
+			}
+			wantN := KendallTopKNormalized(o, ref, DefaultPenalty)
+			if got := d.Normalized(o); got != wantN {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKDistGrowsForUnseenIDs(t *testing.T) {
+	d := NewTopKDist(Ordering{0, 1}, 0.5)
+	o := Ordering{100, 1}
+	want := KendallTopK(o, Ordering{0, 1}, 0.5)
+	if got := d.Distance(o); got != want {
+		t.Fatalf("large-id distance %g, want %g", got, want)
+	}
+}
+
+func TestTopKDistIdenticalAndDisjoint(t *testing.T) {
+	ref := Ordering{3, 1, 4}
+	d := NewTopKDist(ref, 0.5)
+	if got := d.Normalized(ref); got != 0 {
+		t.Fatalf("identical = %g", got)
+	}
+	if got := d.Normalized(Ordering{7, 8, 9}); got != 1 {
+		t.Fatalf("disjoint = %g", got)
+	}
+}
+
+func TestTopKDistDefaultPenalty(t *testing.T) {
+	ref := Ordering{0, 1}
+	d := NewTopKDist(ref, 0)
+	o := Ordering{2, 3}
+	if got, want := d.Distance(o), KendallTopK(o, ref, DefaultPenalty); got != want {
+		t.Fatalf("zero-penalty constructor: %g, want default-penalty %g", got, want)
+	}
+}
+
+func BenchmarkKendallTopKMap(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ref := randomTopK(rng, 20, 5)
+	os := make([]Ordering, 64)
+	for i := range os {
+		os[i] = randomTopK(rng, 20, 5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KendallTopKNormalized(os[i%len(os)], ref, DefaultPenalty)
+	}
+}
+
+func BenchmarkKendallTopKDistancer(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ref := randomTopK(rng, 20, 5)
+	os := make([]Ordering, 64)
+	for i := range os {
+		os[i] = randomTopK(rng, 20, 5)
+	}
+	d := NewTopKDist(ref, DefaultPenalty)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Normalized(os[i%len(os)])
+	}
+}

@@ -1,0 +1,285 @@
+package rank
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// MaxExactKemeny is the largest item count for which Aggregate uses the
+// exact O(2^m · m²) Held–Karp-style subset dynamic program. Beyond it the
+// Borda-seeded local search heuristic is used.
+const MaxExactKemeny = 16
+
+// PreferenceMatrix accumulates weighted pairwise precedence evidence from a
+// collection of top-k lists. W[i][j] is the total weight of lists implying
+// Items[i] ranks before Items[j] (either both appear in that order, or only
+// Items[i] appears — a top-k list implies its members precede all absentees).
+type PreferenceMatrix struct {
+	Items []int
+	index map[int]int
+	W     [][]float64
+}
+
+// NewPreferenceMatrix builds the weighted precedence matrix over the union of
+// the given lists. weights must have one entry per list; negative weights are
+// rejected.
+func NewPreferenceMatrix(lists []Ordering, weights []float64) (*PreferenceMatrix, error) {
+	if len(lists) != len(weights) {
+		return nil, fmt.Errorf("rank: %d lists but %d weights", len(lists), len(weights))
+	}
+	items := Union(lists...)
+	m := &PreferenceMatrix{Items: items, index: make(map[int]int, len(items))}
+	for i, id := range items {
+		m.index[id] = i
+	}
+	m.W = make([][]float64, len(items))
+	backing := make([]float64, len(items)*len(items))
+	for i := range m.W {
+		m.W[i] = backing[i*len(items) : (i+1)*len(items)]
+	}
+	for li, list := range lists {
+		w := weights[li]
+		if w < 0 {
+			return nil, fmt.Errorf("rank: negative weight %g for list %d", w, li)
+		}
+		if w == 0 {
+			continue
+		}
+		present := make([]bool, len(items))
+		for _, id := range list {
+			present[m.index[id]] = true
+		}
+		for pi, id := range list {
+			i := m.index[id]
+			// id precedes every later element of the list...
+			for _, jd := range list[pi+1:] {
+				m.W[i][m.index[jd]] += w
+			}
+			// ...and every item absent from the list.
+			for j := range items {
+				if !present[j] {
+					m.W[i][j] += w
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// Disagreement returns the total weight of pairwise preferences violated by
+// ordering the items as π (which must be a permutation of Items).
+func (m *PreferenceMatrix) Disagreement(pi Ordering) (float64, error) {
+	if len(pi) != len(m.Items) {
+		return 0, fmt.Errorf("rank: Disagreement with %d of %d items", len(pi), len(m.Items))
+	}
+	idx := make([]int, len(pi))
+	for k, id := range pi {
+		i, ok := m.index[id]
+		if !ok {
+			return 0, fmt.Errorf("rank: unknown item %d in candidate ordering", id)
+		}
+		idx[k] = i
+	}
+	total := 0.0
+	for a := 0; a < len(idx); a++ {
+		for b := a + 1; b < len(idx); b++ {
+			// idx[a] placed before idx[b]; violated preferences wanted the converse.
+			total += m.W[idx[b]][idx[a]]
+		}
+	}
+	return total, nil
+}
+
+// BordaOrdering returns the items sorted by decreasing total outgoing
+// preference weight (Borda-style score), ties broken by id. It is both a
+// usable heuristic aggregate and the seed for the local search.
+func (m *PreferenceMatrix) BordaOrdering() Ordering {
+	type scored struct {
+		id    int
+		score float64
+	}
+	ss := make([]scored, len(m.Items))
+	for i, id := range m.Items {
+		s := 0.0
+		for j := range m.Items {
+			s += m.W[i][j]
+		}
+		ss[i] = scored{id, s}
+	}
+	sort.Slice(ss, func(a, b int) bool {
+		if ss[a].score != ss[b].score {
+			return ss[a].score > ss[b].score
+		}
+		return ss[a].id < ss[b].id
+	})
+	out := make(Ordering, len(ss))
+	for i, s := range ss {
+		out[i] = s.id
+	}
+	return out
+}
+
+// CopelandOrdering sorts items by their Copeland score (number of pairwise
+// majority wins), ties broken by Borda score then id.
+func (m *PreferenceMatrix) CopelandOrdering() Ordering {
+	n := len(m.Items)
+	wins := make([]float64, n)
+	borda := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			borda[i] += m.W[i][j]
+			if m.W[i][j] > m.W[j][i] {
+				wins[i]++
+			} else if m.W[i][j] == m.W[j][i] {
+				wins[i] += 0.5
+			}
+		}
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if wins[ia] != wins[ib] {
+			return wins[ia] > wins[ib]
+		}
+		if borda[ia] != borda[ib] {
+			return borda[ia] > borda[ib]
+		}
+		return m.Items[ia] < m.Items[ib]
+	})
+	out := make(Ordering, n)
+	for i, ii := range idx {
+		out[i] = m.Items[ii]
+	}
+	return out
+}
+
+// Kemeny returns a minimum-disagreement (Kemeny optimal) ordering of the
+// items: the Optimal Rank Aggregation. Exact for up to MaxExactKemeny items;
+// beyond that a Borda-seeded local search (adjacent swaps plus single-item
+// relocations to local optimum) is used and the result may be approximate.
+func (m *PreferenceMatrix) Kemeny() Ordering {
+	n := len(m.Items)
+	switch {
+	case n == 0:
+		return Ordering{}
+	case n == 1:
+		return Ordering{m.Items[0]}
+	case n <= MaxExactKemeny:
+		return m.kemenyExact()
+	default:
+		return m.kemenyLocalSearch()
+	}
+}
+
+// kemenyExact runs the subset DP: dp[S] is the minimum disagreement of any
+// arrangement of the items in S occupying the first |S| positions. Appending
+// item v to prefix-set S costs Σ_{u∈S} W[v][u] (all of S is ranked above v).
+func (m *PreferenceMatrix) kemenyExact() Ordering {
+	n := len(m.Items)
+	size := 1 << n
+	dp := make([]float64, size)
+	parent := make([]int8, size) // item appended to reach this set
+	for s := 1; s < size; s++ {
+		dp[s] = math.Inf(1)
+	}
+	for s := 0; s < size; s++ {
+		if math.IsInf(dp[s], 1) {
+			continue
+		}
+		for v := 0; v < n; v++ {
+			if s&(1<<v) != 0 {
+				continue
+			}
+			cost := 0.0
+			rest := s
+			for rest != 0 {
+				u := bits.TrailingZeros32(uint32(rest))
+				rest &= rest - 1
+				cost += m.W[v][u]
+			}
+			ns := s | 1<<v
+			if c := dp[s] + cost; c < dp[ns] {
+				dp[ns] = c
+				parent[ns] = int8(v)
+			}
+		}
+	}
+	// Reconstruct back to front.
+	out := make(Ordering, n)
+	s := size - 1
+	for i := n - 1; i >= 0; i-- {
+		v := int(parent[s])
+		out[i] = m.Items[v]
+		s &^= 1 << v
+	}
+	return out
+}
+
+// kemenyLocalSearch refines the Borda seed with single-item relocations
+// until no move improves the disagreement.
+func (m *PreferenceMatrix) kemenyLocalSearch() Ordering {
+	cur := m.BordaOrdering()
+	idx := make([]int, len(cur))
+	for k, id := range cur {
+		idx[k] = m.index[id]
+	}
+	cost := m.disagreementIdx(idx)
+	improved := true
+	for improved {
+		improved = false
+		for from := 0; from < len(idx); from++ {
+			for to := 0; to < len(idx); to++ {
+				if to == from {
+					continue
+				}
+				cand := relocate(idx, from, to)
+				if c := m.disagreementIdx(cand); c < cost-1e-15 {
+					idx, cost = cand, c
+					improved = true
+				}
+			}
+		}
+	}
+	out := make(Ordering, len(idx))
+	for k, i := range idx {
+		out[k] = m.Items[i]
+	}
+	return out
+}
+
+func (m *PreferenceMatrix) disagreementIdx(idx []int) float64 {
+	total := 0.0
+	for a := 0; a < len(idx); a++ {
+		for b := a + 1; b < len(idx); b++ {
+			total += m.W[idx[b]][idx[a]]
+		}
+	}
+	return total
+}
+
+func relocate(idx []int, from, to int) []int {
+	out := make([]int, 0, len(idx))
+	out = append(out, idx[:from]...)
+	out = append(out, idx[from+1:]...)
+	out = append(out[:to], append([]int{idx[from]}, out[to:]...)...)
+	return out
+}
+
+// Aggregate computes the ORA of a weighted collection of top-k lists: the
+// Kemeny optimal ordering of the union of their items under the precedence
+// evidence the lists carry.
+func Aggregate(lists []Ordering, weights []float64) (Ordering, error) {
+	m, err := NewPreferenceMatrix(lists, weights)
+	if err != nil {
+		return nil, err
+	}
+	return m.Kemeny(), nil
+}

@@ -1,0 +1,279 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPreferenceMatrixValidation(t *testing.T) {
+	if _, err := NewPreferenceMatrix([]Ordering{{1, 2}}, nil); err == nil {
+		t.Fatal("expected error on weight count mismatch")
+	}
+	if _, err := NewPreferenceMatrix([]Ordering{{1, 2}}, []float64{-1}); err == nil {
+		t.Fatal("expected error on negative weight")
+	}
+}
+
+func TestPreferenceMatrixCounts(t *testing.T) {
+	// Two lists over {1,2,3}: w=2 says 1<2 (1 first), w=1 says 2<1.
+	m, err := NewPreferenceMatrix(
+		[]Ordering{{1, 2}, {2, 1}},
+		[]float64{2, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i1, i2 := m.index[1], m.index[2]
+	if m.W[i1][i2] != 2 || m.W[i2][i1] != 1 {
+		t.Fatalf("W[1][2]=%g W[2][1]=%g, want 2 and 1", m.W[i1][i2], m.W[i2][i1])
+	}
+}
+
+func TestPreferenceMatrixAbsenteeSemantics(t *testing.T) {
+	// List {1} with universe {1,2} (2 appears in another zero... use two lists).
+	m, err := NewPreferenceMatrix(
+		[]Ordering{{1}, {2, 3}},
+		[]float64{1, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// List {1}: 1 precedes absentees 2 and 3.
+	i1, i2, i3 := m.index[1], m.index[2], m.index[3]
+	if m.W[i1][i2] != 1 || m.W[i1][i3] != 1 {
+		t.Fatalf("absentee precedence missing: W[1][2]=%g W[1][3]=%g", m.W[i1][i2], m.W[i1][i3])
+	}
+	// List {2,3}: 2 before 3, and both before absentee 1.
+	if m.W[i2][i3] != 1 || m.W[i2][i1] != 1 || m.W[i3][i1] != 1 {
+		t.Fatalf("list {2,3} precedence wrong")
+	}
+}
+
+func TestDisagreement(t *testing.T) {
+	m, err := NewPreferenceMatrix([]Ordering{{1, 2, 3}}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err := m.Disagreement(Ordering{1, 2, 3}); err != nil || d != 0 {
+		t.Fatalf("agreeing ordering: %g, %v", d, err)
+	}
+	if d, err := m.Disagreement(Ordering{3, 2, 1}); err != nil || d != 3 {
+		t.Fatalf("reversed ordering: %g, %v; want 3", d, err)
+	}
+	if _, err := m.Disagreement(Ordering{1, 2}); err == nil {
+		t.Fatal("expected error for missing items")
+	}
+	if _, err := m.Disagreement(Ordering{1, 2, 9}); err == nil {
+		t.Fatal("expected error for unknown item")
+	}
+}
+
+func TestBordaOrdering(t *testing.T) {
+	// Strong consensus 5 < 3 < 1.
+	m, err := NewPreferenceMatrix(
+		[]Ordering{{5, 3, 1}, {5, 3, 1}, {3, 5, 1}},
+		[]float64{1, 1, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.BordaOrdering(); !got.Equal(Ordering{5, 3, 1}) {
+		t.Fatalf("Borda = %v, want [5 3 1]", got)
+	}
+}
+
+func TestCopelandOrdering(t *testing.T) {
+	m, err := NewPreferenceMatrix(
+		[]Ordering{{1, 2, 3}, {1, 2, 3}, {3, 1, 2}},
+		[]float64{1, 1, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.CopelandOrdering()
+	if got[0] != 1 {
+		t.Fatalf("Copeland = %v, want 1 first (wins both duels)", got)
+	}
+}
+
+func TestKemenyUnanimous(t *testing.T) {
+	lists := []Ordering{{2, 0, 1}, {2, 0, 1}, {2, 0, 1}}
+	got, err := Aggregate(lists, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(Ordering{2, 0, 1}) {
+		t.Fatalf("Kemeny of unanimous lists = %v", got)
+	}
+}
+
+func TestKemenyMajority(t *testing.T) {
+	lists := []Ordering{{1, 2, 3}, {1, 2, 3}, {3, 2, 1}}
+	got, err := Aggregate(lists, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(Ordering{1, 2, 3}) {
+		t.Fatalf("Kemeny = %v, want majority ordering [1 2 3]", got)
+	}
+}
+
+func TestKemenyWeightsMatter(t *testing.T) {
+	lists := []Ordering{{1, 2}, {2, 1}}
+	got, err := Aggregate(lists, []float64{1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(Ordering{2, 1}) {
+		t.Fatalf("Kemeny = %v, want the heavily weighted ordering", got)
+	}
+}
+
+func TestKemenyEmptyAndSingleton(t *testing.T) {
+	got, err := Aggregate(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty aggregate = %v", got)
+	}
+	got, err = Aggregate([]Ordering{{42}}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(Ordering{42}) {
+		t.Fatalf("singleton aggregate = %v", got)
+	}
+}
+
+// bruteForceKemeny enumerates all permutations to find the true minimum
+// disagreement value.
+func bruteForceKemeny(t *testing.T, m *PreferenceMatrix) float64 {
+	t.Helper()
+	items := m.Items
+	best := math.Inf(1)
+	var rec func(prefix Ordering, rest []int)
+	rec = func(prefix Ordering, rest []int) {
+		if len(rest) == 0 {
+			d, err := m.Disagreement(prefix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d < best {
+				best = d
+			}
+			return
+		}
+		for i := range rest {
+			nr := append(append([]int(nil), rest[:i]...), rest[i+1:]...)
+			rec(append(prefix, rest[i]), nr)
+		}
+	}
+	rec(Ordering{}, items)
+	return best
+}
+
+func TestKemenyExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(4) // 3..6 items
+		var lists []Ordering
+		var weights []float64
+		for l := 0; l < 5; l++ {
+			k := 2 + rng.Intn(n-1)
+			lists = append(lists, randomTopK(rng, n, k))
+			weights = append(weights, rng.Float64()+0.1)
+		}
+		m, err := NewPreferenceMatrix(lists, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.Kemeny()
+		gotCost, err := m.Disagreement(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceKemeny(t, m)
+		if math.Abs(gotCost-want) > 1e-9 {
+			t.Fatalf("trial %d: Kemeny cost %g, brute force %g (lists %v)", trial, gotCost, want, lists)
+		}
+	}
+}
+
+func TestKemenyLocalSearchNotWorseThanBorda(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	n := MaxExactKemeny + 3 // force the heuristic path
+	var lists []Ordering
+	var weights []float64
+	for l := 0; l < 8; l++ {
+		lists = append(lists, randomTopK(rng, n, 5))
+		weights = append(weights, rng.Float64()+0.1)
+	}
+	m, err := NewPreferenceMatrix(lists, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	km := m.Kemeny()
+	if len(km) != len(m.Items) {
+		t.Fatalf("heuristic Kemeny has %d of %d items", len(km), len(m.Items))
+	}
+	kc, err := m.Disagreement(km)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := m.Disagreement(m.BordaOrdering())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kc > bc+1e-12 {
+		t.Fatalf("local search (%g) worse than its own seed (%g)", kc, bc)
+	}
+}
+
+func TestKemenyIsPermutationOfItems(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		var lists []Ordering
+		var weights []float64
+		for l := 0; l < 4; l++ {
+			lists = append(lists, randomTopK(rng, 9, 4))
+			weights = append(weights, 1)
+		}
+		m, err := NewPreferenceMatrix(lists, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.Kemeny()
+		want := Ordering(m.Items)
+		if !got.IsPermutationOf(want) {
+			t.Fatalf("Kemeny %v is not a permutation of items %v", got, m.Items)
+		}
+	}
+}
+
+func TestRelocate(t *testing.T) {
+	base := []int{0, 1, 2, 3}
+	cases := []struct {
+		from, to int
+		want     []int
+	}{
+		{0, 3, []int{1, 2, 3, 0}},
+		{3, 0, []int{3, 0, 1, 2}},
+		{1, 2, []int{0, 2, 1, 3}},
+	}
+	for _, c := range cases {
+		got := relocate(base, c.from, c.to)
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Fatalf("relocate(%d→%d) = %v, want %v", c.from, c.to, got, c.want)
+			}
+		}
+	}
+	// base must be untouched.
+	for i, v := range []int{0, 1, 2, 3} {
+		if base[i] != v {
+			t.Fatal("relocate mutated its input")
+		}
+	}
+}

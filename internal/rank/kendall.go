@@ -1,0 +1,179 @@
+package rank
+
+import "fmt"
+
+// DefaultPenalty is the neutral penalty parameter p = 1/2 of Fagin et al.'s
+// generalized Kendall tau for top-k lists: pairs whose relative order is
+// undetermined (both appear in one list and neither in the other) contribute
+// half a violation. The paper's distance D(ω_r, T_K) uses this neutral form.
+const DefaultPenalty = 0.5
+
+// KendallFull returns the number of discordant pairs between two full
+// orderings of the same id set. It errors if a and b are not permutations of
+// one another.
+func KendallFull(a, b Ordering) (int, error) {
+	if !a.IsPermutationOf(b) {
+		return 0, fmt.Errorf("rank: KendallFull on non-permutations %v vs %v", a, b)
+	}
+	posB := b.Positions()
+	// O(n^2) pair scan; orderings here have at most a few dozen elements.
+	d := 0
+	for i := 0; i < len(a); i++ {
+		for j := i + 1; j < len(a); j++ {
+			// a places a[i] before a[j]; discordant if b disagrees.
+			if posB[a[i]] > posB[a[j]] {
+				d++
+			}
+		}
+	}
+	return d, nil
+}
+
+// KendallFullNormalized returns KendallFull scaled to [0, 1] by the number of
+// pairs. Lists of length < 2 have distance 0.
+func KendallFullNormalized(a, b Ordering) (float64, error) {
+	d, err := KendallFull(a, b)
+	if err != nil {
+		return 0, err
+	}
+	n := len(a)
+	if n < 2 {
+		return 0, nil
+	}
+	return float64(d) / float64(n*(n-1)/2), nil
+}
+
+// KendallTopK computes Fagin et al.'s generalized Kendall tau distance
+// K^(p)(a, b) between two top-k lists that may rank different element sets.
+// For every unordered pair {x, y} drawn from the union of the lists:
+//
+//	case 1 — x, y in both lists: penalty 1 if the lists disagree on the order;
+//	case 2 — x, y in one list, exactly one of them in the other: the second
+//	         list implies its present element ranks first; penalty 1 on
+//	         disagreement;
+//	case 3 — x only in a, y only in b: the lists necessarily disagree
+//	         (each implies its own element ranks first); penalty 1;
+//	case 4 — x, y both in one list, neither in the other: undetermined;
+//	         penalty p.
+func KendallTopK(a, b Ordering, p float64) float64 {
+	posA, posB := a.Positions(), b.Positions()
+	union := Union(a, b)
+	total := 0.0
+	for i := 0; i < len(union); i++ {
+		for j := i + 1; j < len(union); j++ {
+			x, y := union[i], union[j]
+			xa, inXA := posA[x]
+			ya, inYA := posA[y]
+			xb, inXB := posB[x]
+			yb, inYB := posB[y]
+			switch {
+			case inXA && inYA && inXB && inYB: // case 1
+				if (xa < ya) != (xb < yb) {
+					total++
+				}
+			case inXA && inYA && (inXB != inYB): // case 2, pair ordered by a
+				// The element present in b is implied first by b.
+				bFirst := y
+				if inXB {
+					bFirst = x
+				}
+				var aFirst int
+				if xa < ya {
+					aFirst = x
+				} else {
+					aFirst = y
+				}
+				if aFirst != bFirst {
+					total++
+				}
+			case inXB && inYB && (inXA != inYA): // case 2, pair ordered by b
+				aFirst := y
+				if inXA {
+					aFirst = x
+				}
+				var bFirst int
+				if xb < yb {
+					bFirst = x
+				} else {
+					bFirst = y
+				}
+				if aFirst != bFirst {
+					total++
+				}
+			case inXA && inYA && !inXB && !inYB: // case 4
+				total += p
+			case inXB && inYB && !inXA && !inYA: // case 4
+				total += p
+			default: // case 3: one element exclusive to each list
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// KendallTopKMax returns the maximum possible K^(p) distance between top-k
+// lists of lengths ka and kb (attained by disjoint lists): ka·kb cross pairs
+// plus p-weighted within-list pairs.
+func KendallTopKMax(ka, kb int, p float64) float64 {
+	return float64(ka*kb) + p*float64(ka*(ka-1)/2+kb*(kb-1)/2)
+}
+
+// KendallTopKNormalized returns K^(p)(a, b) scaled to [0, 1] by the disjoint
+// maximum. Two empty lists have distance 0.
+func KendallTopKNormalized(a, b Ordering, p float64) float64 {
+	max := KendallTopKMax(len(a), len(b), p)
+	if max == 0 {
+		return 0
+	}
+	return KendallTopK(a, b, p) / max
+}
+
+// FootruleTopK computes Fagin et al.'s footrule distance F^(l) between two
+// top-k lists, placing every absent element at location l = max(ka, kb) + 1
+// (0-based: position l-1) and summing absolute rank displacements over the
+// union.
+func FootruleTopK(a, b Ordering) float64 {
+	posA, posB := a.Positions(), b.Positions()
+	l := len(a)
+	if len(b) > l {
+		l = len(b)
+	}
+	total := 0.0
+	for _, x := range Union(a, b) {
+		pa, ok := posA[x]
+		if !ok {
+			pa = l
+		}
+		pb, ok := posB[x]
+		if !ok {
+			pb = l
+		}
+		d := pa - pb
+		if d < 0 {
+			d = -d
+		}
+		total += float64(d)
+	}
+	return total
+}
+
+// FootruleTopKNormalized scales FootruleTopK to [0, 1] by the disjoint-list
+// maximum Σ_{i=0..ka-1}(l−i) + Σ_{i=0..kb-1}(l−i).
+func FootruleTopKNormalized(a, b Ordering) float64 {
+	l := len(a)
+	if len(b) > l {
+		l = len(b)
+	}
+	max := 0.0
+	for i := 0; i < len(a); i++ {
+		max += float64(l - i)
+	}
+	for i := 0; i < len(b); i++ {
+		max += float64(l - i)
+	}
+	if max == 0 {
+		return 0
+	}
+	return FootruleTopK(a, b) / max
+}

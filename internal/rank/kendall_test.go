@@ -1,0 +1,214 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKendallFull(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Ordering
+		want int
+	}{
+		{"identical", Ordering{1, 2, 3}, Ordering{1, 2, 3}, 0},
+		{"reversed", Ordering{1, 2, 3}, Ordering{3, 2, 1}, 3},
+		{"one swap", Ordering{1, 2, 3}, Ordering{2, 1, 3}, 1},
+		{"singleton", Ordering{7}, Ordering{7}, 0},
+		{"empty", Ordering{}, Ordering{}, 0},
+		{"four reversed", Ordering{1, 2, 3, 4}, Ordering{4, 3, 2, 1}, 6},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := KendallFull(c.a, c.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != c.want {
+				t.Fatalf("KendallFull = %d, want %d", got, c.want)
+			}
+		})
+	}
+}
+
+func TestKendallFullRejectsNonPermutations(t *testing.T) {
+	if _, err := KendallFull(Ordering{1, 2}, Ordering{1, 3}); err == nil {
+		t.Fatal("expected error for different id sets")
+	}
+}
+
+func TestKendallFullNormalizedRange(t *testing.T) {
+	if d, _ := KendallFullNormalized(Ordering{1, 2, 3, 4}, Ordering{4, 3, 2, 1}); d != 1 {
+		t.Fatalf("reversed normalized distance = %g, want 1", d)
+	}
+	if d, _ := KendallFullNormalized(Ordering{5}, Ordering{5}); d != 0 {
+		t.Fatalf("singleton distance = %g, want 0", d)
+	}
+}
+
+func TestKendallTopKIdentical(t *testing.T) {
+	a := Ordering{1, 2, 3}
+	if d := KendallTopK(a, a, DefaultPenalty); d != 0 {
+		t.Fatalf("identical lists distance = %g", d)
+	}
+}
+
+func TestKendallTopKDisjointAttainsMax(t *testing.T) {
+	a := Ordering{1, 2, 3}
+	b := Ordering{4, 5, 6}
+	for _, p := range []float64{0, 0.5, 1} {
+		want := KendallTopKMax(3, 3, p)
+		if d := KendallTopK(a, b, p); d != want {
+			t.Fatalf("p=%g: disjoint distance = %g, want max %g", p, d, want)
+		}
+		if n := KendallTopKNormalized(a, b, p); n != 1 {
+			t.Fatalf("p=%g: normalized disjoint = %g, want 1", p, n)
+		}
+	}
+}
+
+func TestKendallTopKCases(t *testing.T) {
+	p := 0.5
+	// Case 1: both pairs in both lists, opposite order.
+	if d := KendallTopK(Ordering{1, 2}, Ordering{2, 1}, p); d != 1 {
+		t.Fatalf("case 1 = %g, want 1", d)
+	}
+	// Case 2: {1,2} in a; only 2 in b. b implies 2 before 1; a has 1 before 2.
+	if d := KendallTopK(Ordering{1, 2}, Ordering{2, 3}, p); d < 1 {
+		t.Fatalf("case 2 should penalize, got %g", d)
+	}
+	// Case 2 agreement: a = {1,2}, b = {1,3}: b implies 1 before 2 — agrees.
+	// Remaining pairs: (1,3) case 2 agree (a implies 1 first, b has 1 first),
+	// (2,3) case 3 = 1.
+	if d := KendallTopK(Ordering{1, 2}, Ordering{1, 3}, p); d != 1 {
+		t.Fatalf("partial overlap agree = %g, want exactly the case-3 pair", d)
+	}
+	// Case 4 only: a = {1,2} vs b = {3,4} includes the within-list pairs at p.
+	d := KendallTopK(Ordering{1, 2}, Ordering{3, 4}, p)
+	want := 4 + 2*p // 4 cross pairs + {1,2} and {3,4} at p each
+	if d != want {
+		t.Fatalf("disjoint 2-lists = %g, want %g", d, want)
+	}
+}
+
+func TestKendallTopKSymmetricQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		a, b := randomTopK(rng, 6, 4), randomTopK(rng, 6, 4)
+		return KendallTopK(a, b, DefaultPenalty) == KendallTopK(b, a, DefaultPenalty)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKendallTopKMatchesFullOnPermutations(t *testing.T) {
+	// On full orderings of the same set, K^(p) reduces to plain Kendall tau.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		a := randomPermutation(rng, 6)
+		b := randomPermutation(rng, 6)
+		full, err := KendallFull(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if top := KendallTopK(a, b, DefaultPenalty); top != float64(full) {
+			t.Fatalf("topk %g != full %d for %v vs %v", top, full, a, b)
+		}
+	}
+}
+
+func TestKendallTopKTriangleInequalityQuick(t *testing.T) {
+	// K^(p) with p = 1/2 is a near-metric: d(a,c) <= 2(d(a,b) + d(b,c)).
+	// (Fagin et al. prove equivalence to a metric within constant factor 2;
+	// the raw triangle inequality can be violated slightly.)
+	rng := rand.New(rand.NewSource(11))
+	f := func() bool {
+		a := randomTopK(rng, 7, 4)
+		b := randomTopK(rng, 7, 4)
+		c := randomTopK(rng, 7, 4)
+		dab := KendallTopK(a, b, DefaultPenalty)
+		dbc := KendallTopK(b, c, DefaultPenalty)
+		dac := KendallTopK(a, c, DefaultPenalty)
+		return dac <= 2*(dab+dbc)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKendallTopKNormalizedRangeQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := func() bool {
+		a := randomTopK(rng, 8, 3+rng.Intn(3))
+		b := randomTopK(rng, 8, 3+rng.Intn(3))
+		n := KendallTopKNormalized(a, b, DefaultPenalty)
+		return n >= 0 && n <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFootruleTopK(t *testing.T) {
+	if d := FootruleTopK(Ordering{1, 2, 3}, Ordering{1, 2, 3}); d != 0 {
+		t.Fatalf("identical = %g", d)
+	}
+	// Swap of adjacent elements displaces each by 1.
+	if d := FootruleTopK(Ordering{1, 2, 3}, Ordering{2, 1, 3}); d != 2 {
+		t.Fatalf("adjacent swap = %g, want 2", d)
+	}
+	// Disjoint lists of length k: max = k(k+1).
+	if d := FootruleTopK(Ordering{1, 2}, Ordering{3, 4}); d != 6 {
+		t.Fatalf("disjoint = %g, want 6", d)
+	}
+	if n := FootruleTopKNormalized(Ordering{1, 2}, Ordering{3, 4}); n != 1 {
+		t.Fatalf("normalized disjoint = %g, want 1", n)
+	}
+	if n := FootruleTopKNormalized(Ordering{}, Ordering{}); n != 0 {
+		t.Fatalf("empty = %g", n)
+	}
+}
+
+func TestFootruleDominatesKendallQuick(t *testing.T) {
+	// Diaconis–Graham: K(a,b) <= F(a,b) for full permutations.
+	rng := rand.New(rand.NewSource(23))
+	f := func() bool {
+		a := randomPermutation(rng, 7)
+		b := randomPermutation(rng, 7)
+		k, err := KendallFull(a, b)
+		if err != nil {
+			return false
+		}
+		return float64(k) <= FootruleTopK(a, b)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomPermutation returns a uniformly random ordering of 0..n-1.
+func randomPermutation(rng *rand.Rand, n int) Ordering {
+	p := rng.Perm(n)
+	return Ordering(p)
+}
+
+// randomTopK returns k distinct ids drawn from 0..universe-1 in random order.
+func randomTopK(rng *rand.Rand, universe, k int) Ordering {
+	p := rng.Perm(universe)
+	return Ordering(p[:k])
+}
+
+func TestKendallTopKMaxFormula(t *testing.T) {
+	if got := KendallTopKMax(3, 3, 0.5); got != 9+0.5*6 {
+		t.Fatalf("max(3,3,0.5) = %g", got)
+	}
+	if got := KendallTopKMax(2, 4, 1); got != 8+math.Trunc(1*(1+6)) {
+		t.Fatalf("max(2,4,1) = %g", got)
+	}
+	if got := KendallTopKMax(0, 0, 0.5); got != 0 {
+		t.Fatalf("max(0,0) = %g", got)
+	}
+}

@@ -1,0 +1,137 @@
+// Package rank provides the ordering substrate of the reproduction: ranked
+// lists (full orderings and top-k prefixes), the generalized Kendall tau and
+// Spearman footrule distances of Fagin et al. for top-k lists, weighted
+// pairwise preference matrices, and Kemeny optimal rank aggregation — the
+// Optimal Rank Aggregation (ORA) of Soliman et al. used by the U_ORA
+// uncertainty measure.
+package rank
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ordering is a ranked list of tuple identifiers, best first. It may be a
+// full ordering of the dataset or a top-k prefix.
+type Ordering []int
+
+// Clone returns a copy of o.
+func (o Ordering) Clone() Ordering {
+	return append(Ordering(nil), o...)
+}
+
+// Equal reports whether o and other contain the same ids in the same order.
+func (o Ordering) Equal(other Ordering) bool {
+	if len(o) != len(other) {
+		return false
+	}
+	for i := range o {
+		if o[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Positions returns a map from id to zero-based rank.
+// Duplicate ids are invalid and cause a panic, as they would silently corrupt
+// every distance computation downstream.
+func (o Ordering) Positions() map[int]int {
+	pos := make(map[int]int, len(o))
+	for i, id := range o {
+		if _, dup := pos[id]; dup {
+			panic(fmt.Sprintf("rank: duplicate id %d in ordering %v", id, o))
+		}
+		pos[id] = i
+	}
+	return pos
+}
+
+// Contains reports whether id appears in o.
+func (o Ordering) Contains(id int) bool {
+	for _, v := range o {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Prefix returns the first k elements of o (all of o when k >= len(o)).
+func (o Ordering) Prefix(k int) Ordering {
+	if k >= len(o) {
+		return o
+	}
+	return o[:k]
+}
+
+// String implements fmt.Stringer.
+func (o Ordering) String() string {
+	return fmt.Sprint([]int(o))
+}
+
+// Before reports the relative order of ids a and b as implied by the top-k
+// list o:
+//
+//	+1 — o implies a ranks before b (a appears first, or only a appears)
+//	-1 — o implies b ranks before a
+//	 0 — o does not determine the pair (neither appears)
+func (o Ordering) Before(a, b int) int {
+	pa, pb := -1, -1
+	for i, v := range o {
+		switch v {
+		case a:
+			pa = i
+		case b:
+			pb = i
+		}
+	}
+	switch {
+	case pa >= 0 && pb >= 0:
+		if pa < pb {
+			return 1
+		}
+		return -1
+	case pa >= 0:
+		return 1
+	case pb >= 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Union returns the sorted set of ids appearing in any of the orderings.
+func Union(lists ...Ordering) []int {
+	seen := make(map[int]struct{})
+	for _, l := range lists {
+		for _, id := range l {
+			seen[id] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// IsPermutationOf reports whether o and other contain exactly the same set of
+// ids (in any order).
+func (o Ordering) IsPermutationOf(other Ordering) bool {
+	if len(o) != len(other) {
+		return false
+	}
+	count := make(map[int]int, len(o))
+	for _, id := range o {
+		count[id]++
+	}
+	for _, id := range other {
+		count[id]--
+		if count[id] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,101 @@
+package rank
+
+import (
+	"testing"
+)
+
+func TestOrderingCloneEqual(t *testing.T) {
+	o := Ordering{3, 1, 2}
+	c := o.Clone()
+	if !o.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c[0] = 9
+	if o[0] != 3 {
+		t.Fatal("clone shares backing array")
+	}
+	if o.Equal(Ordering{3, 1}) {
+		t.Fatal("length mismatch reported equal")
+	}
+	if o.Equal(Ordering{3, 2, 1}) {
+		t.Fatal("different order reported equal")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	o := Ordering{5, 9, 2}
+	pos := o.Positions()
+	for i, id := range o {
+		if pos[id] != i {
+			t.Fatalf("pos[%d] = %d, want %d", id, pos[id], i)
+		}
+	}
+}
+
+func TestPositionsPanicsOnDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate ids")
+		}
+	}()
+	Ordering{1, 2, 1}.Positions()
+}
+
+func TestContainsPrefix(t *testing.T) {
+	o := Ordering{4, 7, 1, 3}
+	if !o.Contains(7) || o.Contains(8) {
+		t.Fatal("Contains wrong")
+	}
+	if got := o.Prefix(2); !got.Equal(Ordering{4, 7}) {
+		t.Fatalf("Prefix(2) = %v", got)
+	}
+	if got := o.Prefix(10); !got.Equal(o) {
+		t.Fatalf("Prefix beyond length = %v", got)
+	}
+}
+
+func TestBefore(t *testing.T) {
+	o := Ordering{4, 7, 1}
+	cases := []struct {
+		a, b, want int
+	}{
+		{4, 7, 1},   // both present, a first
+		{7, 4, -1},  // both present, b first
+		{4, 99, 1},  // only a present
+		{99, 1, -1}, // only b present
+		{98, 99, 0}, // neither present
+	}
+	for _, c := range cases {
+		if got := o.Before(c.a, c.b); got != c.want {
+			t.Errorf("Before(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	u := Union(Ordering{3, 1}, Ordering{1, 8}, Ordering{})
+	want := []int{1, 3, 8}
+	if len(u) != len(want) {
+		t.Fatalf("Union = %v", u)
+	}
+	for i := range want {
+		if u[i] != want[i] {
+			t.Fatalf("Union = %v, want %v", u, want)
+		}
+	}
+}
+
+func TestIsPermutationOf(t *testing.T) {
+	if !(Ordering{1, 2, 3}).IsPermutationOf(Ordering{3, 1, 2}) {
+		t.Fatal("permutation not recognized")
+	}
+	if (Ordering{1, 2, 3}).IsPermutationOf(Ordering{1, 2, 4}) {
+		t.Fatal("different sets reported as permutations")
+	}
+	if (Ordering{1, 2}).IsPermutationOf(Ordering{1, 2, 3}) {
+		t.Fatal("different lengths reported as permutations")
+	}
+	if !(Ordering{}).IsPermutationOf(Ordering{}) {
+		t.Fatal("empty orderings are permutations of each other")
+	}
+}

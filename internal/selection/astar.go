@@ -1,0 +1,206 @@
+package selection
+
+import (
+	"container/heap"
+	"fmt"
+
+	"crowdtopk/internal/tpo"
+)
+
+// AStarOff is the best-first-search offline algorithm (§III.A): it explores
+// the space of question subsets with A*, guided by the admissible heuristic
+// f(S) = E[U(S)] − (B − |S|)·maxDrop, where maxDrop is the measure's bound
+// on the expected-uncertainty reduction a single binary question can achieve
+// (1 bit for the entropy measures).
+//
+// Theorem 3.2: A*-off is offline-optimal. That guarantee holds for measures
+// with a positive MaxDropPerQuestion whose expected value is monotone under
+// conditioning (U_H, U_Hw). For U_ORA/U_MPO the heuristic degenerates to 0
+// and the search is exhaustive best-first — still correct on small inputs
+// but without the pruning guarantee.
+type AStarOff struct{}
+
+// Name implements Offline.
+func (AStarOff) Name() string { return "A*-off" }
+
+// searchState is a node of the A* subset search. Questions are stored as
+// indices into the canonically sorted Q_K; children only append indices
+// greater than the last, so every subset is generated exactly once.
+type searchState struct {
+	picks []int   // ascending indices into qk
+	eu    float64 // E[U(picks)]
+	f     float64 // eu - remaining*maxDrop (admissible lower bound)
+}
+
+type stateHeap []*searchState
+
+func (h stateHeap) Len() int            { return len(h) }
+func (h stateHeap) Less(i, j int) bool  { return h[i].f < h[j].f }
+func (h stateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *stateHeap) Push(x interface{}) { *h = append(*h, x.(*searchState)) }
+func (h *stateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return s
+}
+
+// SelectBatch implements Offline.
+func (AStarOff) SelectBatch(ls *tpo.LeafSet, budget int, ctx *Context) ([]tpo.Question, error) {
+	if err := validateBudget(budget); err != nil {
+		return nil, err
+	}
+	qk := ls.RelevantQuestions()
+	sortQuestions(qk)
+	if budget > len(qk) {
+		budget = len(qk)
+	}
+	if budget == 0 {
+		return nil, nil
+	}
+	maxDrop := ctx.Measure.MaxDropPerQuestion()
+	if maxDrop < 0 {
+		maxDrop = 0
+	}
+	root := &searchState{eu: ctx.Measure.Value(ls)}
+	root.f = lowerBound(root.eu, budget, maxDrop)
+	h := &stateHeap{root}
+	heap.Init(h)
+	expansions := 0
+	toQuestions := func(picks []int) []tpo.Question {
+		out := make([]tpo.Question, len(picks))
+		for i, p := range picks {
+			out[i] = qk[p]
+		}
+		return out
+	}
+	for h.Len() > 0 {
+		s := heap.Pop(h).(*searchState)
+		if len(s.picks) == budget {
+			return toQuestions(s.picks), nil
+		}
+		expansions++
+		if expansions > ctx.maxExpansions() {
+			return nil, fmt.Errorf("%w: %d states popped (budget %d over %d questions)",
+				ErrSearchBudget, expansions, budget, len(qk))
+		}
+		// A complete set reached through zero uncertainty cannot improve:
+		// extend directly with the lexicographically smallest remaining
+		// questions instead of enumerating equal-value siblings.
+		if s.eu <= tieEpsilon {
+			picks := s.picks
+			next := 0
+			if len(picks) > 0 {
+				next = picks[len(picks)-1] + 1
+			}
+			for len(picks) < budget && next < len(qk) {
+				picks = append(picks, next)
+				next++
+			}
+			if len(picks) == budget {
+				return toQuestions(picks), nil
+			}
+			continue
+		}
+		start := 0
+		if len(s.picks) > 0 {
+			start = s.picks[len(s.picks)-1] + 1
+		}
+		// Prune states that cannot reach a full budget set.
+		for qi := start; qi < len(qk); qi++ {
+			if len(qk)-qi < budget-len(s.picks) {
+				break
+			}
+			picks := append(append([]int(nil), s.picks...), qi)
+			child := &searchState{picks: picks}
+			child.eu = ExpectedResidual(ls, toQuestions(picks), ctx)
+			child.f = lowerBound(child.eu, budget-len(picks), maxDrop)
+			heap.Push(h, child)
+		}
+	}
+	return nil, fmt.Errorf("selection: A*-off found no complete question set (|Q_K|=%d, budget %d)", len(qk), budget)
+}
+
+func lowerBound(eu float64, remaining int, maxDrop float64) float64 {
+	lb := eu - float64(remaining)*maxDrop
+	if lb < 0 {
+		return 0
+	}
+	return lb
+}
+
+// AStarOn is the best-first-search online algorithm (§III.B): at each step it
+// runs A*-off with the remaining budget on the current (pruned) tree and asks
+// the first question of the optimal batch.
+type AStarOn struct{}
+
+// Name implements Online.
+func (AStarOn) Name() string { return "A*-on" }
+
+// NextQuestion implements Online.
+func (AStarOn) NextQuestion(ls *tpo.LeafSet, remaining int, ctx *Context) (tpo.Question, bool, error) {
+	if remaining < 1 {
+		return tpo.Question{}, false, nil
+	}
+	batch, err := (AStarOff{}).SelectBatch(ls, remaining, ctx)
+	if err != nil {
+		return tpo.Question{}, false, err
+	}
+	if len(batch) == 0 {
+		return tpo.Question{}, false, nil
+	}
+	return batch[0], true, nil
+}
+
+// Exhaustive is a reference offline strategy that enumerates every subset of
+// Q_K of the requested size and returns the one with minimal expected
+// residual uncertainty. It is exponential and exists to verify offline
+// optimality of A*-off in tests and benchmarks (E7).
+type Exhaustive struct{}
+
+// Name implements Offline.
+func (Exhaustive) Name() string { return "exhaustive" }
+
+// SelectBatch implements Offline.
+func (Exhaustive) SelectBatch(ls *tpo.LeafSet, budget int, ctx *Context) ([]tpo.Question, error) {
+	if err := validateBudget(budget); err != nil {
+		return nil, err
+	}
+	qk := ls.RelevantQuestions()
+	sortQuestions(qk)
+	if budget > len(qk) {
+		budget = len(qk)
+	}
+	if budget == 0 {
+		return nil, nil
+	}
+	var best []tpo.Question
+	bestR := 0.0
+	cur := make([]tpo.Question, 0, budget)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) == budget {
+			r := ExpectedResidual(ls, cur, ctx)
+			if best == nil || r < bestR-tieEpsilon {
+				best = append([]tpo.Question(nil), cur...)
+				bestR = r
+			}
+			return
+		}
+		for i := start; i <= len(qk)-(budget-len(cur)); i++ {
+			cur = append(cur, qk[i])
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return best, nil
+}
+
+// BatchValue returns the expected residual uncertainty of a batch — a
+// convenience for comparing strategies in tests and reports.
+func BatchValue(ls *tpo.LeafSet, qs []tpo.Question, ctx *Context) float64 {
+	return ExpectedResidual(ls, qs, ctx)
+}

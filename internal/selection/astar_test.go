@@ -1,0 +1,152 @@
+package selection
+
+import (
+	"errors"
+	"testing"
+
+	"crowdtopk/internal/numeric"
+	"crowdtopk/internal/uncertainty"
+)
+
+// TestAStarOffMatchesExhaustive verifies Theorem 3.2 (offline optimality of
+// A*-off) against full enumeration on small instances, for both entropy
+// measures where the heuristic is admissible.
+func TestAStarOffMatchesExhaustive(t *testing.T) {
+	for _, mName := range []string{"H", "Hw"} {
+		m, err := uncertainty.New(mName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(40); seed < 45; seed++ {
+			tree := buildTestTree(t, seed, 5, 3)
+			ls := tree.LeafSet()
+			ctx := ctxFor(tree, m)
+			for _, budget := range []int{1, 2, 3} {
+				ex, err := (Exhaustive{}).SelectBatch(ls, budget, ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				as, err := (AStarOff{}).SelectBatch(ls, budget, ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				vEx := BatchValue(ls, ex, ctx)
+				vAs := BatchValue(ls, as, ctx)
+				if !numeric.AlmostEqual(vEx, vAs, 1e-9) {
+					t.Fatalf("measure %s seed %d budget %d: A* value %g != exhaustive %g (batches %v vs %v)",
+						mName, seed, budget, vAs, vEx, as, ex)
+				}
+			}
+		}
+	}
+}
+
+func TestAStarOffBeatsOrMatchesGreedyStrategies(t *testing.T) {
+	tree := buildTestTree(t, 50, 5, 3)
+	ls := tree.LeafSet()
+	ctx := ctxFor(tree, uncertainty.Entropy{})
+	const budget = 3
+	batchA, err := (AStarOff{}).SelectBatch(ls, budget, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vA := BatchValue(ls, batchA, ctx)
+	for _, s := range []Offline{TBOff{}, COff{}} {
+		batch, err := s.SelectBatch(ls, budget, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := BatchValue(ls, batch, ctx); v < vA-1e-9 {
+			t.Fatalf("%s batch value %g beats optimal A* %g", s.Name(), v, vA)
+		}
+	}
+}
+
+func TestAStarOffBudgetLargerThanQK(t *testing.T) {
+	tree := buildTestTree(t, 51, 4, 2)
+	ls := tree.LeafSet()
+	ctx := ctxFor(tree, uncertainty.Entropy{})
+	qk := ls.RelevantQuestions()
+	batch, err := (AStarOff{}).SelectBatch(ls, len(qk)+5, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(qk) {
+		t.Fatalf("batch %d, want clamped to |Q_K| = %d", len(batch), len(qk))
+	}
+}
+
+func TestAStarOffExpansionBudget(t *testing.T) {
+	tree := buildTestTree(t, 52, 6, 3)
+	ls := tree.LeafSet()
+	ctx := ctxFor(tree, uncertainty.Entropy{})
+	ctx.MaxExpansions = 2
+	_, err := (AStarOff{}).SelectBatch(ls, 3, ctx)
+	if !errors.Is(err, ErrSearchBudget) {
+		t.Fatalf("err = %v, want ErrSearchBudget", err)
+	}
+}
+
+func TestAStarOnReturnsFirstOfOptimalBatch(t *testing.T) {
+	tree := buildTestTree(t, 53, 5, 3)
+	ls := tree.LeafSet()
+	ctx := ctxFor(tree, uncertainty.Entropy{})
+	q, ok, err := (AStarOn{}).NextQuestion(ls, 2, ctx)
+	if err != nil || !ok {
+		t.Fatalf("NextQuestion: %v, ok=%v", err, ok)
+	}
+	batch, err := (AStarOff{}).SelectBatch(ls, 2, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != batch[0] {
+		t.Fatalf("A*-on question %v != first of A*-off batch %v", q, batch)
+	}
+}
+
+func TestAStarOnZeroRemaining(t *testing.T) {
+	tree := buildTestTree(t, 54, 4, 2)
+	ls := tree.LeafSet()
+	ctx := ctxFor(tree, uncertainty.Entropy{})
+	_, ok, err := (AStarOn{}).NextQuestion(ls, 0, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("A*-on with zero budget must not return a question")
+	}
+}
+
+func TestExhaustiveFindsResolvingPairOverGreedyTrap(t *testing.T) {
+	// Regression-style sanity: on any instance, the exhaustive batch of
+	// size 2 is at least as good as the greedy C-off batch of size 2.
+	tree := buildTestTree(t, 55, 5, 3)
+	ls := tree.LeafSet()
+	ctx := ctxFor(tree, uncertainty.Entropy{})
+	ex, err := (Exhaustive{}).SelectBatch(ls, 2, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := (COff{}).SelectBatch(ls, 2, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if BatchValue(ls, ex, ctx) > BatchValue(ls, co, ctx)+1e-9 {
+		t.Fatal("exhaustive worse than greedy — enumeration is broken")
+	}
+}
+
+func TestAStarWithDistanceMeasureStillReturnsBatch(t *testing.T) {
+	// With ORA/MPO the heuristic degenerates to zero; the search must still
+	// return a complete batch on small instances.
+	tree := buildTestTree(t, 56, 4, 2)
+	ls := tree.LeafSet()
+	ctx := ctxFor(tree, uncertainty.MPO{})
+	batch, err := (AStarOff{}).SelectBatch(ls, 2, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) == 0 {
+		t.Fatal("empty batch")
+	}
+}

@@ -1,0 +1,134 @@
+package selection
+
+import (
+	"math/rand"
+	"testing"
+
+	"crowdtopk/internal/numeric"
+	"crowdtopk/internal/tpo"
+	"crowdtopk/internal/uncertainty"
+)
+
+// referenceResidual is a direct recursive implementation of R_Q used only to
+// cross-check the partition-based production code.
+func referenceResidual(ls *tpo.LeafSet, qs []tpo.Question, ctx *Context, branchMass float64) float64 {
+	if branchMass < ctx.branchEpsilon() || ls.Len() <= 1 {
+		return 0
+	}
+	if len(qs) == 0 {
+		return branchMass * ctx.Measure.Value(ls)
+	}
+	q := qs[0]
+	pi := ctx.pairProb(q.I, q.J)
+	yes, no := ls.Split(q, pi)
+	total := 0.0
+	if m := yes.Mass(); m > 0 {
+		total += referenceResidual(yes.Normalized(), qs[1:], ctx, branchMass*m)
+	}
+	if m := no.Mass(); m > 0 {
+		total += referenceResidual(no.Normalized(), qs[1:], ctx, branchMass*m)
+	}
+	return total
+}
+
+func TestExpectedResidualMatchesReferenceRecursion(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 15; trial++ {
+		tree := buildTestTree(t, int64(300+trial), 6, 3)
+		ls := tree.LeafSet()
+		ctx := ctxFor(tree, uncertainty.Entropy{})
+		qk := ls.RelevantQuestions()
+		if len(qk) < 3 {
+			continue
+		}
+		// Random subsequence of up to 4 questions.
+		n := 1 + rng.Intn(4)
+		qs := make([]tpo.Question, 0, n)
+		for _, i := range rng.Perm(len(qk))[:min(n, len(qk))] {
+			qs = append(qs, qk[i])
+		}
+		got := ExpectedResidual(ls, qs, ctx)
+		want := referenceResidual(ls, qs, ctx, 1)
+		if !numeric.AlmostEqual(got, want, 1e-9) {
+			t.Fatalf("trial %d: partition residual %g vs reference %g for %v", trial, got, want, qs)
+		}
+	}
+}
+
+func TestSplitCellsEquivalentToPartition(t *testing.T) {
+	tree := buildTestTree(t, 60, 6, 3)
+	ls := tree.LeafSet()
+	ctx := ctxFor(tree, uncertainty.Entropy{})
+	qk := ls.RelevantQuestions()
+	if len(qk) < 3 {
+		t.Skip("not enough questions")
+	}
+	qs := qk[:3]
+	direct := Partition(ls, qs, ctx)
+	stepwise := Partition(ls, nil, ctx)
+	for _, q := range qs {
+		stepwise = SplitCells(stepwise, q, ctx)
+	}
+	if len(direct) != len(stepwise) {
+		t.Fatalf("cell counts differ: %d vs %d", len(direct), len(stepwise))
+	}
+	for i := range direct {
+		if !numeric.AlmostEqual(direct[i].Mass(), stepwise[i].Mass(), 1e-12) {
+			t.Fatalf("cell %d mass %g vs %g", i, direct[i].Mass(), stepwise[i].Mass())
+		}
+	}
+}
+
+func TestSplitResidualMatchesExtendedPartition(t *testing.T) {
+	tree := buildTestTree(t, 61, 6, 3)
+	ls := tree.LeafSet()
+	ctx := ctxFor(tree, uncertainty.MPO{})
+	qk := ls.RelevantQuestions()
+	if len(qk) < 4 {
+		t.Skip("not enough questions")
+	}
+	prefix := qk[:2]
+	cells := Partition(ls, prefix, ctx)
+	for _, q := range qk[2:4] {
+		fast := splitResidual(cells, q, ctx)
+		slow := ExpectedResidual(ls, append(append([]tpo.Question(nil), prefix...), q), ctx)
+		if !numeric.AlmostEqual(fast, slow, 1e-9) {
+			t.Fatalf("splitResidual %g vs full recursion %g for %v", fast, slow, q)
+		}
+	}
+}
+
+func TestPartitionMassConservation(t *testing.T) {
+	// Total mass across active cells plus resolved/negligible mass must
+	// not exceed 1, and with epsilon 0-ish it must be within float error
+	// of 1 minus the resolved mass.
+	tree := buildTestTree(t, 62, 6, 3)
+	ls := tree.LeafSet()
+	ctx := ctxFor(tree, uncertainty.Entropy{})
+	ctx.BranchEpsilon = 1e-15
+	qk := ls.RelevantQuestions()
+	if len(qk) < 3 {
+		t.Skip("not enough questions")
+	}
+	cells := Partition(ls, qk[:3], ctx)
+	active := 0.0
+	for _, c := range cells {
+		active += c.Mass()
+	}
+	if active > 1+1e-9 {
+		t.Fatalf("active mass %g exceeds 1", active)
+	}
+}
+
+func TestPartitionDropsResolvedCells(t *testing.T) {
+	tree := buildTestTree(t, 63, 5, 3)
+	ls := tree.LeafSet()
+	ctx := ctxFor(tree, uncertainty.Entropy{})
+	qk := ls.RelevantQuestions()
+	cells := Partition(ls, qk, ctx) // split on every relevant question
+	for _, c := range cells {
+		if c.Len() <= 1 {
+			t.Fatalf("resolved cell retained (len %d)", c.Len())
+		}
+	}
+}

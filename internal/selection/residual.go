@@ -1,0 +1,242 @@
+// Package selection implements the paper's question-selection strategies for
+// uncertainty reduction (§III): the offline algorithms TB-off, C-off and
+// A*-off (offline-optimal), the online algorithms T1-on and A*-on, the
+// Random and Naive baselines of §IV, and an exhaustive-search reference used
+// to verify offline optimality on small instances.
+//
+// All strategies evaluate candidate questions through the expected residual
+// uncertainty R_Q(T_K): the expectation, over the possible answers to the
+// question set Q, of the uncertainty of the tree pruned by those answers.
+package selection
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"crowdtopk/internal/numeric"
+	"crowdtopk/internal/tpo"
+	"crowdtopk/internal/uncertainty"
+)
+
+// Errors reported by strategies.
+var (
+	// ErrNoQuestions reports that the relevant question set Q_K is empty —
+	// the tree already holds a single ordering (or none of the remaining
+	// pairs can be pruned by any answer).
+	ErrNoQuestions = errors.New("selection: no relevant questions remain")
+	// ErrSearchBudget reports that A* exceeded its expansion budget.
+	ErrSearchBudget = errors.New("selection: search expansion budget exceeded")
+)
+
+// DefaultBranchEpsilon is the probability mass below which a hypothetical
+// answer branch is dropped during expected-residual recursion. Branches this
+// unlikely contribute less than the quadrature error of the tree itself.
+const DefaultBranchEpsilon = 1e-9
+
+// Context bundles the inputs every strategy needs: the tree (for the
+// pairwise score probabilities π_ij used to split undetermined leaves), the
+// uncertainty measure being minimized, and numerical knobs.
+type Context struct {
+	Tree    *tpo.Tree
+	Measure uncertainty.Measure
+	// PairProb overrides the source of π_ij = Pr(s_i > s_j); when nil the
+	// tree's score model is consulted. Exposed for tests and for callers
+	// evaluating crafted leaf sets without a backing tree.
+	PairProb func(i, j int) float64
+	// BranchEpsilon prunes negligible answer branches in the residual
+	// recursion; zero selects DefaultBranchEpsilon.
+	BranchEpsilon float64
+	// MaxExpansions caps the number of states the A* strategies may pop;
+	// zero selects DefaultMaxExpansions.
+	MaxExpansions int
+}
+
+// pairProb resolves π_ij from the override or the tree.
+func (c *Context) pairProb(i, j int) float64 {
+	if c.PairProb != nil {
+		return c.PairProb(i, j)
+	}
+	return c.Tree.ProbGreater(i, j)
+}
+
+// DefaultMaxExpansions bounds A* search work.
+const DefaultMaxExpansions = 200_000
+
+func (c *Context) branchEpsilon() float64 {
+	if c.BranchEpsilon == 0 {
+		return DefaultBranchEpsilon
+	}
+	return c.BranchEpsilon
+}
+
+func (c *Context) maxExpansions() int {
+	if c.MaxExpansions == 0 {
+		return DefaultMaxExpansions
+	}
+	return c.MaxExpansions
+}
+
+// ExpectedResidual computes R_Q(T_K): the expected uncertainty of the leaf
+// set after asking every question in qs and pruning by the (probabilistic)
+// answers. The expectation recursively partitions the leaf set by each
+// question; undetermined leaves flow into both branches weighted by π_ij.
+// Branches whose probability falls below BranchEpsilon, and branches already
+// reduced to a single ordering, terminate early.
+//
+// Approximation note: leaves that contain neither tuple of a question carry
+// no information about the pair, so hypothetical answers are modelled as
+// independent π_ij coin flips for them. Correlations among such answers
+// through a shared tuple's score are therefore ignored — exactly the
+// information the depth-K state of the TPO does not carry. Strategies never
+// select duplicate questions, so the practical effect is limited to slight
+// optimism of R over below-top-K pairs.
+//
+// ls must be normalized (mass 1); the result is in the measure's units.
+func ExpectedResidual(ls *tpo.LeafSet, qs []tpo.Question, ctx *Context) float64 {
+	return residualOfCells(Partition(ls, qs, ctx), ctx)
+}
+
+// Partition returns the *active* cells of the leaf-set partition induced by
+// asking every question in qs: one (unnormalized) leaf multiset per
+// distinguishable answer combination, with the cell mass equal to that
+// combination's probability. Cells already resolved to a single ordering and
+// cells below BranchEpsilon are dropped — their residual uncertainty is zero
+// (respectively negligible) under every measure, now and after any further
+// question, so ExpectedResidual(ls, qs) == Σ_cells mass(cell)·U(cell
+// normalized) holds exactly over the returned cells.
+//
+// Conditional strategies evaluate R_{qs+q} for many candidates q by
+// splitting these cells once per candidate instead of recursing from scratch.
+func Partition(ls *tpo.LeafSet, qs []tpo.Question, ctx *Context) []*tpo.LeafSet {
+	eps := ctx.branchEpsilon()
+	cells := make([]*tpo.LeafSet, 0, 2)
+	if ls.Len() > 1 && ls.Mass() >= eps {
+		cells = append(cells, ls)
+	}
+	for _, q := range qs {
+		cells = SplitCells(cells, q, ctx)
+	}
+	return cells
+}
+
+// SplitCells advances a partition by one question, dropping resolved and
+// negligible cells (see Partition).
+func SplitCells(cells []*tpo.LeafSet, q tpo.Question, ctx *Context) []*tpo.LeafSet {
+	eps := ctx.branchEpsilon()
+	pi := ctx.pairProb(q.I, q.J)
+	next := make([]*tpo.LeafSet, 0, 2*len(cells))
+	for _, cell := range cells {
+		yes, no := cell.Split(q, pi)
+		if yes.Len() > 1 && yes.Mass() >= eps {
+			next = append(next, yes)
+		}
+		if no.Len() > 1 && no.Mass() >= eps {
+			next = append(next, no)
+		}
+	}
+	return next
+}
+
+// residualOfCells folds a partition of active cells into the expected
+// residual uncertainty.
+func residualOfCells(cells []*tpo.LeafSet, ctx *Context) float64 {
+	var total numeric.KahanSum
+	for _, c := range cells {
+		total.Add(c.Mass() * ctx.Measure.Value(c.Normalized()))
+	}
+	return total.Sum()
+}
+
+// splitResidual returns the expected residual uncertainty after extending
+// the partition `cells` with one more question — the inner loop of the
+// conditional strategies.
+func splitResidual(cells []*tpo.LeafSet, q tpo.Question, ctx *Context) float64 {
+	eps := ctx.branchEpsilon()
+	pi := ctx.pairProb(q.I, q.J)
+	var total numeric.KahanSum
+	for _, cell := range cells {
+		yes, no := cell.Split(q, pi)
+		if m := yes.Mass(); yes.Len() > 1 && m >= eps {
+			total.Add(m * ctx.Measure.Value(yes.Normalized()))
+		}
+		if m := no.Mass(); no.Len() > 1 && m >= eps {
+			total.Add(m * ctx.Measure.Value(no.Normalized()))
+		}
+	}
+	return total.Sum()
+}
+
+// QuestionResiduals computes R_q for every relevant question of the leaf
+// set, returning the questions and their expected residual uncertainties in
+// matching order. This is the workhorse of TB-off and T1-on.
+func QuestionResiduals(ls *tpo.LeafSet, ctx *Context) ([]tpo.Question, []float64) {
+	qs := ls.RelevantQuestions()
+	rs := make([]float64, len(qs))
+	for i, q := range qs {
+		rs[i] = ExpectedResidual(ls, []tpo.Question{q}, ctx)
+	}
+	return qs, rs
+}
+
+// bestQuestion returns the question with the lowest expected residual,
+// breaking ties lexicographically for determinism.
+func bestQuestion(qs []tpo.Question, rs []float64) (tpo.Question, float64) {
+	best := 0
+	for i := 1; i < len(qs); i++ {
+		switch {
+		case rs[i] < rs[best]-tieEpsilon:
+			best = i
+		case rs[i] < rs[best]+tieEpsilon && questionLess(qs[i], qs[best]):
+			best = i
+		}
+	}
+	return qs[best], rs[best]
+}
+
+// tieEpsilon treats residuals this close as equal so floating-point noise
+// cannot flip deterministic tie-breaks.
+const tieEpsilon = 1e-12
+
+func questionLess(a, b tpo.Question) bool {
+	if a.I != b.I {
+		return a.I < b.I
+	}
+	return a.J < b.J
+}
+
+// sortQuestions orders questions lexicographically in place (for stable
+// outputs across runs).
+func sortQuestions(qs []tpo.Question) {
+	sort.Slice(qs, func(i, j int) bool { return questionLess(qs[i], qs[j]) })
+}
+
+// Offline strategies choose a whole batch of questions before any answer
+// arrives (§III.A) — the batch-publication crowdsourcing market model.
+type Offline interface {
+	// Name identifies the strategy in reports ("TB-off", "C-off", ...).
+	Name() string
+	// SelectBatch returns up to budget questions for the given tree state.
+	// Fewer (possibly zero) questions are returned when Q_K is smaller
+	// than the budget.
+	SelectBatch(ls *tpo.LeafSet, budget int, ctx *Context) ([]tpo.Question, error)
+}
+
+// Online strategies choose one question at a time, seeing every earlier
+// answer reflected in the tree (§III.B) — the incremental-publication model.
+type Online interface {
+	// Name identifies the strategy in reports ("T1-on", "A*-on").
+	Name() string
+	// NextQuestion returns the next question to ask given the current tree
+	// state and the remaining budget. ok is false when no relevant
+	// question remains (early termination).
+	NextQuestion(ls *tpo.LeafSet, remaining int, ctx *Context) (q tpo.Question, ok bool, err error)
+}
+
+// validateBudget normalizes budget handling shared by the strategies.
+func validateBudget(budget int) error {
+	if budget < 0 {
+		return fmt.Errorf("selection: negative budget %d", budget)
+	}
+	return nil
+}

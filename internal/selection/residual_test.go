@@ -1,0 +1,160 @@
+package selection
+
+import (
+	"math/rand"
+	"testing"
+
+	"crowdtopk/internal/dist"
+	"crowdtopk/internal/numeric"
+	"crowdtopk/internal/tpo"
+	"crowdtopk/internal/uncertainty"
+)
+
+// buildTestTree constructs a moderately uncertain 5-tuple K=3 tree.
+func buildTestTree(t testing.TB, seed int64, n, k int) *tpo.Tree {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ds := make([]dist.Distribution, n)
+	for i := range ds {
+		c := float64(i)*0.5 + rng.Float64()*0.3
+		u, err := dist.NewUniformAround(c, 1.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds[i] = u
+	}
+	tree, err := tpo.Build(ds, k, tpo.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func ctxFor(tree *tpo.Tree, m uncertainty.Measure) *Context {
+	return &Context{Tree: tree, Measure: m}
+}
+
+func TestExpectedResidualEmptySequenceIsCurrentUncertainty(t *testing.T) {
+	tree := buildTestTree(t, 1, 5, 3)
+	ls := tree.LeafSet()
+	for _, m := range []uncertainty.Measure{uncertainty.Entropy{}, uncertainty.MPO{}} {
+		ctx := ctxFor(tree, m)
+		got := ExpectedResidual(ls, nil, ctx)
+		want := m.Value(ls)
+		if !numeric.AlmostEqual(got, want, 1e-12) {
+			t.Fatalf("%s: R_∅ = %g, want U = %g", m.Name(), got, want)
+		}
+	}
+}
+
+func TestExpectedResidualNeverIncreasesForEntropy(t *testing.T) {
+	// Conditioning cannot increase expected Shannon entropy.
+	tree := buildTestTree(t, 2, 5, 3)
+	ls := tree.LeafSet()
+	ctx := ctxFor(tree, uncertainty.Entropy{})
+	u0 := ctx.Measure.Value(ls)
+	for _, q := range ls.RelevantQuestions() {
+		r := ExpectedResidual(ls, []tpo.Question{q}, ctx)
+		if r > u0+1e-9 {
+			t.Fatalf("R_%v = %g exceeds U = %g", q, r, u0)
+		}
+	}
+}
+
+func TestExpectedResidualMonotoneInSequenceLengthForEntropy(t *testing.T) {
+	tree := buildTestTree(t, 3, 5, 3)
+	ls := tree.LeafSet()
+	ctx := ctxFor(tree, uncertainty.Entropy{})
+	qk := ls.RelevantQuestions()
+	if len(qk) < 3 {
+		t.Skip("workload produced too few questions")
+	}
+	prev := ctx.Measure.Value(ls)
+	for i := 1; i <= 3; i++ {
+		r := ExpectedResidual(ls, qk[:i], ctx)
+		if r > prev+1e-9 {
+			t.Fatalf("R with %d questions (%g) exceeds R with %d (%g)", i, r, i-1, prev)
+		}
+		prev = r
+	}
+}
+
+func TestExpectedResidualExactOnTwoLeafTree(t *testing.T) {
+	// Two orderings with probabilities p and 1−p; the single relevant
+	// question resolves everything: R_q must be 0.
+	a, err := dist.NewUniform(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dist.NewUniform(0.3, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := tpo.Build([]dist.Distribution{a, b}, 2, tpo.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := tree.LeafSet()
+	ctx := ctxFor(tree, uncertainty.Entropy{})
+	q := tpo.NewQuestion(0, 1)
+	if r := ExpectedResidual(ls, []tpo.Question{q}, ctx); r != 0 {
+		t.Fatalf("R of the resolving question = %g, want 0", r)
+	}
+}
+
+func TestExpectedResidualRepeatedQuestionAddsNothing(t *testing.T) {
+	// On a full-depth tree (K = N) every leaf determines every pair, so a
+	// repeated question splits nothing the second time and R is unchanged.
+	// (With K < N, leaves containing neither tuple are split by independent
+	// π coin flips — the documented approximation — so this identity only
+	// holds for fully determined pairs.)
+	tree := buildTestTree(t, 4, 4, 4)
+	ls := tree.LeafSet()
+	ctx := ctxFor(tree, uncertainty.Entropy{})
+	q := ls.RelevantQuestions()[0]
+	r1 := ExpectedResidual(ls, []tpo.Question{q}, ctx)
+	r2 := ExpectedResidual(ls, []tpo.Question{q, q}, ctx)
+	if !numeric.AlmostEqual(r1, r2, 1e-9) {
+		t.Fatalf("asking the same question twice changed R: %g vs %g", r1, r2)
+	}
+}
+
+func TestQuestionResiduals(t *testing.T) {
+	tree := buildTestTree(t, 5, 5, 3)
+	ls := tree.LeafSet()
+	ctx := ctxFor(tree, uncertainty.Entropy{})
+	qs, rs := QuestionResiduals(ls, ctx)
+	if len(qs) == 0 || len(qs) != len(rs) {
+		t.Fatalf("got %d questions, %d residuals", len(qs), len(rs))
+	}
+	u0 := ctx.Measure.Value(ls)
+	for i, r := range rs {
+		if r < -1e-12 || r > u0+1e-9 {
+			t.Fatalf("residual of %v out of range: %g (U=%g)", qs[i], r, u0)
+		}
+	}
+}
+
+func TestBestQuestionDeterministicTieBreak(t *testing.T) {
+	qs := []tpo.Question{tpo.NewQuestion(2, 3), tpo.NewQuestion(0, 1)}
+	rs := []float64{0.5, 0.5}
+	q, _ := bestQuestion(qs, rs)
+	if q != tpo.NewQuestion(0, 1) {
+		t.Fatalf("tie-break picked %v, want lexicographically smallest", q)
+	}
+}
+
+func TestBranchEpsilonDefaults(t *testing.T) {
+	c := &Context{}
+	if c.branchEpsilon() != DefaultBranchEpsilon {
+		t.Fatal("default branch epsilon not applied")
+	}
+	if c.maxExpansions() != DefaultMaxExpansions {
+		t.Fatal("default max expansions not applied")
+	}
+	c.BranchEpsilon = 0.25
+	c.MaxExpansions = 7
+	if c.branchEpsilon() != 0.25 || c.maxExpansions() != 7 {
+		t.Fatal("explicit knobs ignored")
+	}
+}

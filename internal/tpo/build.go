@@ -1,0 +1,276 @@
+package tpo
+
+import (
+	"fmt"
+
+	"crowdtopk/internal/dist"
+	"crowdtopk/internal/numeric"
+	"crowdtopk/internal/rank"
+)
+
+// BuildOptions configures TPO construction.
+type BuildOptions struct {
+	// GridSize is the number of points of the shared evaluation grid.
+	// Zero selects DefaultGridSize.
+	GridSize int
+	// MaxLeaves aborts construction with ErrTooLarge when the number of
+	// depth-K prefixes exceeds it. Zero selects DefaultMaxLeaves.
+	MaxLeaves int
+	// ProbEpsilon drops prefixes whose raw probability falls below it;
+	// this bounds the tree by the numerically meaningful orderings.
+	// Zero selects DefaultProbEpsilon.
+	ProbEpsilon float64
+}
+
+// Defaults for BuildOptions.
+const (
+	DefaultGridSize    = 1024
+	DefaultMaxLeaves   = 500_000
+	DefaultProbEpsilon = 1e-9
+)
+
+func (o BuildOptions) withDefaults() BuildOptions {
+	if o.GridSize == 0 {
+		o.GridSize = DefaultGridSize
+	}
+	if o.MaxLeaves == 0 {
+		o.MaxLeaves = DefaultMaxLeaves
+	}
+	if o.ProbEpsilon == 0 {
+		o.ProbEpsilon = DefaultProbEpsilon
+	}
+	return o
+}
+
+// Build materializes the tree of possible orderings of the given score
+// distributions down to depth k. The prefix probability of each node is the
+// exact joint probability Pr(s_{t_1} > … > s_{t_d} > max of the rest),
+// evaluated by chained cumulative integrals on a grid shared by all tuples:
+//
+//	P(prefix) = ∫ f_{t_d}(x) · C_{d−1}(x) · Π_{u∉prefix} F_u(x) dx
+//	C_d(x)    = ∫_x^∞ f_{t_d}(y) · C_{d−1}(y) dy,   C_0 ≡ 1
+//
+// Leaf probabilities are renormalized to sum to one; the pre-normalization
+// mass (≈1 up to quadrature error) is returned in the tree diagnostics.
+func Build(ds []dist.Distribution, k int, opt BuildOptions) (*Tree, error) {
+	t, err := prepare(ds, k, opt)
+	if err != nil {
+		return nil, err
+	}
+	t.opt = opt.withDefaults()
+	b := newBuilder(t, t.opt)
+	c0 := make([]float64, t.grid.Len())
+	for i := range c0 {
+		c0[i] = 1
+	}
+	if err := b.expand(t.Root, c0, allRemaining(len(ds)), k); err != nil {
+		return nil, err
+	}
+	t.depth = k
+	t.buildMass = t.LeafMass()
+	if err := t.renormalize(); err != nil {
+		return nil, fmt.Errorf("tpo: build produced no orderings: %w", err)
+	}
+	return t, nil
+}
+
+// BuildMass returns the unnormalized probability mass found by the last full
+// Build — a quadrature diagnostic that should be within grid error of 1.
+func (t *Tree) BuildMass() float64 { return t.buildMass }
+
+// prepare validates inputs and precomputes the shared grid samples.
+func prepare(ds []dist.Distribution, k int, opt BuildOptions) (*Tree, error) {
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("%w: empty dataset", ErrInvalidInput)
+	}
+	if k < 1 || k > len(ds) {
+		return nil, fmt.Errorf("%w: k=%d with %d tuples", ErrInvalidInput, k, len(ds))
+	}
+	opt = opt.withDefaults()
+	grid, err := dist.SharedGrid(ds, opt.GridSize)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+	}
+	for i, d := range ds {
+		lo, hi := d.Support()
+		if hi-lo < 2*grid.Step {
+			return nil, fmt.Errorf("%w: tuple %d support [%g, %g] narrower than two grid steps; use a finer grid or a wider distribution", ErrInvalidInput, i, lo, hi)
+		}
+	}
+	t := &Tree{
+		Root:  &Node{Tuple: -1, Prob: 1},
+		K:     k,
+		Dists: ds,
+		grid:  grid,
+		pdfs:  make([][]float64, len(ds)),
+		cdfs:  make([][]float64, len(ds)),
+	}
+	for i, d := range ds {
+		t.pdfs[i] = grid.Sample(d.PDF)
+		t.cdfs[i] = grid.Sample(d.CDF)
+	}
+	return t, nil
+}
+
+func allRemaining(n int) []int {
+	r := make([]int, n)
+	for i := range r {
+		r[i] = i
+	}
+	return r
+}
+
+// builder carries per-depth scratch buffers so a full DFS allocates O(K·N·G)
+// once instead of per node.
+type builder struct {
+	t       *Tree
+	opt     BuildOptions
+	leaves  int
+	scratch []*depthScratch
+}
+
+type depthScratch struct {
+	prefixProd [][]float64 // prefixProd[i] = Π_{j<i} F_{remaining[j]}
+	suffixProd [][]float64 // suffixProd[i] = Π_{j>=i} F_{remaining[j]}
+	integrand  []float64
+	childC     []float64
+}
+
+func newBuilder(t *Tree, opt BuildOptions) *builder {
+	return &builder{t: t, opt: opt}
+}
+
+func (b *builder) scratchAt(depth, nRemaining int) *depthScratch {
+	for len(b.scratch) <= depth {
+		b.scratch = append(b.scratch, &depthScratch{})
+	}
+	s := b.scratch[depth]
+	g := b.t.grid.Len()
+	for len(s.prefixProd) <= nRemaining {
+		s.prefixProd = append(s.prefixProd, make([]float64, g))
+		s.suffixProd = append(s.suffixProd, make([]float64, g))
+	}
+	if s.integrand == nil {
+		s.integrand = make([]float64, g)
+		s.childC = make([]float64, g)
+	}
+	return s
+}
+
+// expand grows the subtree under n (whose survival chain is c) with the
+// remaining candidate tuples, down to depth k.
+func (b *builder) expand(n *Node, c []float64, remaining []int, k int) error {
+	g := b.t.grid
+	gl := g.Len()
+	s := b.scratchAt(n.depth, len(remaining))
+
+	// Exclude-one CDF products over the remaining tuples.
+	for i := 0; i < gl; i++ {
+		s.prefixProd[0][i] = 1
+		s.suffixProd[len(remaining)][i] = 1
+	}
+	for ri, id := range remaining {
+		cdf := b.t.cdfs[id]
+		pp, prev := s.prefixProd[ri+1], s.prefixProd[ri]
+		for i := 0; i < gl; i++ {
+			pp[i] = prev[i] * cdf[i]
+		}
+	}
+	for ri := len(remaining) - 1; ri >= 0; ri-- {
+		cdf := b.t.cdfs[remaining[ri]]
+		sp, next := s.suffixProd[ri], s.suffixProd[ri+1]
+		for i := 0; i < gl; i++ {
+			sp[i] = next[i] * cdf[i]
+		}
+	}
+
+	// Fast support filter: a candidate must be able to exceed every other
+	// remaining tuple's lower bound.
+	maxLo1, maxLo2 := maxTwoLowerBounds(b.t.Dists, remaining)
+
+	loOwner := loBoundOwner(b.t.Dists, remaining)
+	for ri, id := range remaining {
+		_, hi := b.t.Dists[id].Support()
+		bound := maxLo1
+		if id == loOwner {
+			bound = maxLo2
+		}
+		if hi <= bound {
+			continue // cannot be the maximum of the remaining set
+		}
+		pdf := b.t.pdfs[id]
+		for i := 0; i < gl; i++ {
+			s.integrand[i] = pdf[i] * c[i] * s.prefixProd[ri][i] * s.suffixProd[ri+1][i]
+		}
+		p := g.Trapezoid(s.integrand)
+		if p <= b.opt.ProbEpsilon {
+			continue
+		}
+		child := &Node{Tuple: id, Prob: p, depth: n.depth + 1}
+		n.Children = append(n.Children, child)
+		if child.depth == k {
+			b.leaves++
+			if b.leaves > b.opt.MaxLeaves {
+				return fmt.Errorf("%w: more than %d depth-%d prefixes", ErrTooLarge, b.opt.MaxLeaves, k)
+			}
+			continue
+		}
+		// Child survival chain: C'(x) = ∫_x^Hi f_id(y)·C(y) dy.
+		// s.childC belongs to this depth's scratch: the recursive call only
+		// writes scratch at deeper levels and returns before the next
+		// sibling overwrites it, so no copy is needed.
+		for i := 0; i < gl; i++ {
+			s.childC[i] = pdf[i] * c[i]
+		}
+		g.CumTrapezoidRight(s.childC, s.childC)
+		if err := b.expand(child, s.childC, excluding(remaining, ri), k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maxTwoLowerBounds returns the largest and second-largest support lower
+// bounds among the remaining tuples.
+func maxTwoLowerBounds(ds []dist.Distribution, remaining []int) (float64, float64) {
+	m1, m2 := negInf(), negInf()
+	for _, id := range remaining {
+		lo, _ := ds[id].Support()
+		if lo > m1 {
+			m2 = m1
+			m1 = lo
+		} else if lo > m2 {
+			m2 = lo
+		}
+	}
+	return m1, m2
+}
+
+// loBoundOwner returns the id of the remaining tuple holding the largest
+// lower bound (first on ties).
+func loBoundOwner(ds []dist.Distribution, remaining []int) int {
+	best, owner := negInf(), -1
+	for _, id := range remaining {
+		lo, _ := ds[id].Support()
+		if lo > best {
+			best, owner = lo, id
+		}
+	}
+	return owner
+}
+
+func negInf() float64 { return -1.797e308 }
+
+func excluding(xs []int, i int) []int {
+	out := make([]int, 0, len(xs)-1)
+	out = append(out, xs[:i]...)
+	return append(out, xs[i+1:]...)
+}
+
+// LeafMass returns the sum of the current leaf probabilities (1 after any
+// renormalizing operation; useful as a diagnostic mid-construction).
+func (t *Tree) LeafMass() float64 {
+	var k numeric.KahanSum
+	t.walkLeaves(func(n *Node, _ rank.Ordering) { k.Add(n.Prob) })
+	return k.Sum()
+}

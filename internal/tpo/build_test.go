@@ -1,0 +1,334 @@
+package tpo
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"crowdtopk/internal/dist"
+	"crowdtopk/internal/numeric"
+	"crowdtopk/internal/rank"
+)
+
+// mustUniform builds a uniform distribution or fails the test.
+func mustUniform(t *testing.T, lo, hi float64) dist.Distribution {
+	t.Helper()
+	u, err := dist.NewUniform(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// iidUniforms returns n identical U[0,1] score distributions.
+func iidUniforms(t *testing.T, n int) []dist.Distribution {
+	t.Helper()
+	ds := make([]dist.Distribution, n)
+	for i := range ds {
+		ds[i] = mustUniform(t, 0, 1)
+	}
+	return ds
+}
+
+func TestBuildValidation(t *testing.T) {
+	u := iidUniforms(t, 3)
+	if _, err := Build(nil, 1, BuildOptions{}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("empty dataset err = %v", err)
+	}
+	if _, err := Build(u, 0, BuildOptions{}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("k=0 err = %v", err)
+	}
+	if _, err := Build(u, 4, BuildOptions{}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("k>N err = %v", err)
+	}
+	withPoint := append(iidUniforms(t, 2), dist.NewPoint(0.5))
+	if _, err := Build(withPoint, 1, BuildOptions{}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("point-mass tuple err = %v", err)
+	}
+}
+
+func TestBuildDisjointSupportsSingleOrdering(t *testing.T) {
+	ds := []dist.Distribution{
+		mustUniform(t, 0, 1),
+		mustUniform(t, 2, 3),
+		mustUniform(t, 4, 5),
+	}
+	tree, err := Build(ds, 3, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.NumLeaves(); got != 1 {
+		t.Fatalf("leaves = %d, want 1", got)
+	}
+	ls := tree.LeafSet()
+	want := rank.Ordering{2, 1, 0}
+	if !ls.Paths[0].Equal(want) {
+		t.Fatalf("ordering = %v, want %v", ls.Paths[0], want)
+	}
+	if !numeric.AlmostEqual(ls.W[0], 1, 1e-9) {
+		t.Fatalf("probability = %g, want 1", ls.W[0])
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildTwoOverlappingTuplesMatchesPairwise(t *testing.T) {
+	a := mustUniform(t, 0, 1)
+	b := mustUniform(t, 0.4, 1.6)
+	// A fine grid bounds the trapezoid error at the uniform-density jumps.
+	tree, err := Build([]dist.Distribution{a, b}, 2, BuildOptions{GridSize: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := tree.LeafSet()
+	if ls.Len() != 2 {
+		t.Fatalf("leaves = %d, want 2", ls.Len())
+	}
+	pBFirst := dist.ProbGreater(b, a)
+	for i, p := range ls.Paths {
+		want := pBFirst
+		if p[0] == 0 {
+			want = 1 - pBFirst
+		}
+		if !numeric.AlmostEqual(ls.W[i], want, 5e-4) {
+			t.Fatalf("Pr(%v) = %g, want %g", p, ls.W[i], want)
+		}
+	}
+}
+
+func TestBuildIIDUniformsSymmetric(t *testing.T) {
+	tree, err := Build(iidUniforms(t, 3), 3, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := tree.LeafSet()
+	if ls.Len() != 6 {
+		t.Fatalf("leaves = %d, want 3! = 6", ls.Len())
+	}
+	for i := range ls.W {
+		if !numeric.AlmostEqual(ls.W[i], 1.0/6, 1e-3) {
+			t.Fatalf("Pr(%v) = %g, want 1/6", ls.Paths[i], ls.W[i])
+		}
+	}
+	if !numeric.AlmostEqual(tree.BuildMass(), 1, 1e-3) {
+		t.Fatalf("raw build mass = %g, want ≈1", tree.BuildMass())
+	}
+}
+
+func TestBuildTopKPrefixOfIID(t *testing.T) {
+	// K=2 of 3 iid uniforms: each of the 6 prefixes has probability 1/6.
+	tree, err := Build(iidUniforms(t, 3), 2, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := tree.LeafSet()
+	if ls.Len() != 6 {
+		t.Fatalf("leaves = %d, want 6", ls.Len())
+	}
+	for i := range ls.W {
+		if !numeric.AlmostEqual(ls.W[i], 1.0/6, 1e-3) {
+			t.Fatalf("Pr(%v) = %g, want 1/6", ls.Paths[i], ls.W[i])
+		}
+	}
+}
+
+// TestBuildMatchesMonteCarlo is the strongest correctness check of the
+// chained-integral construction: leaf probabilities must match the empirical
+// frequency of top-K prefixes over independent score draws.
+func TestBuildMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ds := []dist.Distribution{}
+	for i := 0; i < 6; i++ {
+		c := rng.Float64() * 2
+		w := 0.8 + rng.Float64()
+		u, err := dist.NewUniformAround(c, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds = append(ds, u)
+	}
+	const k = 3
+	tree, err := Build(ds, k, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := tree.LeafSet()
+
+	const samples = 200_000
+	counts := make(map[string]int)
+	scores := make([]float64, len(ds))
+	idx := make([]int, len(ds))
+	for s := 0; s < samples; s++ {
+		for i, d := range ds {
+			scores[i] = dist.Sample(d, rng)
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+		key := keyOf(idx[:k])
+		counts[key]++
+	}
+	// Every analytic leaf must match its empirical frequency.
+	for i, p := range ls.Paths {
+		emp := float64(counts[keyOf(p)]) / samples
+		if diff := emp - ls.W[i]; diff > 0.006 || diff < -0.006 {
+			t.Errorf("Pr(%v): analytic %.4f, empirical %.4f", p, ls.W[i], emp)
+		}
+	}
+	// And no empirical prefix may be missing from the tree.
+	known := map[string]bool{}
+	for _, p := range ls.Paths {
+		known[keyOf(p)] = true
+	}
+	for key, c := range counts {
+		if !known[key] && float64(c)/samples > 0.002 {
+			t.Errorf("prefix %s seen with frequency %.4f but absent from tree", key, float64(c)/samples)
+		}
+	}
+}
+
+func keyOf(ids []int) string {
+	var b strings.Builder
+	for _, id := range ids {
+		b.WriteByte(byte('A' + id))
+	}
+	return b.String()
+}
+
+func TestBuildMaxLeaves(t *testing.T) {
+	_, err := Build(iidUniforms(t, 6), 6, BuildOptions{MaxLeaves: 100})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge (6! = 720 > 100)", err)
+	}
+}
+
+func TestBuildGaussianAndTriangularFamilies(t *testing.T) {
+	g1, _ := dist.NewGaussian(0.4, 0.25)
+	g2, _ := dist.NewGaussian(0.6, 0.25)
+	tr, _ := dist.NewTriangular(0, 0.5, 1)
+	tree, err := Build([]dist.Distribution{g1, g2, tr}, 3, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumLeaves() != 6 {
+		t.Fatalf("heavily overlapping trio should admit all 6 orderings, got %d", tree.NumLeaves())
+	}
+	// Pairwise sanity: Pr(g2 first among {g1,g2}) should exceed 1/2.
+	firstLevel := map[int]float64{}
+	for _, c := range tree.Root.Children {
+		firstLevel[c.Tuple] = c.Prob
+	}
+	if firstLevel[1] <= firstLevel[0] {
+		t.Fatalf("level-1 mass: g2=%g should exceed g1=%g", firstLevel[1], firstLevel[0])
+	}
+}
+
+func TestTreeCounts(t *testing.T) {
+	tree, err := Build(iidUniforms(t, 3), 3, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.NumNodes(); got != 3+6+6 {
+		t.Fatalf("NumNodes = %d, want 15 (3 + 6 + 6)", got)
+	}
+	if got := tree.Depth(); got != 3 {
+		t.Fatalf("Depth = %d", got)
+	}
+	tuples := tree.Tuples()
+	if len(tuples) != 3 {
+		t.Fatalf("Tuples = %v", tuples)
+	}
+}
+
+func TestTreeCloneIndependence(t *testing.T) {
+	tree, err := Build(iidUniforms(t, 3), 2, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := tree.Clone()
+	if err := tree.Prune(Answer{Q: NewQuestion(0, 1), Yes: true}); err != nil {
+		t.Fatal(err)
+	}
+	if cp.NumLeaves() == tree.NumLeaves() {
+		t.Fatal("prune affected the clone (or removed nothing)")
+	}
+	if err := cp.Validate(); err != nil {
+		t.Fatalf("clone invalid after original mutation: %v", err)
+	}
+}
+
+func TestProbGreaterCacheAndSymmetry(t *testing.T) {
+	a := mustUniform(t, 0, 1)
+	b := mustUniform(t, 0.5, 1.5)
+	tree, err := Build([]dist.Distribution{a, b}, 2, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pij := tree.ProbGreater(0, 1)
+	pji := tree.ProbGreater(1, 0)
+	if !numeric.AlmostEqual(pij+pji, 1, 1e-9) {
+		t.Fatalf("π01 + π10 = %g", pij+pji)
+	}
+	if got := tree.ProbGreater(0, 0); got != 0.5 {
+		t.Fatalf("self comparison = %g", got)
+	}
+	if again := tree.ProbGreater(0, 1); again != pij {
+		t.Fatalf("cache returned different value: %g vs %g", again, pij)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	tree, err := Build(iidUniforms(t, 2), 2, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tree.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph tpo", "root", "t0", "t1", "->"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQuestionCanonicalization(t *testing.T) {
+	q := NewQuestion(5, 2)
+	if q.I != 2 || q.J != 5 {
+		t.Fatalf("NewQuestion(5,2) = %+v, want I=2 J=5", q)
+	}
+	a := Answer{Q: q, Yes: true}
+	if a.Higher() != 2 || a.Lower() != 5 {
+		t.Fatalf("yes answer: higher=%d lower=%d", a.Higher(), a.Lower())
+	}
+	n := Answer{Q: q, Yes: false}
+	if n.Higher() != 5 || n.Lower() != 2 {
+		t.Fatalf("no answer: higher=%d lower=%d", n.Higher(), n.Lower())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on self-comparison")
+		}
+	}()
+	NewQuestion(3, 3)
+}
+
+func TestAnswerString(t *testing.T) {
+	q := NewQuestion(1, 2)
+	if s := (Answer{Q: q, Yes: true}).String(); !strings.Contains(s, "t1 ≺ t2") {
+		t.Fatalf("yes answer string = %q", s)
+	}
+	if s := (Answer{Q: q, Yes: false}).String(); !strings.Contains(s, "t2 ≺ t1") {
+		t.Fatalf("no answer string = %q", s)
+	}
+	if s := q.String(); s == "" {
+		t.Fatal("empty question string")
+	}
+}

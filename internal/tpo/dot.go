@@ -1,0 +1,47 @@
+package tpo
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the tree in Graphviz DOT format: one node per TPO node
+// labelled with its tuple id and prefix probability, edges top rank to
+// bottom. Useful with `cmd/crowdtopk viz` to inspect small trees.
+func (t *Tree) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "digraph tpo {"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, `  rankdir=TB; node [shape=box, fontname="monospace"];`); err != nil {
+		return err
+	}
+	id := 0
+	var rec func(n *Node, parentID int) error
+	rec = func(n *Node, parentID int) error {
+		myID := id
+		id++
+		label := "root"
+		if n.Tuple >= 0 {
+			label = fmt.Sprintf("t%d\\np=%.4f", n.Tuple, n.Prob)
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%s\"];\n", myID, label); err != nil {
+			return err
+		}
+		if parentID >= 0 {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", parentID, myID); err != nil {
+				return err
+			}
+		}
+		for _, c := range n.Children {
+			if err := rec(c, myID); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(t.Root, -1); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,131 @@
+package tpo
+
+import (
+	"fmt"
+
+	"crowdtopk/internal/dist"
+	"crowdtopk/internal/rank"
+)
+
+// StartIncremental prepares a depth-1 tree for the incr algorithm of §III.D:
+// the TPO is materialized one level at a time (Extend), alternating with
+// question rounds and pruning, instead of paying the full depth-K
+// construction up front.
+func StartIncremental(ds []dist.Distribution, k int, opt BuildOptions) (*Tree, error) {
+	t, err := prepare(ds, k, opt)
+	if err != nil {
+		return nil, err
+	}
+	t.opt = opt.withDefaults()
+	if err := t.Extend(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Extend materializes one more level of the tree, splitting each current
+// leaf's posterior probability among its children in proportion to the exact
+// prefix-extension probabilities. It returns ErrTooLarge when the new level
+// would exceed the leaf budget and leaves the tree unchanged in that case,
+// and ErrInvalidInput once the tree is already at depth K.
+func (t *Tree) Extend() error {
+	if t.depth >= t.K {
+		return fmt.Errorf("%w: tree already at depth %d = K", ErrInvalidInput, t.depth)
+	}
+	opt := t.opt.withDefaults()
+	b := newBuilder(t, opt)
+
+	type job struct {
+		leaf *Node
+		path rank.Ordering
+	}
+	var jobs []job
+	if t.depth == 0 {
+		jobs = append(jobs, job{t.Root, rank.Ordering{}})
+	} else {
+		t.walkLeaves(func(n *Node, path rank.Ordering) {
+			jobs = append(jobs, job{n, path.Clone()})
+		})
+	}
+
+	newLeaves := 0
+	type grown struct {
+		leaf     *Node
+		children []*Node
+	}
+	var staged []grown
+	for _, j := range jobs {
+		children, err := b.childrenOf(j.path, j.leaf.Prob)
+		if err != nil {
+			return err
+		}
+		newLeaves += len(children)
+		if newLeaves > opt.MaxLeaves {
+			return fmt.Errorf("%w: extending to depth %d needs more than %d leaves", ErrTooLarge, t.depth+1, opt.MaxLeaves)
+		}
+		staged = append(staged, grown{j.leaf, children})
+	}
+	for _, g := range staged {
+		g.leaf.Children = g.children
+	}
+	t.depth++
+	return t.renormalize()
+}
+
+// childrenOf computes the children of the prefix `path`, assigning them the
+// parent's posterior mass split by the relative raw extension probabilities.
+// The survival chain C is rebuilt by walking the path from the root, so the
+// method works on pruned and reweighted trees whose stored chains are gone.
+func (b *builder) childrenOf(path rank.Ordering, parentPosterior float64) ([]*Node, error) {
+	g := b.t.grid
+	gl := g.Len()
+	c := make([]float64, gl)
+	for i := range c {
+		c[i] = 1
+	}
+	for _, id := range path {
+		pdf := b.t.pdfs[id]
+		for i := 0; i < gl; i++ {
+			c[i] *= pdf[i]
+		}
+		g.CumTrapezoidRight(c, c)
+	}
+	inPath := make(map[int]bool, len(path))
+	for _, id := range path {
+		inPath[id] = true
+	}
+	remaining := make([]int, 0, len(b.t.Dists)-len(path))
+	for id := range b.t.Dists {
+		if !inPath[id] {
+			remaining = append(remaining, id)
+		}
+	}
+
+	parent := &Node{Tuple: -1, Prob: parentPosterior, depth: len(path)}
+	// expand with k = depth+1 materializes exactly one level.
+	if err := b.expand(parent, c, remaining, len(path)+1); err != nil {
+		return nil, err
+	}
+	if len(parent.Children) == 0 {
+		// Every extension fell below ProbEpsilon: the prefix itself carries
+		// tiny raw mass, so its children's absolute masses vanish even
+		// though they must sum to the parent's. Retry thresholdless — the
+		// relative split is what matters here.
+		noEps := *b
+		noEps.opt.ProbEpsilon = 1e-300
+		if err := noEps.expand(parent, c, remaining, len(path)+1); err != nil {
+			return nil, err
+		}
+	}
+	raw := 0.0
+	for _, ch := range parent.Children {
+		raw += ch.Prob
+	}
+	if raw <= 0 {
+		return nil, fmt.Errorf("%w: prefix %v admits no extension", ErrContradiction, path)
+	}
+	for _, ch := range parent.Children {
+		ch.Prob = parentPosterior * ch.Prob / raw
+	}
+	return parent.Children, nil
+}

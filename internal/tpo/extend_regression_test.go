@@ -1,0 +1,59 @@
+package tpo
+
+import (
+	"math/rand"
+	"testing"
+
+	"crowdtopk/internal/dist"
+	"crowdtopk/internal/numeric"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// TestExtendLowMassPrefixRegression reproduces a failure found running the
+// Fig. 1 workload: a depth-4 prefix whose raw probability is barely above
+// the build epsilon has extensions that all fall below it in absolute terms,
+// which used to abort incremental construction with ErrContradiction.
+// The fix retries the level expansion thresholdlessly, because only the
+// relative split of the parent's (posterior) mass matters.
+func TestExtendLowMassPrefixRegression(t *testing.T) {
+	// The exact Fig. 1 default workload that exposed the bug.
+	ds := make([]dist.Distribution, 20)
+	rngSeeded := newLatticeUniforms(t, 20, 0.5, 3.5, 2016)
+	copy(ds, rngSeeded)
+	inc, err := StartIncremental(ds, 5, BuildOptions{GridSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for inc.Depth() < 5 {
+		if err := inc.Extend(); err != nil {
+			t.Fatalf("extend to depth %d: %v", inc.Depth()+1, err)
+		}
+	}
+	if err := inc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if mass := inc.LeafMass(); !numeric.AlmostEqual(mass, 1, 1e-9) {
+		t.Fatalf("leaf mass = %g", mass)
+	}
+}
+
+// newLatticeUniforms mirrors dataset.Generate's uniform lattice without
+// importing it (the dataset package depends on dist only, but keeping tpo's
+// tests free of it preserves the dependency layering).
+func newLatticeUniforms(t *testing.T, n int, spacing, width float64, seed int64) []dist.Distribution {
+	t.Helper()
+	// Replicate dataset.Generate(Spec{N, Spacing, Width, Seed}) exactly:
+	// center = i·spacing + U[-jitter, jitter], jitter = spacing/2.
+	rng := newRand(seed)
+	out := make([]dist.Distribution, n)
+	for i := range out {
+		center := float64(i)*spacing + (rng.Float64()*2-1)*spacing/2
+		u, err := dist.NewUniformAround(center, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = u
+	}
+	return out
+}

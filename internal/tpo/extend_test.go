@@ -1,0 +1,202 @@
+package tpo
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"crowdtopk/internal/dist"
+	"crowdtopk/internal/numeric"
+	"crowdtopk/internal/rank"
+)
+
+// randomOverlappingUniforms builds n uniform score distributions with
+// centers on a lattice and widths that force moderate overlap.
+func randomOverlappingUniforms(t *testing.T, rng *rand.Rand, n int) []dist.Distribution {
+	t.Helper()
+	ds := make([]dist.Distribution, n)
+	for i := range ds {
+		c := float64(i) + rng.Float64()*0.4
+		u, err := dist.NewUniformAround(c, 2.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds[i] = u
+	}
+	return ds
+}
+
+func TestIncrementalMatchesFullBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	ds := randomOverlappingUniforms(t, rng, 6)
+	const k = 4
+	full, err := Build(ds, k, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := StartIncremental(ds, k, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for inc.Depth() < k {
+		if err := inc.Extend(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lf, li := sortedLeaves(full.LeafSet()), sortedLeaves(inc.LeafSet())
+	if len(lf) != len(li) {
+		t.Fatalf("full build %d leaves, incremental %d", len(lf), len(li))
+	}
+	for i := range lf {
+		if !lf[i].path.Equal(li[i].path) {
+			t.Fatalf("leaf %d: %v vs %v", i, lf[i].path, li[i].path)
+		}
+		if !numeric.AlmostEqual(lf[i].w, li[i].w, 1e-3) {
+			t.Fatalf("leaf %v: full %g vs incremental %g", lf[i].path, lf[i].w, li[i].w)
+		}
+	}
+}
+
+type leafEntry struct {
+	path rank.Ordering
+	w    float64
+}
+
+func sortedLeaves(ls *LeafSet) []leafEntry {
+	out := make([]leafEntry, ls.Len())
+	for i := range out {
+		out[i] = leafEntry{ls.Paths[i], ls.W[i]}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		pa, pb := out[a].path, out[b].path
+		for i := 0; i < len(pa) && i < len(pb); i++ {
+			if pa[i] != pb[i] {
+				return pa[i] < pb[i]
+			}
+		}
+		return len(pa) < len(pb)
+	})
+	return out
+}
+
+func TestExtendAfterPruneConditionsCorrectly(t *testing.T) {
+	// Extending a pruned depth-1 tree must weight new levels by the
+	// conditional (post-answer) probabilities. Cross-check against pruning
+	// the fully built tree with the same answer.
+	ds := iidUniforms(t, 3)
+	ans := Answer{Q: NewQuestion(0, 1), Yes: true}
+
+	full, err := Build(ds, 3, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Prune(ans); err != nil {
+		t.Fatal(err)
+	}
+
+	inc, err := StartIncremental(ds, 3, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth-1 tree: t1-first branch is inconsistent with 0 ≺ 1 only via
+	// paths where 1 appears and 0 doesn't — at depth 1 the leaf {1} IS
+	// inconsistent (1 in top-1 implies 1 above 0).
+	if err := inc.Prune(ans); err != nil {
+		t.Fatal(err)
+	}
+	for inc.Depth() < 3 {
+		if err := inc.Extend(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The incremental tree prunes earlier, so it may retain paths the full
+	// prune killed only if they were undetermined at depth 1... at depth 1
+	// every leaf containing 1 is inconsistent; leaf {0} and {2} survive.
+	// After extension, orderings starting with 2 then 1 violate the answer
+	// only through positions of 0 and 1: 2,1,0 has 1 before 0 → the full
+	// prune removed it. Prune again to apply the answer to the new levels.
+	if err := inc.Prune(ans); err != nil {
+		t.Fatal(err)
+	}
+	lf, li := sortedLeaves(full.LeafSet()), sortedLeaves(inc.LeafSet())
+	if len(lf) != len(li) {
+		t.Fatalf("full-then-prune %d leaves, incr-prune-extend %d", len(lf), len(li))
+	}
+	for i := range lf {
+		if !lf[i].path.Equal(li[i].path) || !numeric.AlmostEqual(lf[i].w, li[i].w, 1e-3) {
+			t.Fatalf("leaf %d: (%v, %g) vs (%v, %g)", i, lf[i].path, lf[i].w, li[i].path, li[i].w)
+		}
+	}
+}
+
+func TestExtendAtFullDepthErrors(t *testing.T) {
+	tree, err := Build(iidUniforms(t, 3), 3, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Extend(); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("Extend at depth K err = %v", err)
+	}
+}
+
+func TestExtendRespectsMaxLeaves(t *testing.T) {
+	inc, err := StartIncremental(iidUniforms(t, 6), 6, BuildOptions{MaxLeaves: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for inc.Depth() < 6 {
+		if lastErr = inc.Extend(); lastErr != nil {
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge before depth 6 (6!=720 leaves)", lastErr)
+	}
+}
+
+func TestIncrementalDepthProgression(t *testing.T) {
+	inc, err := StartIncremental(iidUniforms(t, 4), 3, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Depth() != 1 {
+		t.Fatalf("StartIncremental depth = %d, want 1", inc.Depth())
+	}
+	if inc.NumLeaves() != 4 {
+		t.Fatalf("depth-1 leaves = %d, want 4", inc.NumLeaves())
+	}
+	if err := inc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Extend(); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Depth() != 2 || inc.NumLeaves() != 12 {
+		t.Fatalf("depth-2: depth=%d leaves=%d, want 2 and 12", inc.Depth(), inc.NumLeaves())
+	}
+	if err := inc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalLeafWeightsNormalizedEachLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ds := randomOverlappingUniforms(t, rng, 7)
+	inc, err := StartIncremental(ds, 5, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for inc.Depth() < 5 {
+		if mass := inc.LeafMass(); !numeric.AlmostEqual(mass, 1, 1e-9) {
+			t.Fatalf("depth %d mass = %g", inc.Depth(), mass)
+		}
+		if err := inc.Extend(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mass := inc.LeafMass(); !numeric.AlmostEqual(mass, 1, 1e-9) {
+		t.Fatalf("final mass = %g", mass)
+	}
+}

@@ -1,0 +1,177 @@
+package tpo
+
+import (
+	"fmt"
+
+	"crowdtopk/internal/numeric"
+	"crowdtopk/internal/rank"
+)
+
+// Consistency describes how a leaf path relates to an answer.
+type Consistency int
+
+// Consistency values.
+const (
+	// Consistent: the path implies the answered order.
+	Consistent Consistency = iota
+	// Inconsistent: the path implies the opposite order.
+	Inconsistent
+	// Undetermined: the path contains neither tuple, so the answer carries
+	// no information about it.
+	Undetermined
+)
+
+// PathConsistency classifies the prefix ordering against an answer. A top-K
+// prefix implies x ≺ y when x appears before y, or when x appears and y does
+// not (y is then ranked below the K-th position, hence below x).
+func PathConsistency(path rank.Ordering, a Answer) Consistency {
+	switch path.Before(a.Higher(), a.Lower()) {
+	case 1:
+		return Consistent
+	case -1:
+		return Inconsistent
+	default:
+		return Undetermined
+	}
+}
+
+// Prune removes every leaf inconsistent with the answer and renormalizes.
+// It is the trusted-worker (accuracy 1) update of §III. ErrContradiction is
+// returned when the answer conflicts with every remaining ordering; the tree
+// is left unchanged in that case.
+func (t *Tree) Prune(a Answer) error {
+	return t.applyAnswer(a, 1)
+}
+
+// Reweight applies the noisy-worker Bayesian update of §III.C: each leaf's
+// probability is multiplied by the likelihood of the observed answer given
+// the ordering — accuracy for consistent leaves, 1−accuracy for inconsistent
+// ones, and the model marginal for undetermined ones — and the tree is
+// renormalized. accuracy must lie in (0, 1]; Reweight(a, 1) equals Prune(a).
+func (t *Tree) Reweight(a Answer, accuracy float64) error {
+	if accuracy <= 0 || accuracy > 1 {
+		return fmt.Errorf("%w: worker accuracy %g outside (0, 1]", ErrInvalidInput, accuracy)
+	}
+	return t.applyAnswer(a, accuracy)
+}
+
+func (t *Tree) applyAnswer(a Answer, accuracy float64) error {
+	type saved struct {
+		n *Node
+		p float64
+	}
+	var undo []saved
+	t.walkLeaves(func(n *Node, path rank.Ordering) {
+		undo = append(undo, saved{n, n.Prob})
+		switch PathConsistency(path, a) {
+		case Consistent:
+			n.Prob *= accuracy
+		case Inconsistent:
+			n.Prob *= 1 - accuracy
+		case Undetermined:
+			// The answer observation likelihood is the same for both
+			// hypothetical orders of the pair below rank K; it cancels in
+			// the renormalization, so the weight is unchanged.
+		}
+	})
+	if err := t.renormalize(); err != nil {
+		for _, s := range undo {
+			s.n.Prob = s.p
+		}
+		return fmt.Errorf("%s: %w", a, err)
+	}
+	return nil
+}
+
+// Split partitions the leaf set by a question: the probability-weighted
+// outcome of answering q "yes" (I ≺ J) and "no". Undetermined leaves appear
+// in both branches with weight scaled by the score-model pairwise
+// probability piYes = Pr(s_I > s_J). The returned sets are unnormalized;
+// their masses are the answer probabilities Pr(yes) and Pr(no).
+func (ls *LeafSet) Split(q Question, piYes float64) (yes, no *LeafSet) {
+	yes = &LeafSet{K: ls.K}
+	no = &LeafSet{K: ls.K}
+	ansYes := Answer{Q: q, Yes: true}
+	for i, p := range ls.Paths {
+		w := ls.W[i]
+		if w == 0 {
+			continue
+		}
+		switch PathConsistency(p, ansYes) {
+		case Consistent:
+			yes.Paths = append(yes.Paths, p)
+			yes.W = append(yes.W, w)
+		case Inconsistent:
+			no.Paths = append(no.Paths, p)
+			no.W = append(no.W, w)
+		case Undetermined:
+			if piYes > 0 {
+				yes.Paths = append(yes.Paths, p)
+				yes.W = append(yes.W, w*piYes)
+			}
+			if piYes < 1 {
+				no.Paths = append(no.Paths, p)
+				no.W = append(no.W, w*(1-piYes))
+			}
+		}
+	}
+	return yes, no
+}
+
+// Mass returns the total weight of the (possibly unnormalized) leaf set.
+func (ls *LeafSet) Mass() float64 { return numeric.Sum(ls.W) }
+
+// Normalized returns a copy of the leaf set scaled to unit mass. A zero-mass
+// set is returned unchanged.
+func (ls *LeafSet) Normalized() *LeafSet {
+	out := &LeafSet{K: ls.K, Paths: ls.Paths, W: append([]float64(nil), ls.W...)}
+	numeric.Normalize(out.W)
+	return out
+}
+
+// AnswerProb returns Pr(answer = yes) for question q over the (normalized)
+// leaf set: determined leaves vote with their weight, undetermined leaves
+// contribute their weight times the model probability piYes.
+func (ls *LeafSet) AnswerProb(q Question, piYes float64) float64 {
+	ansYes := Answer{Q: q, Yes: true}
+	var pk numeric.KahanSum
+	for i, p := range ls.Paths {
+		switch PathConsistency(p, ansYes) {
+		case Consistent:
+			pk.Add(ls.W[i])
+		case Undetermined:
+			pk.Add(ls.W[i] * piYes)
+		case Inconsistent:
+		}
+	}
+	return numeric.Clamp(pk.Sum(), 0, 1)
+}
+
+// RelevantQuestions returns Q_K: the canonical questions over tuple pairs
+// whose relative order the tree leaves leave uncertain — i.e. both answers
+// have positive probability of pruning something. These are exactly the
+// informative crowd tasks of §III.
+func (ls *LeafSet) RelevantQuestions() []Question {
+	tuples := ls.Tuples()
+	var out []Question
+	for a := 0; a < len(tuples); a++ {
+		for b := a + 1; b < len(tuples); b++ {
+			q := NewQuestion(tuples[a], tuples[b])
+			ansYes := Answer{Q: q, Yes: true}
+			var yesW, noW float64
+			for i, p := range ls.Paths {
+				switch PathConsistency(p, ansYes) {
+				case Consistent:
+					yesW += ls.W[i]
+				case Inconsistent:
+					noW += ls.W[i]
+				case Undetermined:
+				}
+			}
+			if yesW > 0 && noW > 0 {
+				out = append(out, q)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+// Package tpo implements the Tree of Possible Orderings (TPO) of Soliman &
+// Ilyas: the space of total orderings compatible with a set of uncertain
+// tuple scores, truncated at depth K for top-K query processing. It provides
+// exact construction on a shared numerical grid (chained one-dimensional
+// integrals in the style of Li & Deshpande), pruning under crowd answers,
+// Bayesian reweighting for noisy workers, and level-wise incremental
+// extension for the paper's incr algorithm.
+package tpo
+
+import "fmt"
+
+// Question is the crowd task q = t_I ?≺ t_J: "does tuple I rank higher than
+// tuple J?". Questions are canonicalized so that I < J; use the Yes/No answer
+// to encode direction.
+type Question struct {
+	I, J int
+}
+
+// NewQuestion returns the canonical question comparing tuples a and b.
+// It panics if a == b, which would be a meaningless self-comparison.
+func NewQuestion(a, b int) Question {
+	if a == b {
+		panic(fmt.Sprintf("tpo: question comparing tuple %d with itself", a))
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return Question{I: a, J: b}
+}
+
+// String implements fmt.Stringer.
+func (q Question) String() string { return fmt.Sprintf("t%d ?≺ t%d", q.I, q.J) }
+
+// Answer is a crowd worker's reply to a Question. Yes means t_I ≺ t_J
+// (I ranks higher); No means t_J ≺ t_I.
+type Answer struct {
+	Q   Question
+	Yes bool
+}
+
+// String implements fmt.Stringer.
+func (a Answer) String() string {
+	if a.Yes {
+		return fmt.Sprintf("t%d ≺ t%d", a.Q.I, a.Q.J)
+	}
+	return fmt.Sprintf("t%d ≺ t%d", a.Q.J, a.Q.I)
+}
+
+// Higher returns the tuple the answer asserts ranks higher, and Lower the
+// other one.
+func (a Answer) Higher() int {
+	if a.Yes {
+		return a.Q.I
+	}
+	return a.Q.J
+}
+
+// Lower returns the tuple the answer asserts ranks lower.
+func (a Answer) Lower() int {
+	if a.Yes {
+		return a.Q.J
+	}
+	return a.Q.I
+}

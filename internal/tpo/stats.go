@@ -1,0 +1,130 @@
+package tpo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crowdtopk/internal/numeric"
+	"crowdtopk/internal/rank"
+)
+
+// Stats summarizes the shape of a tree of possible orderings.
+type Stats struct {
+	// Depth is the materialized depth, K the target depth.
+	Depth, K int
+	// NodesPerLevel[d] counts nodes at depth d+1 (level 1 is the first
+	// ranked position).
+	NodesPerLevel []int
+	// MeanBranching[d] is the average child count of level-d nodes
+	// (d = 0 is the root).
+	MeanBranching []float64
+	// LevelEntropy[d] is the Shannon entropy (bits) of the aggregated
+	// prefix distribution at depth d+1 — the per-level uncertainty profile
+	// that the U_Hw measure weights.
+	LevelEntropy []float64
+	// Leaves is the number of possible orderings; Tuples the number of
+	// distinct tuples appearing in the tree.
+	Leaves, Tuples int
+}
+
+// ComputeStats walks the tree once and returns its shape summary.
+func (t *Tree) ComputeStats() Stats {
+	st := Stats{Depth: t.depth, K: t.K}
+	st.NodesPerLevel = make([]int, t.depth)
+	childCount := make([]int, t.depth+1)  // children per level
+	parentCount := make([]int, t.depth+1) // nodes with children per level
+	levelWeights := make([]map[string]float64, t.depth)
+	for i := range levelWeights {
+		levelWeights[i] = make(map[string]float64)
+	}
+	var rec func(n *Node, prefix []int)
+	rec = func(n *Node, prefix []int) {
+		if n.Tuple >= 0 {
+			st.NodesPerLevel[n.depth-1]++
+		}
+		if n.depth < t.depth {
+			childCount[n.depth] += len(n.Children)
+			parentCount[n.depth]++
+		}
+		if n.depth == t.depth && n != t.Root {
+			// Accumulate leaf mass into every prefix level.
+			for l := 1; l <= len(prefix); l++ {
+				levelWeights[l-1][fmt.Sprint(prefix[:l])] += n.Prob
+			}
+			st.Leaves++
+		}
+		for _, c := range n.Children {
+			rec(c, append(prefix, c.Tuple))
+		}
+	}
+	rec(t.Root, nil)
+	st.MeanBranching = make([]float64, t.depth)
+	for d := 0; d < t.depth; d++ {
+		if parentCount[d] > 0 {
+			st.MeanBranching[d] = float64(childCount[d]) / float64(parentCount[d])
+		}
+	}
+	st.LevelEntropy = make([]float64, t.depth)
+	for d, group := range levelWeights {
+		ws := make([]float64, 0, len(group))
+		for _, w := range group {
+			ws = append(ws, w)
+		}
+		st.LevelEntropy[d] = numeric.EntropyBits(ws)
+	}
+	st.Tuples = len(t.Tuples())
+	return st
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("tpo{depth %d/%d, leaves %d, tuples %d, nodes/level %v}",
+		s.Depth, s.K, s.Leaves, s.Tuples, s.NodesPerLevel)
+}
+
+// SampleOrdering draws one ordering from the leaf distribution by inverse
+// CDF over the (normalized) leaf weights. It is the Monte-Carlo counterpart
+// of the exact machinery, used for cross-checks and downstream estimators.
+func (ls *LeafSet) SampleOrdering(rng *rand.Rand) rank.Ordering {
+	if ls.Len() == 0 {
+		return nil
+	}
+	u := rng.Float64() * numeric.Sum(ls.W)
+	acc := 0.0
+	for i, w := range ls.W {
+		acc += w
+		if u <= acc {
+			return ls.Paths[i].Clone()
+		}
+	}
+	return ls.Paths[ls.Len()-1].Clone()
+}
+
+// TopKProbability returns, for each tuple, the probability that it appears
+// anywhere in the top-K result — the per-tuple marginal applications often
+// report alongside the ranking.
+func (ls *LeafSet) TopKProbability() map[int]float64 {
+	out := make(map[int]float64)
+	for i, p := range ls.Paths {
+		for _, id := range p {
+			out[id] += ls.W[i]
+		}
+	}
+	for id, v := range out {
+		out[id] = numeric.Clamp(v, 0, 1)
+	}
+	return out
+}
+
+// RankProbability returns Pr(tuple id occupies rank r) for r in [0, K).
+func (ls *LeafSet) RankProbability(id int) []float64 {
+	out := make([]float64, ls.K)
+	for i, p := range ls.Paths {
+		for r, t := range p {
+			if t == id && r < len(out) {
+				out[r] += ls.W[i]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+package uncertainty
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"crowdtopk/internal/dist"
+	"crowdtopk/internal/numeric"
+	"crowdtopk/internal/rank"
+	"crowdtopk/internal/tpo"
+)
+
+// leafSet builds a normalized LeafSet from literal paths and weights.
+func leafSet(k int, paths []rank.Ordering, ws []float64) *tpo.LeafSet {
+	w := append([]float64(nil), ws...)
+	numeric.Normalize(w)
+	return &tpo.LeafSet{K: k, Paths: paths, W: w}
+}
+
+func allMeasures() []Measure {
+	return []Measure{Entropy{}, NewWeightedEntropy(0), ORA{}, MPO{}}
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{"H", "Hw", "ORA", "MPO", "h", "hw", "ora", "mpo"} {
+		m, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if m.Name() == "" {
+			t.Fatalf("New(%q) has empty name", name)
+		}
+	}
+	if _, err := New("bogus"); err == nil {
+		t.Fatal("New(bogus) must fail")
+	}
+}
+
+func TestAllMeasuresZeroOnSingleOrdering(t *testing.T) {
+	ls := leafSet(3, []rank.Ordering{{0, 1, 2}}, []float64{1})
+	for _, m := range allMeasures() {
+		if got := m.Value(ls); got != 0 {
+			t.Errorf("%s on single ordering = %g, want 0", m.Name(), got)
+		}
+	}
+}
+
+func TestAllMeasuresZeroOnEmpty(t *testing.T) {
+	ls := &tpo.LeafSet{K: 3}
+	for _, m := range allMeasures() {
+		if got := m.Value(ls); got != 0 {
+			t.Errorf("%s on empty set = %g, want 0", m.Name(), got)
+		}
+	}
+}
+
+func TestAllMeasuresPositiveOnUncertainSet(t *testing.T) {
+	ls := leafSet(2,
+		[]rank.Ordering{{0, 1}, {1, 0}, {0, 2}, {2, 0}},
+		[]float64{0.3, 0.3, 0.2, 0.2})
+	for _, m := range allMeasures() {
+		if got := m.Value(ls); got <= 0 {
+			t.Errorf("%s on uncertain set = %g, want > 0", m.Name(), got)
+		}
+	}
+}
+
+func TestEntropyMatchesLeafEntropy(t *testing.T) {
+	ls := leafSet(2, []rank.Ordering{{0, 1}, {1, 0}}, []float64{0.5, 0.5})
+	if got := (Entropy{}).Value(ls); !numeric.AlmostEqual(got, 1, 1e-12) {
+		t.Fatalf("U_H of a fair coin = %g, want 1 bit", got)
+	}
+}
+
+func TestEntropyIncreasesWithEvenness(t *testing.T) {
+	paths := []rank.Ordering{{0, 1}, {1, 0}}
+	skewed := leafSet(2, paths, []float64{0.9, 0.1})
+	even := leafSet(2, paths, []float64{0.5, 0.5})
+	for _, m := range allMeasures() {
+		if m.Value(even) < m.Value(skewed) {
+			t.Errorf("%s: even distribution (%g) should be at least as uncertain as skewed (%g)",
+				m.Name(), m.Value(even), m.Value(skewed))
+		}
+	}
+}
+
+func TestWeightedEntropyEmphasisesTopLevels(t *testing.T) {
+	// Same leaf entropy, different location of the uncertainty: two leaf
+	// sets with two equally likely orderings each. In A the orderings
+	// disagree at level 1, in B only at level 2. U_Hw must rank A more
+	// uncertain; U_H cannot distinguish them.
+	a := leafSet(2, []rank.Ordering{{0, 1}, {1, 0}}, []float64{0.5, 0.5})
+	b := leafSet(2, []rank.Ordering{{0, 1}, {0, 2}}, []float64{0.5, 0.5})
+	h := Entropy{}
+	if ha, hb := h.Value(a), h.Value(b); !numeric.AlmostEqual(ha, hb, 1e-12) {
+		t.Fatalf("U_H should not distinguish: %g vs %g", ha, hb)
+	}
+	hw := NewWeightedEntropy(0)
+	if wa, wb := hw.Value(a), hw.Value(b); wa <= wb {
+		t.Fatalf("U_Hw: top-level disagreement %g should exceed bottom-level %g", wa, wb)
+	}
+}
+
+func TestWeightedEntropyCustomDecay(t *testing.T) {
+	ls := leafSet(2, []rank.Ordering{{0, 1}, {1, 0}}, []float64{0.5, 0.5})
+	onlyTop := WeightedEntropy{Decay: func(l int) float64 {
+		if l == 1 {
+			return 1
+		}
+		return 0
+	}}
+	// Level 1 is a fair coin between 0-first and 1-first: exactly 1 bit.
+	if got := onlyTop.Value(ls); !numeric.AlmostEqual(got, 1, 1e-12) {
+		t.Fatalf("top-level-only U_Hw = %g, want 1", got)
+	}
+}
+
+func TestMPOSmallWhenModeDominates(t *testing.T) {
+	paths := []rank.Ordering{{0, 1, 2}, {0, 2, 1}, {2, 1, 0}}
+	concentrated := leafSet(3, paths, []float64{0.98, 0.01, 0.01})
+	spread := leafSet(3, paths, []float64{0.4, 0.3, 0.3})
+	m := MPO{}
+	if c, s := m.Value(concentrated), m.Value(spread); c >= s {
+		t.Fatalf("U_MPO concentrated %g should be below spread %g", c, s)
+	}
+}
+
+func TestORAUsesMedianNotMode(t *testing.T) {
+	// Three orderings where the modal one is an outlier: ORA should sit
+	// near the two close orderings, yielding a lower value than MPO which
+	// anchors on the (slightly) most probable outlier.
+	paths := []rank.Ordering{
+		{2, 1, 0}, // modal outlier
+		{0, 1, 2},
+		{0, 2, 1},
+	}
+	ls := leafSet(3, paths, []float64{0.36, 0.33, 0.31})
+	ora := ORA{}.Value(ls)
+	mpo := MPO{}.Value(ls)
+	if ora >= mpo {
+		t.Fatalf("U_ORA %g should be below U_MPO %g when the mode is an outlier", ora, mpo)
+	}
+}
+
+func TestMeasuresBoundedOnTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		ds := make([]dist.Distribution, 5)
+		for i := range ds {
+			u, err := dist.NewUniformAround(rng.Float64()*1.5, 1+rng.Float64())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds[i] = u
+		}
+		tree, err := tpo.Build(ds, 3, tpo.BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls := tree.LeafSet()
+		maxH := math.Log2(float64(ls.Len()))
+		for _, m := range allMeasures() {
+			v := m.Value(ls)
+			if v < 0 {
+				t.Fatalf("%s negative: %g", m.Name(), v)
+			}
+			switch m.(type) {
+			case Entropy:
+				if v > maxH+1e-9 {
+					t.Fatalf("U_H %g above log2(L) = %g", v, maxH)
+				}
+			case ORA, MPO:
+				if v > 1+1e-9 {
+					t.Fatalf("%s %g above 1 (normalized distance)", m.Name(), v)
+				}
+			}
+		}
+	}
+}
+
+func TestMeasureDropsAfterPruning(t *testing.T) {
+	tree, err := tpo.Build(iid(t, 4), 3, tpo.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tree.LeafSet()
+	pruned := tree.Clone()
+	if err := pruned.Prune(tpo.Answer{Q: tpo.NewQuestion(0, 1), Yes: true}); err != nil {
+		t.Fatal(err)
+	}
+	after := pruned.LeafSet()
+	for _, m := range allMeasures() {
+		vb, va := m.Value(before), m.Value(after)
+		if va >= vb {
+			t.Errorf("%s did not drop after informative prune: %g → %g", m.Name(), vb, va)
+		}
+	}
+}
+
+func iid(t *testing.T, n int) []dist.Distribution {
+	t.Helper()
+	ds := make([]dist.Distribution, n)
+	for i := range ds {
+		u, err := dist.NewUniform(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds[i] = u
+	}
+	return ds
+}
+
+func TestMaxDropPerQuestion(t *testing.T) {
+	if (Entropy{}).MaxDropPerQuestion() != 1 {
+		t.Error("entropy bound must be 1 bit")
+	}
+	if NewWeightedEntropy(0).MaxDropPerQuestion() != 1 {
+		t.Error("weighted entropy bound must be 1 bit")
+	}
+	if (ORA{}).MaxDropPerQuestion() != 0 || (MPO{}).MaxDropPerQuestion() != 0 {
+		t.Error("distance measures have no known bound; must return 0")
+	}
+}
+
+func TestRepresentative(t *testing.T) {
+	paths := []rank.Ordering{{0, 1}, {1, 0}}
+	ls := leafSet(2, paths, []float64{0.7, 0.3})
+	for _, m := range allMeasures() {
+		rep := Representative(m, ls)
+		if len(rep) != 2 {
+			t.Fatalf("%s representative = %v", m.Name(), rep)
+		}
+	}
+	// MPO representative is the modal ordering.
+	if rep := Representative(MPO{}, ls); !rep.Equal(rank.Ordering{0, 1}) {
+		t.Fatalf("MPO representative = %v, want modal [0 1]", rep)
+	}
+	if rep := Representative(Entropy{}, &tpo.LeafSet{K: 2}); rep != nil {
+		t.Fatalf("empty set representative = %v, want nil", rep)
+	}
+}
+
+func TestWeightedEntropyExponentVariant(t *testing.T) {
+	ls := leafSet(2, []rank.Ordering{{0, 1}, {1, 0}}, []float64{0.5, 0.5})
+	m1 := NewWeightedEntropy(0)
+	m2 := NewWeightedEntropy(2) // steeper decay: more top-heavy
+	v1, v2 := m1.Value(ls), m2.Value(ls)
+	if v1 <= 0 || v2 <= 0 {
+		t.Fatalf("values %g, %g must be positive", v1, v2)
+	}
+	// Both orderings disagree at every level here, so steeper decay cannot
+	// reduce the measure below the default.
+	if v2 < v1-1e-9 {
+		t.Fatalf("steeper decay lowered a uniformly uncertain tree: %g < %g", v2, v1)
+	}
+}
+
+func TestORAFootruleVariant(t *testing.T) {
+	m, err := New("ORA-FR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "ORA-FR" {
+		t.Fatalf("name = %q", m.Name())
+	}
+	// Behaves like a measure: zero on certainty, positive on spread, and
+	// close to the exact-Kemeny ORA on small sets (footrule 2-approximates
+	// the median, and on near-consensus sets the aggregates coincide).
+	single := leafSet(2, []rank.Ordering{{0, 1}}, []float64{1})
+	if v := m.Value(single); v != 0 {
+		t.Fatalf("single ordering = %g", v)
+	}
+	spread := leafSet(3,
+		[]rank.Ordering{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}},
+		[]float64{0.5, 0.3, 0.2})
+	vFR := m.Value(spread)
+	vK := (ORA{}).Value(spread)
+	if vFR <= 0 {
+		t.Fatalf("spread set = %g", vFR)
+	}
+	// Footrule anchor can differ from the Kemeny anchor, but not wildly.
+	if vFR > 3*vK+1e-9 {
+		t.Fatalf("footrule ORA %g far above Kemeny ORA %g", vFR, vK)
+	}
+}
+
+func TestNewRejectsWithHelpfulMessage(t *testing.T) {
+	_, err := New("kendall")
+	if err == nil {
+		t.Fatal("unknown measure accepted")
+	}
+}
