@@ -29,4 +29,15 @@
 // crowdsourcing integration, an interactive prompt, or the simulator in this
 // repository. See the examples/ directory for runnable end-to-end programs
 // and DESIGN.md for the system inventory and experiment index.
+//
+// # Numerical substrate
+//
+// All probabilities flow from the internal score-distribution kernel
+// (internal/dist). Pairwise dominance probabilities P(X > Y) — the hottest
+// computation in tree construction and question selection — are evaluated
+// analytically whenever a closed form exists (uniform/uniform pairs,
+// Gaussian/Gaussian pairs, point masses, disjoint supports) and by trapezoid
+// quadrature over the left operand's support otherwise. Gaussian
+// scores are truncated at ±4σ and renormalized so every score has bounded
+// support, which keeps the shared evaluation grids finite.
 package crowdtopk

@@ -1,0 +1,3 @@
+module crowdtopk
+
+go 1.21

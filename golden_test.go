@@ -1,0 +1,104 @@
+package crowdtopk_test
+
+import (
+	"testing"
+
+	crowdtopk "crowdtopk"
+)
+
+// TestProcessGolden pins the complete observable behavior of Process on a
+// fixed workload: the exact final ranking, question count, and resolution
+// state under a perfect simulated crowd with a fixed seed. The distribution
+// kernel (internal/dist) feeds every probability in this pipeline, so any
+// numerical drift there — a changed quadrature rule, a reordered fast path,
+// a different grid — surfaces here as a changed ranking or question count.
+// If this test fails after an intentional kernel change, re-derive the
+// constants by running with -v and update them in the same commit.
+func TestProcessGolden(t *testing.T) {
+	scores := []crowdtopk.Uncertain{
+		crowdtopk.UniformScore(1.0, 1.6),
+		crowdtopk.UniformScore(1.3, 1.6),
+		crowdtopk.UniformScore(1.6, 1.6),
+		crowdtopk.UniformScore(1.9, 1.6),
+		crowdtopk.UniformScore(2.2, 1.6),
+		crowdtopk.UniformScore(2.5, 1.6),
+	}
+	ds, err := crowdtopk.NewDataset(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, real, err := crowdtopk.SimulatedCrowd(ds, 1, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := crowdtopk.Process(ds, crowdtopk.Query{K: 3, Budget: 30, Seed: 42}, cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ranking=%v questions=%d resolved=%v orderings=%d real=%v",
+		res.Ranking, res.QuestionsAsked, res.Resolved, res.Orderings, real)
+
+	wantRanking := []int{5, 2, 4}
+	wantQuestions := 7
+	if !res.Resolved {
+		t.Fatalf("not resolved within budget: %+v", res)
+	}
+	if res.Orderings != 1 {
+		t.Fatalf("orderings = %d, want 1", res.Orderings)
+	}
+	if len(res.Ranking) != len(wantRanking) {
+		t.Fatalf("ranking = %v", res.Ranking)
+	}
+	for i := range wantRanking {
+		if res.Ranking[i] != wantRanking[i] {
+			t.Fatalf("ranking = %v, want %v", res.Ranking, wantRanking)
+		}
+	}
+	if res.QuestionsAsked != wantQuestions {
+		t.Fatalf("questions = %d, want %d", res.QuestionsAsked, wantQuestions)
+	}
+	// A perfect crowd must land exactly on the sampled world's top-3.
+	if d := crowdtopk.RankDistance(res.Ranking, real[:3]); d != 0 {
+		t.Fatalf("distance to ground truth = %g", d)
+	}
+}
+
+// TestProcessGoldenNoisy pins the noisy-crowd path (Bayesian reweighting
+// instead of hard pruning) on the same workload.
+func TestProcessGoldenNoisy(t *testing.T) {
+	scores := []crowdtopk.Uncertain{
+		crowdtopk.UniformScore(1.0, 1.6),
+		crowdtopk.UniformScore(1.3, 1.6),
+		crowdtopk.UniformScore(1.6, 1.6),
+		crowdtopk.UniformScore(1.9, 1.6),
+		crowdtopk.UniformScore(2.2, 1.6),
+		crowdtopk.UniformScore(2.5, 1.6),
+	}
+	ds, err := crowdtopk.NewDataset(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, _, err := crowdtopk.SimulatedCrowd(ds, 0.8, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := crowdtopk.Process(ds, crowdtopk.Query{K: 3, Budget: 10, Seed: 7}, cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("noisy ranking=%v questions=%d resolved=%v orderings=%d",
+		res.Ranking, res.QuestionsAsked, res.Resolved, res.Orderings)
+	wantRanking := []int{4, 3, 2}
+	wantQuestions := 10
+	if res.Resolved || res.Orderings != 120 {
+		t.Fatalf("resolved=%v orderings=%d, want an unresolved 120-leaf tree", res.Resolved, res.Orderings)
+	}
+	if res.QuestionsAsked != wantQuestions {
+		t.Fatalf("questions = %d, want %d", res.QuestionsAsked, wantQuestions)
+	}
+	for i := range wantRanking {
+		if res.Ranking[i] != wantRanking[i] {
+			t.Fatalf("ranking = %v, want %v", res.Ranking, wantRanking)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Benchmarks for the distribution kernel's hot path. ProbGreater dominates
+// TPO construction and question scoring (every π_ij consults it), so the
+// analytic fast paths must stay measurably ahead of the grid fallback —
+// compare the analytic/* timings against their matching grid-forced/*
+// rows, which run the same pairs through the quadrature fallback.
+package dist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchSink defeats dead-code elimination across all benchmarks.
+var benchSink float64
+
+func benchPairs(b *testing.B) (uu, gg, ug, tp [2]Distribution) {
+	b.Helper()
+	u1, err := NewUniform(0, 1.4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u2, err := NewUniform(0.5, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g1, err := NewGaussian(0.6, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g2, err := NewGaussian(1.1, 0.4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := NewTriangular(0, 0.8, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pw, err := NewPiecewiseUniform([]float64{0, 0.6, 1.3, 2}, []float64{2, 5, 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return [2]Distribution{u1, u2}, [2]Distribution{g1, g2}, [2]Distribution{u1, g2}, [2]Distribution{tr, pw}
+}
+
+// BenchmarkProbGreater measures each evaluation path of the kernel's
+// hottest function. The analytic rows (uniform/uniform, gaussian/gaussian)
+// must come in far below the grid rows; grid-forced rows re-run the
+// closed-form pairs through the quadrature fallback to isolate the speedup
+// on identical inputs.
+func BenchmarkProbGreater(b *testing.B) {
+	uu, gg, ug, tp := benchPairs(b)
+	b.Run("analytic/uniform-uniform", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = ProbGreater(uu[0], uu[1])
+		}
+	})
+	b.Run("analytic/gaussian-gaussian", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = ProbGreater(gg[0], gg[1])
+		}
+	})
+	b.Run("grid-forced/uniform-uniform", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = probGreaterGrid(uu[0], uu[1])
+		}
+	})
+	b.Run("grid-forced/gaussian-gaussian", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = probGreaterGrid(gg[0], gg[1])
+		}
+	})
+	b.Run("grid/uniform-gaussian", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = ProbGreater(ug[0], ug[1])
+		}
+	})
+	b.Run("grid/triangular-piecewise", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = ProbGreater(tp[0], tp[1])
+		}
+	})
+}
+
+// BenchmarkSample measures world sampling, the per-trial setup cost of
+// every simulated experiment.
+func BenchmarkSample(b *testing.B) {
+	uu, gg, _, tp := benchPairs(b)
+	cases := []struct {
+		name string
+		d    Distribution
+	}{
+		{"uniform", uu[0]},
+		{"gaussian", gg[0]},
+		{"triangular", tp[0]},
+		{"piecewise", tp[1]},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				benchSink = Sample(c.d, rng)
+			}
+		})
+	}
+}

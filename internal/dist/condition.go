@@ -1,0 +1,135 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"crowdtopk/internal/numeric"
+)
+
+// truncMeanGridSize is the quadrature resolution used to precompute the mean
+// of a generically truncated distribution at construction time.
+const truncMeanGridSize = 4097
+
+// ConditionOnOrder refines two score beliefs with a trusted assertion
+// "winner ranks above loser": the winner's distribution is truncated below
+// the loser's minimum possible score, and the loser's above the winner's
+// maximum possible score (values there are incompatible with the assertion).
+// Both results are renormalized; the inputs are unchanged. It fails with
+// ErrImpossible when the assertion has probability zero under the supports
+// (the winner cannot reach the loser's minimum).
+//
+// This interval conditioning is the support-level projection of the exact
+// joint posterior — it keeps the two beliefs independent and
+// family-closed where possible (uniforms stay uniform), which is what the
+// incremental re-querying workflow needs.
+func ConditionOnOrder(winner, loser Distribution) (Distribution, Distribution, error) {
+	_, whi := winner.Support()
+	llo, _ := loser.Support()
+	if !(whi > llo) {
+		return nil, nil, fmt.Errorf("%w: winner support tops out at %g, below the loser's minimum %g", ErrImpossible, whi, llo)
+	}
+	w, err := truncate(winner, llo, math.Inf(1))
+	if err != nil {
+		return nil, nil, fmt.Errorf("dist: conditioning winner: %w", err)
+	}
+	l, err := truncate(loser, math.Inf(-1), whi)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dist: conditioning loser: %w", err)
+	}
+	return w, l, nil
+}
+
+// truncate restricts d to [lo, hi] ∩ support(d) and renormalizes. The input
+// is returned unchanged when the bounds do not bite (distributions are
+// immutable, so sharing is safe). Uniforms truncate within their family;
+// anything else is wrapped in a renormalizing truncated view.
+func truncate(d Distribution, lo, hi float64) (Distribution, error) {
+	dlo, dhi := d.Support()
+	nlo, nhi := math.Max(dlo, lo), math.Min(dhi, hi)
+	if p, ok := d.(*Point); ok {
+		if p.X < lo || p.X > hi {
+			return nil, fmt.Errorf("%w: point mass at %g outside [%g, %g]", ErrImpossible, p.X, lo, hi)
+		}
+		return d, nil
+	}
+	if !(nhi > nlo) {
+		return nil, fmt.Errorf("%w: support [%g, %g] does not meet [%g, %g]", ErrImpossible, dlo, dhi, lo, hi)
+	}
+	if nlo == dlo && nhi == dhi {
+		return d, nil
+	}
+	if _, ok := d.(*Uniform); ok {
+		return NewUniform(nlo, nhi)
+	}
+	// Flatten repeated conditioning: truncating a truncated view re-wraps
+	// the original base with tighter bounds instead of chaining wrappers,
+	// keeping PDF/CDF evaluation O(1) across any number of answers.
+	base := d
+	if tb, ok := d.(*truncated); ok {
+		base = tb.base
+	}
+	cLo, cHi := base.CDF(nlo), base.CDF(nhi)
+	mass := cHi - cLo
+	if mass <= 1e-12 {
+		return nil, fmt.Errorf("%w: negligible mass %g on [%g, %g]", ErrImpossible, mass, nlo, nhi)
+	}
+	t := &truncated{base: base, lo: nlo, hi: nhi, cLo: cLo, mass: mass}
+	t.mean = t.computeMean()
+	return t, nil
+}
+
+// truncated is a renormalizing restriction of an arbitrary base distribution
+// to [lo, hi]. Used for families that are not closed under truncation
+// (Gaussian, triangular, histograms).
+type truncated struct {
+	base   Distribution
+	lo, hi float64
+	cLo    float64 // base CDF at lo
+	mass   float64 // base mass retained on [lo, hi]
+	mean   float64 // precomputed at construction
+}
+
+// computeMean evaluates E[X | X ∈ [lo, hi]] by trapezoid quadrature of
+// x·f(x) over the truncated support.
+func (t *truncated) computeMean() float64 {
+	g, err := numeric.NewGrid(t.lo, t.hi, truncMeanGridSize)
+	if err != nil {
+		return (t.lo + t.hi) / 2
+	}
+	ys := make([]float64, g.Len())
+	for i, x := range g.Points() {
+		ys[i] = x * t.base.PDF(x)
+	}
+	return g.Trapezoid(ys) / t.mass
+}
+
+// Mean implements Distribution.
+func (t *truncated) Mean() float64 { return t.mean }
+
+// Support implements Distribution.
+func (t *truncated) Support() (float64, float64) { return t.lo, t.hi }
+
+// PDF implements Distribution.
+func (t *truncated) PDF(x float64) float64 {
+	if x < t.lo || x > t.hi {
+		return 0
+	}
+	return t.base.PDF(x) / t.mass
+}
+
+// CDF implements Distribution.
+func (t *truncated) CDF(x float64) float64 {
+	if x <= t.lo {
+		return 0
+	}
+	if x >= t.hi {
+		return 1
+	}
+	return clamp01((t.base.CDF(x) - t.cLo) / t.mass)
+}
+
+// String implements fmt.Stringer.
+func (t *truncated) String() string {
+	return fmt.Sprintf("%v|[%g, %g]", t.base, t.lo, t.hi)
+}

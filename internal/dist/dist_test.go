@@ -1,0 +1,458 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"crowdtopk/internal/numeric"
+)
+
+// testPairs returns one distribution of every concrete family, all
+// overlapping on (roughly) [0, 2], so every pairwise combination exercises
+// either an analytic path or the grid fallback.
+func testPairs(t *testing.T) []Distribution {
+	t.Helper()
+	u, err := NewUniform(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua, err := NewUniformAround(1.2, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGaussian(1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGaussian(1.4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTriangular(0.2, 0.9, 1.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := NewPiecewiseUniform([]float64{0, 0.5, 1.2, 2}, []float64{1, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Distribution{u, ua, g, g2, tr, pw}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	if _, err := NewUniform(1, 1); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("empty uniform err = %v", err)
+	}
+	if _, err := NewUniform(2, 1); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("inverted uniform err = %v", err)
+	}
+	if _, err := NewUniform(nan, 1); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("NaN uniform err = %v", err)
+	}
+	if _, err := NewUniformAround(0, -1); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("negative width err = %v", err)
+	}
+	if _, err := NewGaussian(0, 0); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("zero sigma err = %v", err)
+	}
+	if _, err := NewGaussian(inf, 1); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("infinite mu err = %v", err)
+	}
+	if _, err := NewTriangular(0, 2, 1); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("mode above hi err = %v", err)
+	}
+	if _, err := NewTriangular(0, -1, 1); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("mode below lo err = %v", err)
+	}
+	if _, err := NewPiecewiseUniform([]float64{0}, []float64{1}); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("single edge err = %v", err)
+	}
+	if _, err := NewPiecewiseUniform([]float64{0, 1, 1}, []float64{1, 1}); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("non-increasing edges err = %v", err)
+	}
+	if _, err := NewPiecewiseUniform([]float64{0, 1}, []float64{-1}); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("negative weight err = %v", err)
+	}
+	if _, err := NewPiecewiseUniform([]float64{0, 1, 2}, []float64{0, 0}); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("zero total weight err = %v", err)
+	}
+}
+
+// TestCDFShape checks, for every family, that the CDF is monotone
+// non-decreasing, stays in [0, 1], saturates at the support bounds, and is
+// consistent with the PDF (density integrates to ≈1).
+func TestCDFShape(t *testing.T) {
+	for _, d := range testPairs(t) {
+		lo, hi := d.Support()
+		if !(hi > lo) {
+			t.Fatalf("%v: degenerate support [%g, %g]", d, lo, hi)
+		}
+		if c := d.CDF(lo - 1); c != 0 {
+			t.Errorf("%v: CDF below support = %g", d, c)
+		}
+		if c := d.CDF(hi + 1); c != 1 {
+			t.Errorf("%v: CDF above support = %g", d, c)
+		}
+		prev := -1.0
+		for i := 0; i <= 400; i++ {
+			x := lo + (hi-lo)*float64(i)/400
+			c := d.CDF(x)
+			if c < 0 || c > 1 {
+				t.Fatalf("%v: CDF(%g) = %g outside [0, 1]", d, x, c)
+			}
+			if c < prev {
+				t.Fatalf("%v: CDF not monotone at %g: %g < %g", d, x, c, prev)
+			}
+			prev = c
+			if p := d.PDF(x); p < 0 {
+				t.Fatalf("%v: negative density %g at %g", d, p, x)
+			}
+		}
+		g := numeric.MustGrid(lo, hi, 8193)
+		if mass := g.Trapezoid(g.Sample(d.PDF)); !numeric.AlmostEqual(mass, 1, 2e-3) {
+			t.Errorf("%v: density integrates to %g", d, mass)
+		}
+		if m := d.Mean(); m < lo || m > hi {
+			t.Errorf("%v: mean %g outside support [%g, %g]", d, m, lo, hi)
+		}
+	}
+}
+
+// TestProbGreaterComplement is the core pairwise invariant: for continuous
+// scores, P(A > B) + P(B > A) = 1 for every (ordered) pair, whichever
+// evaluation path each direction takes.
+func TestProbGreaterComplement(t *testing.T) {
+	ds := testPairs(t)
+	for i, a := range ds {
+		for j, b := range ds {
+			p, q := ProbGreater(a, b), ProbGreater(b, a)
+			if p < 0 || p > 1 {
+				t.Fatalf("P(%v > %v) = %g outside [0, 1]", a, b, p)
+			}
+			if !numeric.AlmostEqual(p+q, 1, 1e-3) {
+				t.Errorf("pair (%d, %d): P(A>B) + P(B>A) = %g + %g = %g", i, j, p, q, p+q)
+			}
+			if i == j && !numeric.AlmostEqual(p, 0.5, 1e-9) {
+				t.Errorf("self comparison %v: %g, want 0.5", a, p)
+			}
+		}
+	}
+}
+
+// TestProbGreaterAnalyticMatchesQuadrature pins the analytic fast paths to
+// the quadrature fallback they replace.
+func TestProbGreaterAnalyticMatchesQuadrature(t *testing.T) {
+	u1, _ := NewUniform(0, 1)
+	u2, _ := NewUniform(0.3, 1.7)
+	g1, _ := NewGaussian(0.4, 0.25)
+	g2, _ := NewGaussian(0.7, 0.4)
+	cases := []struct {
+		name string
+		a, b Distribution
+	}{
+		{"uniform/uniform", u1, u2},
+		{"uniform/uniform-nested", u2, u1},
+		{"gaussian/gaussian", g1, g2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fast := ProbGreater(c.a, c.b)
+			slow := probGreaterGrid(c.a, c.b)
+			if !numeric.AlmostEqual(fast, slow, 2e-3) {
+				t.Fatalf("analytic %g vs quadrature %g", fast, slow)
+			}
+		})
+	}
+}
+
+// TestProbGreaterNarrowVsWide: the quadrature fallback must keep full
+// resolution when a is orders of magnitude narrower than b (regression: a
+// grid spanning the union of supports sampled a's density at ~1 point).
+func TestProbGreaterNarrowVsWide(t *testing.T) {
+	narrow, err := NewTriangular(49.99, 50, 50.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := NewTriangular(0, 50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// F_wide is ≈0.5 and locally symmetric across narrow's support.
+	if p := ProbGreater(narrow, wide); !numeric.AlmostEqual(p, 0.5, 1e-3) {
+		t.Fatalf("P(narrow > wide) = %g, want ≈0.5", p)
+	}
+	p, q := ProbGreater(narrow, wide), ProbGreater(wide, narrow)
+	if !numeric.AlmostEqual(p+q, 1, 1e-3) {
+		t.Fatalf("complement: %g + %g = %g", p, q, p+q)
+	}
+}
+
+// TestRepeatedConditioningFlattens: conditioning an already-conditioned
+// belief must re-wrap the original base, not chain truncation views.
+func TestRepeatedConditioningFlattens(t *testing.T) {
+	g, _ := NewGaussian(1, 0.5) // support [-1, 3]
+	bound1, _ := NewUniform(1.2, 2.5)
+	bound2, _ := NewUniform(1.1, 2.0)
+	_, once, err := ConditionOnOrder(bound1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, twice, err := ConditionOnOrder(bound2, once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, ok := twice.(*truncated)
+	if !ok {
+		t.Fatalf("twice-conditioned gaussian is %T", twice)
+	}
+	if _, nested := tw.base.(*truncated); nested {
+		t.Fatal("repeated conditioning chained truncated wrappers instead of flattening")
+	}
+	if lo, hi := tw.Support(); lo != -1 || hi != 2.0 {
+		t.Fatalf("twice-conditioned support [%g, %g], want [-1, 2]", lo, hi)
+	}
+	if c := tw.CDF(hi(t, tw)); !numeric.AlmostEqual(c, 1, 1e-9) {
+		t.Fatalf("flattened CDF(hi) = %g", c)
+	}
+}
+
+func hi(t *testing.T, d Distribution) float64 {
+	t.Helper()
+	_, h := d.Support()
+	return h
+}
+
+func TestProbGreaterDisjointAndPoint(t *testing.T) {
+	lowU, _ := NewUniform(0, 1)
+	highU, _ := NewUniform(2, 3)
+	if p := ProbGreater(highU, lowU); p != 1 {
+		t.Errorf("disjoint above = %g", p)
+	}
+	if p := ProbGreater(lowU, highU); p != 0 {
+		t.Errorf("disjoint below = %g", p)
+	}
+	mid := NewPoint(0.25)
+	if p := ProbGreater(mid, lowU); !numeric.AlmostEqual(p, 0.25, 1e-12) {
+		t.Errorf("P(δ(0.25) > U[0,1]) = %g, want 0.25", p)
+	}
+	if p := ProbGreater(lowU, mid); !numeric.AlmostEqual(p, 0.75, 1e-12) {
+		t.Errorf("P(U[0,1] > δ(0.25)) = %g, want 0.75", p)
+	}
+	if p := ProbGreater(NewPoint(1), NewPoint(1)); p != 0.5 {
+		t.Errorf("equal points = %g, want 0.5", p)
+	}
+	if p := ProbGreater(NewPoint(2), NewPoint(1)); p != 1 {
+		t.Errorf("higher point = %g, want 1", p)
+	}
+}
+
+// TestConditionOnOrderNormalization: conditioning must yield properly
+// normalized distributions on the truncated supports.
+func TestConditionOnOrderNormalization(t *testing.T) {
+	ds := testPairs(t)
+	for i, winner := range ds {
+		for j, loser := range ds {
+			if i == j {
+				continue
+			}
+			w, l, err := ConditionOnOrder(winner, loser)
+			if err != nil {
+				t.Fatalf("pair (%d, %d): %v", i, j, err)
+			}
+			for _, d := range []Distribution{w, l} {
+				lo, hi := d.Support()
+				g := numeric.MustGrid(lo, hi, 8193)
+				if mass := g.Trapezoid(g.Sample(d.PDF)); !numeric.AlmostEqual(mass, 1, 2e-3) {
+					t.Errorf("pair (%d, %d): conditioned mass %g", i, j, mass)
+				}
+				if c := d.CDF(hi); !numeric.AlmostEqual(c, 1, 1e-9) {
+					t.Errorf("pair (%d, %d): conditioned CDF(hi) = %g", i, j, c)
+				}
+			}
+			// Support algebra: the winner keeps nothing below the loser's
+			// minimum, the loser nothing above the winner's maximum.
+			wlo, whi := winner.Support()
+			llo, lhi := loser.Support()
+			nwlo, nwhi := w.Support()
+			nllo, nlhi := l.Support()
+			if nwlo < math.Max(wlo, llo)-1e-12 || nwhi > whi+1e-12 {
+				t.Errorf("pair (%d, %d): winner support [%g, %g] → [%g, %g]", i, j, wlo, whi, nwlo, nwhi)
+			}
+			if nlhi > math.Min(lhi, whi)+1e-12 || nllo < llo-1e-12 {
+				t.Errorf("pair (%d, %d): loser support [%g, %g] → [%g, %g]", i, j, llo, lhi, nllo, nlhi)
+			}
+		}
+	}
+}
+
+func TestConditionOnOrderImpossible(t *testing.T) {
+	low, _ := NewUniform(0, 1)
+	high, _ := NewUniform(2, 3)
+	if _, _, err := ConditionOnOrder(low, high); !errors.Is(err, ErrImpossible) {
+		t.Fatalf("impossible conditioning err = %v", err)
+	}
+	// The possible direction conditions to the unchanged inputs.
+	w, l, err := ConditionOnOrder(high, low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != Distribution(high) || l != Distribution(low) {
+		t.Fatal("conditioning on an implied order should return the inputs unchanged")
+	}
+}
+
+func TestConditionOnOrderUniformStaysUniform(t *testing.T) {
+	a, _ := NewUniform(0, 2)
+	b, _ := NewUniform(1, 3)
+	w, l, err := ConditionOnOrder(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wu, ok := w.(*Uniform)
+	if !ok {
+		t.Fatalf("conditioned uniform winner is %T", w)
+	}
+	if wu.Lo != 1 || wu.Hi != 2 {
+		t.Fatalf("winner = %v, want U[1, 2]", wu)
+	}
+	lu, ok := l.(*Uniform)
+	if !ok {
+		t.Fatalf("conditioned uniform loser is %T", l)
+	}
+	if lu.Lo != 1 || lu.Hi != 2 {
+		t.Fatalf("loser = %v, want U[1, 2]", lu)
+	}
+}
+
+// TestSampleConvergesToMean: under a fixed seed, the empirical mean of many
+// draws must converge to Mean() and every draw must land in the support.
+func TestSampleConvergesToMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 200_000
+	for _, d := range testPairs(t) {
+		lo, hi := d.Support()
+		var acc numeric.KahanSum
+		for i := 0; i < n; i++ {
+			x := Sample(d, rng)
+			if x < lo || x > hi {
+				t.Fatalf("%v: sample %g outside [%g, %g]", d, x, lo, hi)
+			}
+			acc.Add(x)
+		}
+		emp := acc.Sum() / n
+		// 4σ/√n of the widest family here is well under 0.01.
+		if math.Abs(emp-d.Mean()) > 0.01 {
+			t.Errorf("%v: empirical mean %g vs analytic %g", d, emp, d.Mean())
+		}
+	}
+}
+
+// TestSampleTruncatedByInversion covers the generic bisection sampler via a
+// conditioned (truncated) Gaussian.
+func TestSampleTruncatedByInversion(t *testing.T) {
+	g, _ := NewGaussian(1, 0.5) // support [-1, 3]
+	u, _ := NewUniform(1.2, 2)  // truncates the loser above 2
+	_, l, err := ConditionOnOrder(u, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.(*truncated); !ok {
+		t.Fatalf("conditioned gaussian is %T, want generic truncation", l)
+	}
+	rng := rand.New(rand.NewSource(11))
+	lo, hi := l.Support()
+	var acc numeric.KahanSum
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		x := Sample(l, rng)
+		if x < lo || x > hi {
+			t.Fatalf("sample %g outside [%g, %g]", x, lo, hi)
+		}
+		acc.Add(x)
+	}
+	if emp := acc.Sum() / n; math.Abs(emp-l.Mean()) > 0.01 {
+		t.Errorf("empirical mean %g vs analytic %g", emp, l.Mean())
+	}
+}
+
+func TestMeanRanking(t *testing.T) {
+	a, _ := NewUniform(0, 1)    // mean 0.5
+	b, _ := NewGaussian(2, 0.1) // mean 2
+	c, _ := NewUniform(1, 2)    // mean 1.5
+	d := NewPoint(0.5)          // mean 0.5, ties with a → lower id first
+	got := MeanRanking([]Distribution{a, b, c, d})
+	want := []int{1, 2, 0, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MeanRanking = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWidthAndOverlaps(t *testing.T) {
+	a, _ := NewUniform(0, 1)
+	b, _ := NewUniform(0.5, 2)
+	c, _ := NewUniform(1, 3)
+	if w := Width(b); !numeric.AlmostEqual(w, 1.5, 1e-12) {
+		t.Errorf("Width = %g", w)
+	}
+	if !Overlaps(a, b) || !Overlaps(b, a) {
+		t.Error("overlapping supports not detected")
+	}
+	if Overlaps(a, c) {
+		t.Error("touching supports must not count as overlap")
+	}
+}
+
+func TestSharedGrid(t *testing.T) {
+	a, _ := NewUniform(-1, 1)
+	g, _ := NewGaussian(2, 0.5) // support [0, 4]
+	grid, err := SharedGrid([]Distribution{a, g}, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.Lo != -1 || grid.Hi != 4 {
+		t.Fatalf("grid spans [%g, %g], want [-1, 4]", grid.Lo, grid.Hi)
+	}
+	if grid.Len() != 101 {
+		t.Fatalf("grid Len = %d", grid.Len())
+	}
+	if !numeric.AlmostEqual(grid.Step, 0.05, 1e-12) {
+		t.Fatalf("grid Step = %g", grid.Step)
+	}
+	// Defaulting: n < 2 selects the 1024-point default.
+	grid, err = SharedGrid([]Distribution{a}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.Len() != 1024 {
+		t.Fatalf("default grid Len = %d", grid.Len())
+	}
+	if _, err := SharedGrid(nil, 16); !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("empty input err = %v", err)
+	}
+	if _, err := SharedGrid([]Distribution{NewPoint(1)}, 16); err == nil {
+		t.Fatal("zero-width union must fail")
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	g, _ := NewGaussian(3, 0.5)
+	if g.Mean() != 3 {
+		t.Fatalf("mean = %g", g.Mean())
+	}
+	lo, hi := g.Support()
+	if lo != 1 || hi != 5 {
+		t.Fatalf("support [%g, %g], want ±4σ = [1, 5]", lo, hi)
+	}
+	if c := g.CDF(3); !numeric.AlmostEqual(c, 0.5, 1e-9) {
+		t.Fatalf("CDF at the mean = %g", c)
+	}
+	// Truncated-vs-untruncated CDF difference is bounded by the tail mass.
+	if c := g.CDF(3.5); math.Abs(c-stdNormCDF(1)) > 1e-4 {
+		t.Fatalf("CDF(μ+σ) = %g, want ≈Φ(1) = %g", c, stdNormCDF(1))
+	}
+}

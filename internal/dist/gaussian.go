@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// gaussHalfWidth is the truncation point of the Gaussian score model, in
+// standard deviations: the library works on bounded supports, so Gaussian
+// scores carry their mass on [μ−4σ, μ+4σ] and the density is renormalized by
+// the retained mass (erf(4/√2) ≈ 1 − 6.3e−5).
+const gaussHalfWidth = 4.0
+
+// gaussRetained is the probability mass of a standard normal within
+// ±gaussHalfWidth.
+var gaussRetained = math.Erf(gaussHalfWidth / math.Sqrt2)
+
+// gaussTailMass is the mass of one truncated tail, Φ(−gaussHalfWidth).
+var gaussTailMass = (1 - gaussRetained) / 2
+
+const invSqrt2Pi = 0.3989422804014326779399460599343818684759
+
+// Gaussian is a normal distribution with mean Mu and standard deviation
+// Sigma, truncated at ±4σ and renormalized (see gaussHalfWidth). The
+// symmetric truncation leaves the mean exactly Mu.
+type Gaussian struct {
+	Mu, Sigma float64
+}
+
+// NewGaussian returns the truncated Gaussian score distribution. Sigma must
+// be positive and finite.
+func NewGaussian(mu, sigma float64) (*Gaussian, error) {
+	if !finite(mu, sigma) || sigma <= 0 {
+		return nil, fmt.Errorf("%w: gaussian(μ=%g, σ=%g)", ErrInvalidParams, mu, sigma)
+	}
+	return &Gaussian{Mu: mu, Sigma: sigma}, nil
+}
+
+// Mean implements Distribution.
+func (g *Gaussian) Mean() float64 { return g.Mu }
+
+// Support implements Distribution.
+func (g *Gaussian) Support() (float64, float64) {
+	w := gaussHalfWidth * g.Sigma
+	return g.Mu - w, g.Mu + w
+}
+
+// PDF implements Distribution.
+func (g *Gaussian) PDF(x float64) float64 {
+	z := (x - g.Mu) / g.Sigma
+	if z < -gaussHalfWidth || z > gaussHalfWidth {
+		return 0
+	}
+	return invSqrt2Pi * math.Exp(-z*z/2) / (g.Sigma * gaussRetained)
+}
+
+// CDF implements Distribution.
+func (g *Gaussian) CDF(x float64) float64 {
+	z := (x - g.Mu) / g.Sigma
+	if z <= -gaussHalfWidth {
+		return 0
+	}
+	if z >= gaussHalfWidth {
+		return 1
+	}
+	return clamp01((stdNormCDF(z) - gaussTailMass) / gaussRetained)
+}
+
+// String implements fmt.Stringer.
+func (g *Gaussian) String() string { return fmt.Sprintf("N(%g, %g²)", g.Mu, g.Sigma) }
+
+// stdNormCDF is the standard normal CDF Φ(z), evaluated via the
+// complementary error function for accuracy in the tails.
+func stdNormCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}

@@ -1,0 +1,111 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"crowdtopk/internal/numeric"
+)
+
+// PiecewiseUniform is a histogram score model: constant density within each
+// bin, with bin mass proportional to the supplied weights. It is the bridge
+// from empirical score estimates (review histograms, sensor readings) to the
+// continuous machinery of this package.
+type PiecewiseUniform struct {
+	edges   []float64 // len(bins)+1, strictly increasing
+	weights []float64 // normalized bin masses, len(bins)
+	cum     []float64 // CDF at each edge; cum[0] = 0, cum[len(edges)-1] = 1
+	mean    float64
+}
+
+// NewPiecewiseUniform returns the histogram distribution with the given bin
+// edges (len = bins+1, strictly increasing) and non-negative bin weights
+// (len = bins, positive total). Weights are normalized internally.
+func NewPiecewiseUniform(edges, weights []float64) (*PiecewiseUniform, error) {
+	if len(edges) < 2 || len(weights) != len(edges)-1 {
+		return nil, fmt.Errorf("%w: %d edges with %d weights", ErrInvalidParams, len(edges), len(weights))
+	}
+	for i, e := range edges {
+		if !finite(e) || (i > 0 && !(e > edges[i-1])) {
+			return nil, fmt.Errorf("%w: edges must be finite and strictly increasing, got %v", ErrInvalidParams, edges)
+		}
+	}
+	var total numeric.KahanSum
+	for _, w := range weights {
+		if !finite(w) || w < 0 {
+			return nil, fmt.Errorf("%w: bin weights must be finite and non-negative, got %v", ErrInvalidParams, weights)
+		}
+		total.Add(w)
+	}
+	if total.Sum() <= 0 {
+		return nil, fmt.Errorf("%w: zero total bin weight", ErrInvalidParams)
+	}
+	p := &PiecewiseUniform{
+		edges:   append([]float64(nil), edges...),
+		weights: append([]float64(nil), weights...),
+		cum:     make([]float64, len(edges)),
+	}
+	inv := 1 / total.Sum()
+	var acc, meanAcc numeric.KahanSum
+	for i := range p.weights {
+		p.weights[i] *= inv
+		acc.Add(p.weights[i])
+		p.cum[i+1] = acc.Sum()
+		meanAcc.Add(p.weights[i] * (p.edges[i] + p.edges[i+1]) / 2)
+	}
+	p.cum[len(p.cum)-1] = 1 // absorb rounding on the last edge
+	p.mean = meanAcc.Sum()
+	return p, nil
+}
+
+// Mean implements Distribution.
+func (p *PiecewiseUniform) Mean() float64 { return p.mean }
+
+// Support implements Distribution.
+func (p *PiecewiseUniform) Support() (float64, float64) {
+	return p.edges[0], p.edges[len(p.edges)-1]
+}
+
+// bin returns the index i with edges[i] <= x < edges[i+1], clamping x inside
+// the support. Callers must ensure x is within the support bounds.
+func (p *PiecewiseUniform) bin(x float64) int {
+	i := sort.SearchFloat64s(p.edges, x)
+	// SearchFloat64s returns the first edge >= x; the enclosing bin starts
+	// one earlier unless x sits exactly on that edge.
+	if i > 0 && (i == len(p.edges) || p.edges[i] != x) {
+		i--
+	}
+	if i >= len(p.weights) {
+		i = len(p.weights) - 1
+	}
+	return i
+}
+
+// PDF implements Distribution.
+func (p *PiecewiseUniform) PDF(x float64) float64 {
+	lo, hi := p.Support()
+	if x < lo || x > hi {
+		return 0
+	}
+	i := p.bin(x)
+	return p.weights[i] / (p.edges[i+1] - p.edges[i])
+}
+
+// CDF implements Distribution.
+func (p *PiecewiseUniform) CDF(x float64) float64 {
+	lo, hi := p.Support()
+	if x <= lo {
+		return 0
+	}
+	if x >= hi {
+		return 1
+	}
+	i := p.bin(x)
+	t := (x - p.edges[i]) / (p.edges[i+1] - p.edges[i])
+	return p.cum[i] + t*p.weights[i]
+}
+
+// String implements fmt.Stringer.
+func (p *PiecewiseUniform) String() string {
+	return fmt.Sprintf("PW[%g, %g; %d bins]", p.edges[0], p.edges[len(p.edges)-1], len(p.weights))
+}

@@ -1,0 +1,35 @@
+package dist
+
+import "fmt"
+
+// Point is a degenerate distribution concentrated at X — a score known
+// exactly. It has no density; PDF reports zero everywhere and consumers that
+// need densities (the TPO grid construction) reject point-mass tuples
+// explicitly via the zero-width support.
+type Point struct {
+	X float64
+}
+
+// NewPoint returns the point mass at x.
+func NewPoint(x float64) *Point { return &Point{X: x} }
+
+// Mean implements Distribution.
+func (p *Point) Mean() float64 { return p.X }
+
+// Support implements Distribution.
+func (p *Point) Support() (float64, float64) { return p.X, p.X }
+
+// PDF implements Distribution. A point mass has no density; see the type
+// comment.
+func (p *Point) PDF(float64) float64 { return 0 }
+
+// CDF implements Distribution.
+func (p *Point) CDF(x float64) float64 {
+	if x < p.X {
+		return 0
+	}
+	return 1
+}
+
+// String implements fmt.Stringer.
+func (p *Point) String() string { return fmt.Sprintf("δ(%g)", p.X) }

@@ -1,0 +1,99 @@
+package dist
+
+import (
+	"math"
+
+	"crowdtopk/internal/numeric"
+)
+
+// probGridSize is the resolution of the quadrature fallback in ProbGreater.
+// 4097 points keeps the trapezoid error on piecewise-linear CDFs well below
+// the 1e-3 tolerances used throughout while staying cheap enough for the
+// O(N²) pairwise sweeps of question selection.
+const probGridSize = 4097
+
+// ProbGreater returns P(A > B) for independent scores A ~ a and B ~ b.
+//
+// This is the single hottest function of TPO processing (every tree build
+// and every leaf split consumes π_ij values), so pairs with closed forms
+// never touch a grid:
+//
+//   - point masses compare directly,
+//   - disjoint supports are 0 or 1,
+//   - uniform/uniform integrates the piecewise-quadratic ∫ F_b over a's
+//     support exactly,
+//   - Gaussian/Gaussian uses Φ((μ_a−μ_b)/√(σ_a²+σ_b²)); the ±4σ truncation
+//     perturbs this by less than 1e−4, far below grid error at any
+//     practical resolution.
+//
+// Everything else evaluates ∫ f_a(x)·F_b(x) dx by trapezoid quadrature on a
+// probGridSize-point grid over a's support (the integrand vanishes outside
+// it).
+func ProbGreater(a, b Distribution) float64 {
+	if a == b {
+		return 0.5 // identical continuous scores: exact by symmetry
+	}
+	pa, aPt := a.(*Point)
+	pb, bPt := b.(*Point)
+	switch {
+	case aPt && bPt:
+		switch {
+		case pa.X > pb.X:
+			return 1
+		case pa.X < pb.X:
+			return 0
+		default:
+			return 0.5 // ties split evenly, matching ProbGreater(d, d) = ½
+		}
+	case aPt:
+		return clamp01(b.CDF(pa.X))
+	case bPt:
+		return clamp01(1 - a.CDF(pb.X))
+	}
+
+	alo, ahi := a.Support()
+	blo, bhi := b.Support()
+	if alo >= bhi {
+		return 1
+	}
+	if ahi <= blo {
+		return 0
+	}
+
+	if ua, ok := a.(*Uniform); ok {
+		if ub, ok := b.(*Uniform); ok {
+			return probGreaterUniform(ua, ub)
+		}
+	}
+	if ga, ok := a.(*Gaussian); ok {
+		if gb, ok := b.(*Gaussian); ok {
+			return stdNormCDF((ga.Mu - gb.Mu) / math.Hypot(ga.Sigma, gb.Sigma))
+		}
+	}
+	return probGreaterGrid(a, b)
+}
+
+// probGreaterUniform is the exact closed form for two overlapping uniforms:
+// P(A > B) = (1/|A|) ∫_{a.Lo}^{a.Hi} F_b(x) dx, with the CDF antiderivative
+// evaluated piecewise.
+func probGreaterUniform(a, b *Uniform) float64 {
+	area := b.cdfIntegralTo(a.Hi) - b.cdfIntegralTo(a.Lo)
+	return clamp01(area / (a.Hi - a.Lo))
+}
+
+// probGreaterGrid is the quadrature fallback: trapezoid integration of
+// f_a·F_b over a's support (the integrand vanishes elsewhere, and gridding
+// only [alo, ahi] keeps full resolution when a is much narrower than b).
+func probGreaterGrid(a, b Distribution) float64 {
+	alo, ahi := a.Support()
+	g, err := numeric.NewGrid(alo, ahi, probGridSize)
+	if err != nil {
+		// Degenerate overlapping zero-width supports: indistinguishable.
+		return 0.5
+	}
+	ys := g.Sample(a.PDF)
+	for i, x := range g.Points() {
+		ys[i] *= b.CDF(x)
+	}
+	return clamp01(g.Trapezoid(ys))
+}

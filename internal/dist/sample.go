@@ -1,0 +1,77 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"crowdtopk/internal/numeric"
+)
+
+// Sample draws one value from d using rng. Known families use direct
+// (inverse-CDF or rejection) samplers; anything else inverts the CDF by
+// bisection. Draws always land inside the support.
+func Sample(d Distribution, rng *rand.Rand) float64 {
+	switch v := d.(type) {
+	case *Point:
+		return v.X
+	case *Uniform:
+		return v.Lo + rng.Float64()*(v.Hi-v.Lo)
+	case *Gaussian:
+		// Rejection against the ±4σ truncation; acceptance ≈ 0.99994.
+		for {
+			x := v.Mu + v.Sigma*rng.NormFloat64()
+			if lo, hi := v.Support(); x >= lo && x <= hi {
+				return x
+			}
+		}
+	case *Triangular:
+		return sampleTriangular(v, rng.Float64())
+	case *PiecewiseUniform:
+		return samplePiecewise(v, rng.Float64())
+	default:
+		return sampleByInversion(d, rng.Float64())
+	}
+}
+
+// sampleTriangular inverts the triangular CDF in closed form.
+func sampleTriangular(t *Triangular, u float64) float64 {
+	fc := (t.Mode - t.Lo) / (t.Hi - t.Lo)
+	if u < fc {
+		return t.Lo + math.Sqrt(u*(t.Hi-t.Lo)*(t.Mode-t.Lo))
+	}
+	return t.Hi - math.Sqrt((1-u)*(t.Hi-t.Lo)*(t.Hi-t.Mode))
+}
+
+// samplePiecewise picks a bin by its cumulative mass, then a uniform
+// position inside it.
+func samplePiecewise(p *PiecewiseUniform, u float64) float64 {
+	// First edge with cum >= u bounds the selected bin on the right.
+	i := sort.SearchFloat64s(p.cum, u)
+	if i == 0 {
+		i = 1
+	}
+	if i >= len(p.cum) {
+		i = len(p.cum) - 1
+	}
+	bin := i - 1
+	w := p.weights[bin]
+	t := 0.5
+	if w > 0 {
+		t = (u - p.cum[bin]) / w
+	}
+	return p.edges[bin] + t*(p.edges[bin+1]-p.edges[bin])
+}
+
+// sampleByInversion finds CDF⁻¹(u) by bisection on the support.
+func sampleByInversion(d Distribution, u float64) float64 {
+	lo, hi := d.Support()
+	if !(hi > lo) {
+		return lo
+	}
+	x, err := numeric.Bisect(d.CDF, lo, hi, u, (hi-lo)*1e-12)
+	if err != nil {
+		return (lo + hi) / 2
+	}
+	return x
+}

@@ -1,0 +1,60 @@
+package dist
+
+import "fmt"
+
+// Triangular is the triangular distribution on [Lo, Hi] with the given Mode
+// — a minimal skewed score model (e.g. an expert estimate with asymmetric
+// confidence).
+type Triangular struct {
+	Lo, Mode, Hi float64
+}
+
+// NewTriangular returns the triangular distribution. It requires finite
+// lo <= mode <= hi with hi > lo.
+func NewTriangular(lo, mode, hi float64) (*Triangular, error) {
+	if !finite(lo, mode, hi) || !(hi > lo) || mode < lo || mode > hi {
+		return nil, fmt.Errorf("%w: triangular(%g, %g, %g)", ErrInvalidParams, lo, mode, hi)
+	}
+	return &Triangular{Lo: lo, Mode: mode, Hi: hi}, nil
+}
+
+// Mean implements Distribution.
+func (t *Triangular) Mean() float64 { return (t.Lo + t.Mode + t.Hi) / 3 }
+
+// Support implements Distribution.
+func (t *Triangular) Support() (float64, float64) { return t.Lo, t.Hi }
+
+// PDF implements Distribution.
+func (t *Triangular) PDF(x float64) float64 {
+	switch {
+	case x < t.Lo || x > t.Hi:
+		return 0
+	case x < t.Mode:
+		return 2 * (x - t.Lo) / ((t.Hi - t.Lo) * (t.Mode - t.Lo))
+	case x > t.Mode:
+		return 2 * (t.Hi - x) / ((t.Hi - t.Lo) * (t.Hi - t.Mode))
+	default: // x == Mode; the Lo == Mode and Hi == Mode edges peak here too
+		return 2 / (t.Hi - t.Lo)
+	}
+}
+
+// CDF implements Distribution.
+func (t *Triangular) CDF(x float64) float64 {
+	switch {
+	case x <= t.Lo:
+		return 0
+	case x >= t.Hi:
+		return 1
+	case x <= t.Mode:
+		d := x - t.Lo
+		return d * d / ((t.Hi - t.Lo) * (t.Mode - t.Lo))
+	default:
+		d := t.Hi - x
+		return 1 - d*d/((t.Hi-t.Lo)*(t.Hi-t.Mode))
+	}
+}
+
+// String implements fmt.Stringer.
+func (t *Triangular) String() string {
+	return fmt.Sprintf("Tri(%g, %g, %g)", t.Lo, t.Mode, t.Hi)
+}

@@ -1,0 +1,69 @@
+package dist
+
+import "fmt"
+
+// Uniform is the uniform distribution on [Lo, Hi] — the paper's default
+// score model (a value known only to lie in an interval).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// NewUniform returns the uniform distribution on [lo, hi]. It fails unless
+// both bounds are finite and hi exceeds lo.
+func NewUniform(lo, hi float64) (*Uniform, error) {
+	if !finite(lo, hi) || !(hi > lo) {
+		return nil, fmt.Errorf("%w: uniform on [%g, %g]", ErrInvalidParams, lo, hi)
+	}
+	return &Uniform{Lo: lo, Hi: hi}, nil
+}
+
+// NewUniformAround returns the uniform distribution on
+// [center−width/2, center+width/2]. width must be positive and finite.
+func NewUniformAround(center, width float64) (*Uniform, error) {
+	if !finite(center, width) || width <= 0 {
+		return nil, fmt.Errorf("%w: uniform around %g with width %g", ErrInvalidParams, center, width)
+	}
+	return NewUniform(center-width/2, center+width/2)
+}
+
+// Mean implements Distribution.
+func (u *Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Support implements Distribution.
+func (u *Uniform) Support() (float64, float64) { return u.Lo, u.Hi }
+
+// PDF implements Distribution.
+func (u *Uniform) PDF(x float64) float64 {
+	if x < u.Lo || x > u.Hi {
+		return 0
+	}
+	return 1 / (u.Hi - u.Lo)
+}
+
+// CDF implements Distribution.
+func (u *Uniform) CDF(x float64) float64 {
+	if x <= u.Lo {
+		return 0
+	}
+	if x >= u.Hi {
+		return 1
+	}
+	return (x - u.Lo) / (u.Hi - u.Lo)
+}
+
+// String implements fmt.Stringer.
+func (u *Uniform) String() string { return fmt.Sprintf("U[%g, %g]", u.Lo, u.Hi) }
+
+// cdfIntegralTo returns ∫_{−∞}^{t} F(x) dx, the antiderivative of the CDF
+// used by the closed-form uniform/uniform dominance probability.
+func (u *Uniform) cdfIntegralTo(t float64) float64 {
+	switch {
+	case t <= u.Lo:
+		return 0
+	case t >= u.Hi:
+		return (u.Hi-u.Lo)/2 + (t - u.Hi)
+	default:
+		d := t - u.Lo
+		return d * d / (2 * (u.Hi - u.Lo))
+	}
+}
