@@ -1,0 +1,125 @@
+package crowdtopk_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	crowdtopk "crowdtopk"
+)
+
+// TestScoreConstructorErrorsSurfaceCause: invalid construction parameters
+// must travel inside the Uncertain and come out of NewDataset wrapped in
+// ErrInvalidScore with the underlying reason, not as a bare "invalid score
+// at index i".
+func TestScoreConstructorErrorsSurfaceCause(t *testing.T) {
+	cases := []struct {
+		name  string
+		score crowdtopk.Uncertain
+		want  string // substring of the underlying cause
+	}{
+		{"negative sigma", crowdtopk.GaussianScore(1, -0.5), "σ=-0.5"},
+		{"zero width", crowdtopk.UniformScore(1, 0), ""},
+		{"bad mode", crowdtopk.TriangularScore(0, 5, 1), ""},
+		{"bad histogram", crowdtopk.HistogramScore([]float64{0, 1}, []float64{-1}), ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.score.Valid() {
+				t.Fatal("score unexpectedly valid")
+			}
+			if c.score.Err() == nil {
+				t.Fatal("invalid score carries no error")
+			}
+			_, err := crowdtopk.NewDataset([]crowdtopk.Uncertain{
+				crowdtopk.UniformScore(1, 1), c.score,
+			})
+			if !errors.Is(err, crowdtopk.ErrInvalidScore) {
+				t.Fatalf("err = %v, want ErrInvalidScore", err)
+			}
+			if !strings.Contains(err.Error(), "index 1") {
+				t.Errorf("error %q does not locate the bad score", err)
+			}
+			if !strings.Contains(err.Error(), c.score.Err().Error()) {
+				t.Errorf("error %q does not carry the cause %q", err, c.score.Err())
+			}
+			if c.want != "" && !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+	// The zero Uncertain (never constructed) still errors, with a distinct
+	// explanation.
+	_, err := crowdtopk.NewDataset([]crowdtopk.Uncertain{{}})
+	if !errors.Is(err, crowdtopk.ErrInvalidScore) {
+		t.Fatalf("zero value err = %v, want ErrInvalidScore", err)
+	}
+}
+
+// TestMeasureORAFootrule: the CLI advertises ORA-FR; the public constant
+// must drive Process end to end.
+func TestMeasureORAFootrule(t *testing.T) {
+	ds := testDataset(t)
+	cr, _, err := crowdtopk.SimulatedCrowd(ds, 1, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := crowdtopk.Process(ds, crowdtopk.Query{
+		K: 3, Budget: 6, Seed: 11, Measure: crowdtopk.MeasureORAFootrule,
+	}, cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranking) != 3 {
+		t.Fatalf("ranking = %v, want length 3", res.Ranking)
+	}
+}
+
+// TestSimulatedCrowdValidatesVotes: non-positive vote counts are rejected
+// instead of being silently reinterpreted.
+func TestSimulatedCrowdValidatesVotes(t *testing.T) {
+	ds := testDataset(t)
+	for _, votes := range []int{0, -3} {
+		if _, _, err := crowdtopk.SimulatedCrowd(ds, 0.8, votes, 1); err == nil {
+			t.Errorf("votes=%d: expected an error", votes)
+		}
+	}
+	// Even counts are legal: the platform rounds them up to the next odd
+	// panel (see internal/crowd).
+	if _, _, err := crowdtopk.SimulatedCrowd(ds, 0.8, 2, 1); err != nil {
+		t.Errorf("votes=2: %v", err)
+	}
+}
+
+// TestProcessWorkersDeterminism: a query answered with a sequential build
+// and with a 4-worker build must produce the identical result — rankings,
+// question counts and surviving orderings all pinned by the same tree.
+func TestProcessWorkersDeterminism(t *testing.T) {
+	run := func(workers int) *crowdtopk.Result {
+		t.Helper()
+		ds := testDataset(t)
+		cr, _, err := crowdtopk.SimulatedCrowd(ds, 1, 1, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := crowdtopk.Process(ds, crowdtopk.Query{K: 3, Budget: 12, Seed: 99, Workers: workers}, cr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(1)
+	par := run(4)
+	if len(seq.Ranking) != len(par.Ranking) {
+		t.Fatalf("rankings differ: %v vs %v", seq.Ranking, par.Ranking)
+	}
+	for i := range seq.Ranking {
+		if seq.Ranking[i] != par.Ranking[i] {
+			t.Fatalf("rankings differ: %v vs %v", seq.Ranking, par.Ranking)
+		}
+	}
+	if seq.QuestionsAsked != par.QuestionsAsked || seq.Orderings != par.Orderings ||
+		seq.Resolved != par.Resolved || seq.Uncertainty != par.Uncertainty {
+		t.Fatalf("results differ: %+v vs %+v", seq, par)
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	crowdtopk run  -exp fig1a [-n 20 -k 5 -trials 10 -budgets 0,5,10,20,30,40,50 -width 3.5 -quick]
+//	crowdtopk run  -exp fig1a [-n 20 -k 5 -trials 10 -budgets 0,5,10,20,30,40,50 -width 3.5 -workers 0 -quick]
 //	crowdtopk gen  -n 20 -family uniform -width 2.0 -out data.csv
 //	crowdtopk viz  -in data.csv -k 3 -out tree.dot
 //	crowdtopk demo -n 6 -k 3 -budget 8 [-accuracy 0.8]
@@ -83,6 +83,7 @@ func cmdRun(args []string) error {
 	measure := fs.String("measure", "", "uncertainty measure: H, Hw, ORA, MPO")
 	grid := fs.Int("grid", 0, "integration grid size")
 	round := fs.Int("round", 0, "incr round size")
+	workers := fs.Int("workers", 0, "parallel workers for builds, trials and cells (0 = all CPUs, 1 = sequential; results are identical)")
 	quick := fs.Bool("quick", false, "small smoke-test configuration")
 	format := fs.String("format", "text", "output format: text, csv, json")
 	verbose := fs.Bool("v", false, "log progress per experiment cell to stderr")
@@ -96,7 +97,7 @@ func cmdRun(args []string) error {
 	opts := engine.ExpOptions{
 		N: *n, K: *k, Trials: *trials, Seed: *seed,
 		Width: *width, Spacing: *spacing, Measure: *measure,
-		GridSize: *grid, RoundSize: *round, Quick: *quick,
+		GridSize: *grid, RoundSize: *round, Workers: *workers, Quick: *quick,
 	}
 	if *verbose {
 		opts.Progress = os.Stderr

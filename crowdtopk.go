@@ -16,16 +16,18 @@ import (
 // Uncertain is an uncertain tuple score: a bounded continuous distribution.
 // Construct one with UniformScore, GaussianScore, TriangularScore,
 // HistogramScore, or provide any internal distribution via the dataset
-// helpers.
+// helpers. A score built from invalid parameters carries the construction
+// error (see Err); NewDataset surfaces it wrapped in ErrInvalidScore.
 type Uncertain struct {
-	d dist.Distribution
+	d   dist.Distribution
+	err error
 }
 
 // UniformScore models a score known to lie in [center−width/2, center+width/2].
 func UniformScore(center, width float64) Uncertain {
 	u, err := dist.NewUniformAround(center, width)
 	if err != nil {
-		return Uncertain{}
+		return Uncertain{err: err}
 	}
 	return Uncertain{d: u}
 }
@@ -35,7 +37,7 @@ func UniformScore(center, width float64) Uncertain {
 func GaussianScore(mu, sigma float64) Uncertain {
 	g, err := dist.NewGaussian(mu, sigma)
 	if err != nil {
-		return Uncertain{}
+		return Uncertain{err: err}
 	}
 	return Uncertain{d: g}
 }
@@ -44,7 +46,7 @@ func GaussianScore(mu, sigma float64) Uncertain {
 func TriangularScore(lo, mode, hi float64) Uncertain {
 	t, err := dist.NewTriangular(lo, mode, hi)
 	if err != nil {
-		return Uncertain{}
+		return Uncertain{err: err}
 	}
 	return Uncertain{d: t}
 }
@@ -54,13 +56,17 @@ func TriangularScore(lo, mode, hi float64) Uncertain {
 func HistogramScore(edges, weights []float64) Uncertain {
 	p, err := dist.NewPiecewiseUniform(edges, weights)
 	if err != nil {
-		return Uncertain{}
+		return Uncertain{err: err}
 	}
 	return Uncertain{d: p}
 }
 
 // Valid reports whether the score was constructed successfully.
 func (u Uncertain) Valid() bool { return u.d != nil }
+
+// Err returns why construction failed (nil for valid scores and for zero
+// Uncertain values that were never constructed).
+func (u Uncertain) Err() error { return u.err }
 
 // Mean returns the expected score (0 for invalid scores).
 func (u Uncertain) Mean() float64 {
@@ -88,7 +94,10 @@ func NewDataset(scores []Uncertain) (*Dataset, error) {
 	ds := &Dataset{dists: make([]dist.Distribution, len(scores))}
 	for i, s := range scores {
 		if s.d == nil {
-			return nil, fmt.Errorf("%w at index %d", ErrInvalidScore, i)
+			if s.err != nil {
+				return nil, fmt.Errorf("%w at index %d: %v", ErrInvalidScore, i, s.err)
+			}
+			return nil, fmt.Errorf("%w at index %d: zero Uncertain (not built by a Score constructor)", ErrInvalidScore, i)
 		}
 		ds.dists[i] = s.d
 	}
@@ -158,7 +167,11 @@ const (
 	MeasureEntropy         MeasureName = "H"
 	MeasureWeightedEntropy MeasureName = "Hw"
 	MeasureORA             MeasureName = "ORA"
-	MeasureMPO             MeasureName = "MPO"
+	// MeasureORAFootrule is U_ORA with the footrule-optimal aggregation (a
+	// polynomial-time 2-approximation of the Kemeny median) as the
+	// representative — the scalable variant for trees over many tuples.
+	MeasureORAFootrule MeasureName = "ORA-FR"
+	MeasureMPO         MeasureName = "MPO"
 )
 
 // Query configures top-K processing.
@@ -176,6 +189,10 @@ type Query struct {
 	GridSize     int
 	MaxOrderings int
 	Seed         int64
+	// Workers is the number of goroutines used for tree construction
+	// (0 = all CPUs, 1 = sequential). The result is identical either way;
+	// crowd questions are always asked one at a time.
+	Workers int
 }
 
 // Result reports the processed query.
@@ -241,8 +258,10 @@ func Process(d *Dataset, query Query, cr Crowd) (*Result, error) {
 		Build: tpo.BuildOptions{
 			GridSize:  query.GridSize,
 			MaxLeaves: query.MaxOrderings,
+			Workers:   query.Workers,
 		},
-		Seed: query.Seed,
+		Seed:    query.Seed,
+		Workers: query.Workers,
 	}
 	res, err := engine.Run(cfg)
 	if err != nil {
@@ -264,9 +283,15 @@ func Process(d *Dataset, query Query, cr Crowd) (*Result, error) {
 
 // SimulatedCrowd builds a Crowd of simulated workers over a sampled world:
 // workers answer correctly with probability accuracy, and each question is
-// answered by `votes` workers with majority aggregation. It returns the
-// crowd and the sampled ground-truth ranking (for evaluating results).
+// answered by `votes` workers with majority aggregation. votes must be at
+// least 1; even counts are rounded up to the next odd number so the majority
+// can never tie (and the crowd's reported Reliability matches the panel it
+// actually convenes). It returns the crowd and the sampled ground-truth
+// ranking (for evaluating results).
 func SimulatedCrowd(d *Dataset, accuracy float64, votes int, seed int64) (Crowd, []int, error) {
+	if votes < 1 {
+		return nil, nil, fmt.Errorf("crowdtopk: votes = %d, need at least 1 worker answer per question", votes)
+	}
 	rng := rand.New(rand.NewSource(seed))
 	truth := crowd.SampleTruth(d.dists, rng)
 	if accuracy >= 1 && votes <= 1 {

@@ -40,4 +40,20 @@
 // quadrature over the left operand's support otherwise. Gaussian
 // scores are truncated at ±4σ and renormalized so every score has bounded
 // support, which keeps the shared evaluation grids finite.
+//
+// # Concurrency model
+//
+// The hot paths are parallel and deterministic. Tree construction splits
+// the TPO into disjoint subtree jobs executed by a worker pool (Query.
+// Workers; 0 = all CPUs, 1 = sequential), each worker owning its scratch
+// buffers; children are emitted in candidate order, so the resulting tree —
+// child order, leaf order, every probability bit — is identical for every
+// worker count. Pairwise dominance probabilities π_ij are memoized in a
+// process-wide concurrency-safe cache (internal/pcache) keyed by
+// distribution identity, so repeated selection sweeps and repeated trials
+// over the same dataset never re-integrate a pair. Experiment trials run
+// concurrently with per-trial RNGs derived from the seed and aggregate in
+// trial order, making their statistics independent of scheduling. Crowd
+// questions are always asked one at a time, in order — parallelism never
+// changes what the crowd sees.
 package crowdtopk

@@ -60,7 +60,11 @@ type Platform struct {
 	rng     *rand.Rand
 
 	// Votes is the number of workers each Ask routes the question to; the
-	// majority answer is returned. It must be odd; 1 disables aggregation.
+	// majority answer is returned. Non-positive values count as 1 (no
+	// aggregation); even values are rounded up to the next odd number so a
+	// majority always exists — an even panel can tie, and silently breaking
+	// ties in one direction would bias answers while Reliability() reports
+	// the accuracy of an odd panel. See effectiveVotes.
 	Votes int
 	// UnitCost is the monetary cost per worker-answer.
 	UnitCost float64
@@ -96,17 +100,29 @@ func NewUniformPlatform(truth *GroundTruth, n int, accuracy float64, rng *rand.R
 	return NewPlatform(truth, workers, rng)
 }
 
-// Ask implements Crowd: the question is routed to Votes random workers and
-// the aggregated answer returned (simple majority, or accuracy-weighted
-// vote when Aggregation is WeightedVote).
+// effectiveVotes is the single authority on how many worker answers one Ask
+// collects: Votes clamped to at least 1 and rounded up to the next odd
+// number. Ask and Reliability both use it, so the Bayesian reweighting
+// downstream always models exactly the aggregation the platform delivers.
+func (p *Platform) effectiveVotes() int {
+	v := p.Votes
+	if v < 1 {
+		v = 1
+	}
+	if v%2 == 0 {
+		v++
+	}
+	return v
+}
+
+// Ask implements Crowd: the question is routed to effectiveVotes random
+// workers and the aggregated answer returned (simple majority, or
+// accuracy-weighted vote when Aggregation is WeightedVote).
 func (p *Platform) Ask(q tpo.Question) tpo.Answer {
 	if p.Aggregation == WeightedVote {
 		return p.askWeighted(q)
 	}
-	votes := p.Votes
-	if votes < 1 {
-		votes = 1
-	}
+	votes := p.effectiveVotes()
 	correct := p.truth.Correct(q)
 	yes := 0
 	for v := 0; v < votes; v++ {
@@ -123,18 +139,14 @@ func (p *Platform) Ask(q tpo.Question) tpo.Answer {
 }
 
 // Reliability implements Crowd: the majority-vote accuracy of the pool's
-// mean worker accuracy.
+// mean worker accuracy over the panel size Ask actually uses.
 func (p *Platform) Reliability() float64 {
 	mean := 0.0
 	for _, w := range p.workers {
 		mean += w.Accuracy
 	}
 	mean /= float64(len(p.workers))
-	votes := p.Votes
-	if votes < 1 {
-		votes = 1
-	}
-	return MajorityAccuracy(mean, votes)
+	return MajorityAccuracy(mean, p.effectiveVotes())
 }
 
 // WorkerAnswers returns how many individual worker answers were collected.

@@ -146,13 +146,12 @@ func (p *Platform) EstimatedAccuracy(workerID string) float64 {
 	return 0.5
 }
 
-// askWeighted routes the question to Votes workers and combines their
-// answers with log-odds weights.
+// askWeighted routes the question to effectiveVotes workers and combines
+// their answers with log-odds weights. An odd panel cannot tie under equal
+// weights; under unequal weights an exact zero score is vanishingly rare but
+// still resolved consistently ("No") rather than silently.
 func (p *Platform) askWeighted(q tpo.Question) tpo.Answer {
-	votes := p.Votes
-	if votes < 1 {
-		votes = 1
-	}
+	votes := p.effectiveVotes()
 	correct := p.truth.Correct(q)
 	score := 0.0
 	for v := 0; v < votes; v++ {

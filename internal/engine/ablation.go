@@ -13,7 +13,8 @@ import (
 // AblationGrid quantifies the numerical design choice DESIGN.md calls out:
 // how the shared integration grid size trades construction time against
 // leaf-probability accuracy. The error column is the maximum absolute leaf
-// probability deviation from a 16k-point reference build.
+// probability deviation from a 16k-point reference build. Build time is the
+// reported value, so builds run sequentially regardless of o.Workers.
 func AblationGrid(o ExpOptions) (*Table, error) {
 	o = o.withDefaults()
 	ds, err := dataset.Generate(dataset.Spec{
@@ -23,7 +24,7 @@ func AblationGrid(o ExpOptions) (*Table, error) {
 		return nil, err
 	}
 	const refGrid = 16384
-	ref, err := tpo.Build(ds, o.K, tpo.BuildOptions{GridSize: refGrid})
+	ref, err := tpo.Build(ds, o.K, tpo.BuildOptions{GridSize: refGrid, Workers: 1})
 	if err != nil {
 		return nil, err
 	}
@@ -36,7 +37,7 @@ func AblationGrid(o ExpOptions) (*Table, error) {
 	}
 	for _, g := range sizes {
 		start := time.Now()
-		tree, err := tpo.Build(ds, o.K, tpo.BuildOptions{GridSize: g})
+		tree, err := tpo.Build(ds, o.K, tpo.BuildOptions{GridSize: g, Workers: 1})
 		el := time.Since(start)
 		if err != nil {
 			return nil, fmt.Errorf("ablation grid=%d: %w", g, err)
@@ -75,7 +76,8 @@ func leafProbIndex(t *tpo.Tree) map[string]float64 {
 // AblationEpsilon quantifies the branch-epsilon design choice in the
 // expected-residual machinery: selection quality (final distance of C-off)
 // versus selection cost, as negligible hypothetical-answer branches are
-// pruned more aggressively.
+// pruned more aggressively. Select time is the reported value, so trials
+// and builds run sequentially on one core regardless of o.Workers.
 func AblationEpsilon(o ExpOptions) (*Table, error) {
 	o = o.withDefaults()
 	tbl := NewTable("Ablation: branch epsilon vs C-off quality and cost", "-log10(eps)", nil)
@@ -88,6 +90,8 @@ func AblationEpsilon(o ExpOptions) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		cfg.Workers = 1
+		cfg.Build.Workers = 1
 		cfg.Budget = budget
 		cfg.BranchEpsilon = eps
 		st, err := RunTrials(cfg, o.Trials)
@@ -104,7 +108,8 @@ func AblationEpsilon(o ExpOptions) (*Table, error) {
 
 // AblationRoundSize sweeps the incr algorithm's questions-per-round n
 // (§III.D says n is between 1 and B): small rounds approach online quality,
-// large rounds approach offline batch cost.
+// large rounds approach offline batch cost. Total time is the reported
+// value, so trials and builds run sequentially regardless of o.Workers.
 func AblationRoundSize(o ExpOptions) (*Table, error) {
 	o = o.withDefaults()
 	budget := 20
@@ -117,6 +122,8 @@ func AblationRoundSize(o ExpOptions) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		cfg.Workers = 1
+		cfg.Build.Workers = 1
 		cfg.Budget = budget
 		cfg.RoundSize = n
 		st, err := RunTrials(cfg, o.Trials)

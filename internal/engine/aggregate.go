@@ -2,9 +2,11 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"crowdtopk/internal/numeric"
+	"crowdtopk/internal/par"
 )
 
 // TrialStats aggregates repeated runs of the same configuration over
@@ -27,21 +29,59 @@ type TrialStats struct {
 
 // RunTrials executes cfg `trials` times with per-trial seeds derived from
 // cfg.Seed, sampling a fresh world each time, and aggregates the results.
+//
+// Trials run concurrently, bounded by cfg.Workers (0 = GOMAXPROCS). The
+// worker budget is consumed here, at the outermost parallel level: when
+// trials run in parallel, each trial's build runs sequentially, so the
+// goroutine count stays bounded by the budget instead of multiplying across
+// nesting levels. Every trial owns an RNG derived from its seed, so the
+// per-trial results — and, because aggregation folds them in trial order,
+// the statistics — are identical for every worker count. A shared cfg.Crowd
+// is the one stateful input a caller can inject; when present, trials run
+// sequentially so the crowd observes the same question stream a serial
+// caller would produce.
 func RunTrials(cfg Config, trials int) (*TrialStats, error) {
 	if trials < 1 {
 		return nil, fmt.Errorf("engine: trials = %d", trials)
 	}
-	dists := make([]float64, 0, trials)
-	st := &TrialStats{Algorithm: cfg.Algorithm, Trials: trials}
-	var totalNS, buildNS, selNS, applyNS float64
-	for t := 0; t < trials; t++ {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	if cfg.Crowd != nil {
+		workers = 1 // external crowds are stateful and not ours to share
+	}
+	results := make([]*Result, trials)
+	errs := par.For(trials, workers, func(_, t int) error {
 		c := cfg
 		c.Seed = cfg.Seed*1_000_003 + int64(t)
 		c.Truth = nil // force a fresh world per trial
-		res, err := Run(c)
+		if workers > 1 {
+			c.Workers = 1 // the budget is spent on trial-level parallelism
+			c.Build.Workers = 1
+		}
+		var err error
+		results[t], err = Run(c)
+		return err
+	})
+
+	// Check every trial's error before touching results: after a failure,
+	// par.For skips trials it has not started yet, leaving BOTH errs[t] and
+	// results[t] nil for the skipped indices — only an error-free run
+	// guarantees every result is populated.
+	for t, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("engine: trial %d: %w", t, err)
 		}
+	}
+
+	dists := make([]float64, 0, trials)
+	st := &TrialStats{Algorithm: cfg.Algorithm, Trials: trials}
+	var totalNS, buildNS, selNS, applyNS float64
+	for _, res := range results {
 		dists = append(dists, res.FinalDistance)
 		st.MeanInitialDistance += res.InitialDistance
 		st.MeanAsked += float64(res.Asked)

@@ -67,6 +67,12 @@ type Config struct {
 	// Seed drives all randomness of the run (truth sampling, noisy
 	// workers, baseline shuffles).
 	Seed int64
+	// Workers bounds the number of concurrent trials in RunTrials and of
+	// concurrent experiment cells; it is also forwarded to the TPO build
+	// when Build.Workers is unset. Zero selects GOMAXPROCS. Results are
+	// identical for every value: trials derive independent RNGs from Seed
+	// and aggregate in trial order.
+	Workers int
 	// RecordTrajectory captures D(ω_r, T_K) after every answer into
 	// Result.Trajectory (index 0 is the pre-question distance).
 	RecordTrajectory bool
@@ -108,6 +114,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.RoundSize == 0 {
 		cfg.RoundSize = 5
+	}
+	if cfg.Build.Workers == 0 {
+		cfg.Build.Workers = cfg.Workers
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	truth := cfg.Truth
@@ -361,11 +370,4 @@ func (r *runner) timedExtend() error {
 	err := r.tree.Extend()
 	r.res.BuildTime += time.Since(start)
 	return err
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -4,12 +4,15 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"text/tabwriter"
 
 	"crowdtopk/internal/crowd"
 	"crowdtopk/internal/dataset"
+	"crowdtopk/internal/par"
 	"crowdtopk/internal/tpo"
 	"crowdtopk/internal/uncertainty"
 )
@@ -115,16 +118,72 @@ type ExpOptions struct {
 	GridSize  int
 	Measure   string
 	Quick     bool
+	// Workers bounds the number of concurrent experiment cells and is
+	// forwarded to per-cell trial and build parallelism. Zero selects
+	// GOMAXPROCS. Experiments whose reported values are wall-clock or CPU
+	// timings (fig1b, scale, the ablations) stay sequential regardless, so
+	// their timing claims are not distorted by contention.
+	Workers int
 	// Progress, when non-nil, receives one line per completed experiment
 	// cell (algorithm × budget), for long-running regenerations.
 	Progress io.Writer
 }
 
+// progressMu serializes progress lines from concurrently finishing cells.
+var progressMu sync.Mutex
+
 // progress logs one completed cell.
 func (o ExpOptions) progress(format string, args ...interface{}) {
 	if o.Progress != nil {
+		progressMu.Lock()
+		defer progressMu.Unlock()
 		fmt.Fprintf(o.Progress, format+"\n", args...)
 	}
+}
+
+// cellJob is one experiment cell (one series × one x-value). Cells run
+// concurrently, but their values land in the table in declaration order, so
+// column order, row order and output bytes match a serial sweep exactly.
+type cellJob struct {
+	column string
+	x      float64
+	run    func() (float64, error)
+}
+
+// runCells evaluates the cells with up to `workers` in flight (0 =
+// GOMAXPROCS) and fills tbl deterministically. The error of the
+// lowest-index failing cell is returned, matching what a serial sweep would
+// report first. The worker budget is consumed here, at the outermost
+// parallel level: cellConfig strips inner parallelism from every cell's
+// Config, so an experiment never multiplies goroutines across the cell,
+// trial and build levels.
+func runCells(tbl *Table, cells []cellJob, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	vals := make([]float64, len(cells))
+	errs := par.For(len(cells), workers, func(_, i int) error {
+		var err error
+		vals[i], err = cells[i].run()
+		return err
+	})
+	for i, err := range errs {
+		if err != nil {
+			return err
+		}
+		tbl.Set(cells[i].column, cells[i].x, vals[i])
+	}
+	return nil
+}
+
+// cellConfig prepares a Config for use inside one cell of a concurrent
+// sweep: trials and builds run sequentially, because the worker budget is
+// already spent on cell-level parallelism in runCells.
+func cellConfig(cfg Config, budget int) Config {
+	cfg.Budget = budget
+	cfg.Workers = 1
+	cfg.Build.Workers = 1
+	return cfg
 }
 
 func (o ExpOptions) withDefaults() ExpOptions {
@@ -198,6 +257,7 @@ func (o ExpOptions) config(alg string) (Config, error) {
 		// question wins.
 		BranchEpsilon: 1e-5,
 		Seed:          o.Seed,
+		Workers:       o.Workers,
 	}, nil
 }
 
@@ -211,21 +271,26 @@ var Fig1aAlgorithms = []string{AlgT1On, AlgTBOff, AlgCOff, AlgIncr, AlgNaive, Al
 func Fig1a(o ExpOptions) (*Table, error) {
 	o = o.withDefaults()
 	tbl := NewTable("Fig 1(a): distance to real ordering vs budget B", "B", nil)
+	var cells []cellJob
 	for _, alg := range Fig1aAlgorithms {
 		cfg, err := o.config(alg)
 		if err != nil {
 			return nil, err
 		}
 		for _, b := range o.Budgets {
-			c := cfg
-			c.Budget = b
-			st, err := RunTrials(c, o.Trials)
-			if err != nil {
-				return nil, fmt.Errorf("fig1a %s B=%d: %w", alg, b, err)
-			}
-			tbl.Set(alg, float64(b), st.MeanDistance)
-			o.progress("fig1a %-8s B=%-3d distance=%.4f (mean time %v)", alg, b, st.MeanDistance, st.MeanTotalTime)
+			alg, b, c := alg, b, cellConfig(cfg, b)
+			cells = append(cells, cellJob{alg, float64(b), func() (float64, error) {
+				st, err := RunTrials(c, o.Trials)
+				if err != nil {
+					return 0, fmt.Errorf("fig1a %s B=%d: %w", alg, b, err)
+				}
+				o.progress("fig1a %-8s B=%-3d distance=%.4f", alg, b, st.MeanDistance)
+				return st.MeanDistance, nil
+			}})
 		}
+	}
+	if err := runCells(tbl, cells, o.Workers); err != nil {
+		return nil, err
 	}
 	tbl.Footnote = fmt.Sprintf("N=%d K=%d trials=%d width/spacing=%.2f measure=%s",
 		o.N, o.K, o.Trials, o.Width/o.Spacing, o.Measure)
@@ -233,7 +298,9 @@ func Fig1a(o ExpOptions) (*Table, error) {
 }
 
 // Fig1b reproduces Figure 1(b): mean CPU time per run (seconds) of the
-// faster algorithms as B varies.
+// faster algorithms as B varies. The reported value is a timing, so cells
+// and trials run sequentially on one core regardless of o.Workers — running
+// them concurrently would measure scheduler contention, not algorithm cost.
 func Fig1b(o ExpOptions) (*Table, error) {
 	o = o.withDefaults()
 	tbl := NewTable("Fig 1(b): CPU time (s) vs budget B", "B", nil)
@@ -242,6 +309,8 @@ func Fig1b(o ExpOptions) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		cfg.Workers = 1
+		cfg.Build.Workers = 1
 		for _, b := range o.Budgets {
 			c := cfg
 			c.Budget = b
@@ -264,6 +333,7 @@ func Fig1b(o ExpOptions) (*Table, error) {
 func MeasureComparison(o ExpOptions) (*Table, error) {
 	o = o.withDefaults()
 	tbl := NewTable("Measure comparison: T1-on distance vs budget per measure", "B", nil)
+	var cells []cellJob
 	for _, m := range []string{"H", "Hw", "ORA", "MPO"} {
 		oo := o
 		oo.Measure = m
@@ -272,14 +342,18 @@ func MeasureComparison(o ExpOptions) (*Table, error) {
 			return nil, err
 		}
 		for _, b := range o.Budgets {
-			c := cfg
-			c.Budget = b
-			st, err := RunTrials(c, o.Trials)
-			if err != nil {
-				return nil, fmt.Errorf("measures %s B=%d: %w", m, b, err)
-			}
-			tbl.Set("U_"+m, float64(b), st.MeanDistance)
+			m, b, c := m, b, cellConfig(cfg, b)
+			cells = append(cells, cellJob{"U_" + m, float64(b), func() (float64, error) {
+				st, err := RunTrials(c, o.Trials)
+				if err != nil {
+					return 0, fmt.Errorf("measures %s B=%d: %w", m, b, err)
+				}
+				return st.MeanDistance, nil
+			}})
 		}
+	}
+	if err := runCells(tbl, cells, o.Workers); err != nil {
+		return nil, err
 	}
 	tbl.Footnote = fmt.Sprintf("N=%d K=%d trials=%d algorithm=T1-on", o.N, o.K, o.Trials)
 	return tbl, nil
@@ -302,32 +376,42 @@ func NoisyWorkers(o ExpOptions) (*Table, error) {
 		{"p=0.7", 0.7, 1},
 		{"p=0.7 maj3", 0.7, 3},
 	}
+	var cells []cellJob
 	for _, s := range ss {
 		cfg, err := o.config(AlgT1On)
 		if err != nil {
 			return nil, err
 		}
 		for _, b := range o.Budgets {
-			c := cfg
-			c.Budget = b
-			acc := 0.0
-			for trial := 0; trial < o.Trials; trial++ {
-				res, err := RunNoisyTrial(c, s.accuracy, s.votes, c.Seed*7919+int64(trial))
-				if err != nil {
-					return nil, fmt.Errorf("noisy %s B=%d: %w", s.label, b, err)
+			s, b, c := s, b, cellConfig(cfg, b)
+			cells = append(cells, cellJob{s.label, float64(b), func() (float64, error) {
+				acc := 0.0
+				for trial := 0; trial < o.Trials; trial++ {
+					res, err := RunNoisyTrial(c, s.accuracy, s.votes, c.Seed*7919+int64(trial))
+					if err != nil {
+						return 0, fmt.Errorf("noisy %s B=%d: %w", s.label, b, err)
+					}
+					acc += res.FinalDistance
 				}
-				acc += res.FinalDistance
-			}
-			tbl.Set(s.label, float64(b), acc/float64(o.Trials))
+				return acc / float64(o.Trials), nil
+			}})
 		}
+	}
+	if err := runCells(tbl, cells, o.Workers); err != nil {
+		return nil, err
 	}
 	tbl.Footnote = fmt.Sprintf("N=%d K=%d trials=%d (maj3 costs 3 worker answers per question)", o.N, o.K, o.Trials)
 	return tbl, nil
 }
 
 // RunNoisyTrial wires a fresh world and a noisy majority-voting platform
-// into one run — exposed for the noisy-crowd benchmarks.
+// into one run — exposed for the noisy-crowd benchmarks. votes must be at
+// least 1; even counts are rounded up to the next odd number by the platform
+// so that majority aggregation can never tie (see crowd.Platform).
 func RunNoisyTrial(cfg Config, accuracy float64, votes int, seed int64) (*Result, error) {
+	if votes < 1 {
+		return nil, fmt.Errorf("engine: votes = %d, need at least one worker answer per question", votes)
+	}
 	c := cfg
 	c.Seed = seed
 	rng := rand.New(rand.NewSource(seed))
@@ -351,6 +435,7 @@ func RunNoisyTrial(cfg Config, accuracy float64, votes int, seed int64) (*Result
 func NonUniform(o ExpOptions) (*Table, error) {
 	o = o.withDefaults()
 	tbl := NewTable("Non-uniform score distributions: T1-on distance vs budget", "B", nil)
+	var cells []cellJob
 	for _, fam := range []dataset.Family{dataset.Uniform, dataset.Gaussian, dataset.Triangular} {
 		ds, err := dataset.Generate(dataset.Spec{
 			N: o.N, Spacing: o.Spacing, Width: o.Width, Family: fam, Seed: o.Seed,
@@ -367,14 +452,18 @@ func NonUniform(o ExpOptions) (*Table, error) {
 			Build: tpo.BuildOptions{GridSize: o.GridSize}, Seed: o.Seed,
 		}
 		for _, b := range o.Budgets {
-			c := cfg
-			c.Budget = b
-			st, err := RunTrials(c, o.Trials)
-			if err != nil {
-				return nil, fmt.Errorf("nonuniform %s B=%d: %w", fam, b, err)
-			}
-			tbl.Set(string(fam), float64(b), st.MeanDistance)
+			fam, b, c := fam, b, cellConfig(cfg, b)
+			cells = append(cells, cellJob{string(fam), float64(b), func() (float64, error) {
+				st, err := RunTrials(c, o.Trials)
+				if err != nil {
+					return 0, fmt.Errorf("nonuniform %s B=%d: %w", fam, b, err)
+				}
+				return st.MeanDistance, nil
+			}})
 		}
+	}
+	if err := runCells(tbl, cells, o.Workers); err != nil {
+		return nil, err
 	}
 	tbl.Footnote = fmt.Sprintf("N=%d K=%d trials=%d equal support width %g", o.N, o.K, o.Trials, o.Width)
 	return tbl, nil
@@ -382,7 +471,8 @@ func NonUniform(o ExpOptions) (*Table, error) {
 
 // Scalability reproduces the §III.D claim that incr suits large, highly
 // uncertain datasets: full-build versus incremental time and tree size as N
-// grows.
+// grows. Build times are the reported value, so the sweep runs sequentially
+// on one core regardless of o.Workers.
 func Scalability(o ExpOptions) (*Table, error) {
 	o = o.withDefaults()
 	ns := []int{8, 12, 16, 20, 24}
@@ -397,7 +487,9 @@ func Scalability(o ExpOptions) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		fullCfg.Budget = minInt(oo.RoundSize*2, 10)
+		fullCfg.Budget = min(oo.RoundSize*2, 10)
+		fullCfg.Workers = 1
+		fullCfg.Build.Workers = 1
 		incCfg := fullCfg
 		incCfg.Algorithm = AlgIncr
 
@@ -415,15 +507,8 @@ func Scalability(o ExpOptions) (*Table, error) {
 		tbl.Set("incr leaves", float64(n), incStats.MeanFinalLeaves)
 		tbl.Set("Δdistance", float64(n), incStats.MeanDistance-fullStats.MeanDistance)
 	}
-	tbl.Footnote = fmt.Sprintf("K=%d trials=%d budget=%d roundSize=%d", o.K, o.Trials, minInt(o.RoundSize*2, 10), o.RoundSize)
+	tbl.Footnote = fmt.Sprintf("K=%d trials=%d budget=%d roundSize=%d", o.K, o.Trials, min(o.RoundSize*2, 10), o.RoundSize)
 	return tbl, nil
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Experiments maps experiment ids to their runners, for the CLI.

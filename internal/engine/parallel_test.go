@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"testing"
+)
+
+// statsKey flattens the deterministic fields of TrialStats (everything but
+// the wall-clock timings) for exact comparison.
+func statsKey(st *TrialStats) [8]float64 {
+	return [8]float64{
+		st.MeanDistance, st.StdDistance, st.MeanInitialDistance,
+		st.MeanAsked, st.MeanFinalLeaves, st.ResolvedFraction,
+		st.MeanUncertainty, float64(st.Contradictions),
+	}
+}
+
+// TestRunTrialsParallelDeterminism: trials scheduled across a worker pool
+// must aggregate to exactly the statistics of the sequential loop — the
+// per-trial RNGs derive from the seed, and aggregation folds results in
+// trial order regardless of completion order.
+func TestRunTrialsParallelDeterminism(t *testing.T) {
+	o := ExpOptions{N: 10, K: 3, Trials: 6, Width: 2.0, Spacing: 0.5, Seed: 77}
+	for _, alg := range []string{AlgT1On, AlgTBOff, AlgIncr} {
+		cfg, err := ConfigFor(o, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Budget = 6
+
+		seq := cfg
+		seq.Workers = 1
+		seq.Build.Workers = 1
+		seqStats, err := RunTrials(seq, o.Trials)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", alg, err)
+		}
+
+		par := cfg
+		par.Workers = 4
+		par.Build.Workers = 4
+		parStats, err := RunTrials(par, o.Trials)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", alg, err)
+		}
+
+		if statsKey(seqStats) != statsKey(parStats) {
+			t.Errorf("%s: parallel stats %+v differ from sequential %+v", alg, parStats, seqStats)
+		}
+	}
+}
+
+// TestRunTrialsParallelFailureIsAnError: when trials run concurrently and
+// one fails, RunTrials must return that trial's error — not panic. After a
+// failure par.For skips unstarted trials, leaving nil slots in both the
+// error and result slices; the aggregation must not dereference them.
+func TestRunTrialsParallelFailureIsAnError(t *testing.T) {
+	o := ExpOptions{N: 10, K: 3, Trials: 8, Width: 2.0, Spacing: 0.5, Seed: 5}
+	cfg, err := ConfigFor(o, AlgT1On)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Budget = 2
+	cfg.Workers = 4
+	cfg.Build.MaxLeaves = 1 // every trial's build exceeds the leaf budget
+	st, err := RunTrials(cfg, o.Trials)
+	if err == nil {
+		t.Fatalf("expected every trial to fail with ErrTooLarge, got stats %+v", st)
+	}
+}
+
+// TestRunNoisyTrialValidatesVotes: the votes parameter is validated instead
+// of being silently treated as a trusted single answer.
+func TestRunNoisyTrialValidatesVotes(t *testing.T) {
+	o := ExpOptions{Quick: true}
+	cfg, err := ConfigFor(o, AlgT1On)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Budget = 3
+	if _, err := RunNoisyTrial(cfg, 0.8, 0, 1); err == nil {
+		t.Error("votes=0: expected an error")
+	}
+	if _, err := RunNoisyTrial(cfg, 0.8, -1, 1); err == nil {
+		t.Error("votes=-1: expected an error")
+	}
+	if _, err := RunNoisyTrial(cfg, 0.8, 2, 1); err != nil {
+		t.Errorf("votes=2 (rounded to 3 by the platform): %v", err)
+	}
+}

@@ -1,0 +1,98 @@
+// Package pcache is a process-wide, concurrency-safe cache of the pairwise
+// order probabilities π_ij = Pr(s_i > s_j) computed by dist.ProbGreater.
+//
+// π_ij values are consumed everywhere: TPO leaf splitting, the expected
+// residual sweeps of every selection strategy, and the Bayesian answer model
+// for noisy crowds. A single experiment sweep asks for the same pairs
+// thousands of times, and repeated trials over the same dataset re-ask them
+// across tree rebuilds. Because distributions are immutable after
+// construction, a probability keyed by the identity of the two distribution
+// values can be computed once per process and shared by every tree, strategy
+// and goroutine.
+//
+// The cache stores both directions of a pair on first computation (π_ji is
+// the complement 1−π_ij, the same identity tree-level callers have always
+// used), so a flipped lookup is a hit. All operations are safe for
+// concurrent use; duplicated computation under a race is benign because
+// dist.ProbGreater is deterministic.
+package pcache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"crowdtopk/internal/dist"
+)
+
+// maxEntries bounds the number of cached pairs. Note the bound is on entry
+// count, not bytes: a key pins its two distributions, so an entry can keep a
+// histogram's edge/weight slices reachable after the dataset is dropped.
+// When a process churns through more distinct pairs than this (only
+// plausible for a long-lived service re-reading or re-conditioning many
+// datasets), the cache is cleared wholesale rather than evicted piecemeal —
+// correctness never depends on a value being present, and the active
+// dataset re-populates its pairs on the next sweep.
+const maxEntries = 1 << 20
+
+var (
+	cache   sync.Map // pairKey -> float64
+	entries atomic.Int64
+	hits    atomic.Int64
+	misses  atomic.Int64
+	resetMu sync.Mutex
+)
+
+// pairKey identifies an ordered distribution pair. Distribution
+// implementations are pointer types, so interface equality is pointer
+// identity and keys are cheaply comparable.
+type pairKey struct {
+	a, b dist.Distribution
+}
+
+// ProbGreater returns Pr(A > B) for independent scores A ~ a and B ~ b,
+// memoizing the result (and its complement for the flipped pair) across the
+// whole process. Values are exactly those of dist.ProbGreater for the (a, b)
+// orientation actually computed first; the flipped orientation returns the
+// complement, matching the symmetry convention used by tree-level callers.
+func ProbGreater(a, b dist.Distribution) float64 {
+	k := pairKey{a, b}
+	if v, ok := cache.Load(k); ok {
+		hits.Add(1)
+		return v.(float64)
+	}
+	misses.Add(1)
+	p := dist.ProbGreater(a, b)
+	store(k, p)
+	if a != b {
+		store(pairKey{b, a}, 1-p)
+	}
+	return p
+}
+
+func store(k pairKey, p float64) {
+	if _, loaded := cache.LoadOrStore(k, p); !loaded {
+		if entries.Add(1) > maxEntries {
+			Reset()
+		}
+	}
+}
+
+// Reset empties the cache and zeroes the statistics. Intended for tests and
+// for long-lived processes switching workloads.
+func Reset() {
+	resetMu.Lock()
+	defer resetMu.Unlock()
+	cache.Range(func(k, _ any) bool {
+		cache.Delete(k)
+		return true
+	})
+	entries.Store(0)
+	hits.Store(0)
+	misses.Store(0)
+}
+
+// Stats reports the cumulative hit and miss counts since the last Reset —
+// exposed so tests can assert that repeated sweeps stop re-integrating pairs.
+func Stats() (cacheHits, cacheMisses int64) {
+	return hits.Load(), misses.Load()
+}

@@ -1,0 +1,118 @@
+package pcache
+
+import (
+	"sync"
+	"testing"
+
+	"crowdtopk/internal/dist"
+)
+
+func mustUniform(t *testing.T, lo, hi float64) dist.Distribution {
+	t.Helper()
+	u, err := dist.NewUniform(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// TestCachedEqualsUncached is the cache-correctness contract: a cached π_ij
+// is bit-identical to the uncached dist.ProbGreater value, and the flipped
+// orientation returns the exact complement.
+func TestCachedEqualsUncached(t *testing.T) {
+	Reset()
+	pairs := [][2]dist.Distribution{
+		{mustUniform(t, 0, 1), mustUniform(t, 0.5, 1.5)},
+		{mustUniform(t, 0, 2), mustUniform(t, 1, 1.2)},
+		{mustUniform(t, 0, 1), mustUniform(t, 2, 3)},
+	}
+	if g, err := dist.NewGaussian(0.3, 0.2); err == nil {
+		pairs = append(pairs, [2]dist.Distribution{g, mustUniform(t, 0, 1)})
+	}
+	for i, pr := range pairs {
+		want := dist.ProbGreater(pr[0], pr[1])
+		if got := ProbGreater(pr[0], pr[1]); got != want {
+			t.Errorf("pair %d: first lookup = %v, want uncached %v", i, got, want)
+		}
+		if got := ProbGreater(pr[0], pr[1]); got != want {
+			t.Errorf("pair %d: cached lookup = %v, want %v", i, got, want)
+		}
+		if got := ProbGreater(pr[1], pr[0]); got != 1-want {
+			t.Errorf("pair %d: flipped lookup = %v, want complement %v", i, got, 1-want)
+		}
+	}
+	hits, misses := Stats()
+	// Per pair: one miss, then one forward hit and one flipped hit.
+	if wantMisses := int64(len(pairs)); misses != wantMisses {
+		t.Errorf("misses = %d, want %d", misses, wantMisses)
+	}
+	if wantHits := int64(2 * len(pairs)); hits != wantHits {
+		t.Errorf("hits = %d, want %d", hits, wantHits)
+	}
+}
+
+// TestSamePair: a distribution compared against itself keeps the exact
+// ProbGreater convention (0.5) and does not corrupt the complement entry.
+func TestSamePair(t *testing.T) {
+	Reset()
+	u := mustUniform(t, 0, 1)
+	for i := 0; i < 3; i++ {
+		if got := ProbGreater(u, u); got != 0.5 {
+			t.Fatalf("ProbGreater(u, u) = %v, want 0.5", got)
+		}
+	}
+}
+
+// TestConcurrentAccess hammers one pair from many goroutines; run under
+// -race this pins the concurrency-safety claim, and every goroutine must see
+// the same value.
+func TestConcurrentAccess(t *testing.T) {
+	Reset()
+	a, b := mustUniform(t, 0, 1), mustUniform(t, 0.3, 1.3)
+	want := ProbGreater(a, b) // prime: fixes which orientation was computed
+	var wg sync.WaitGroup
+	errs := make(chan float64, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				// Both orientations; the flipped one must be the exact
+				// stored complement (compare in the stored domain —
+				// 1-(1-p) can re-round away from p).
+				got, expect := ProbGreater(a, b), want
+				if (g+i)%2 == 1 {
+					got, expect = ProbGreater(b, a), 1-want
+				}
+				if got != expect {
+					select {
+					case errs <- got:
+					default:
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for got := range errs {
+		t.Fatalf("concurrent lookup = %v, want %v", got, want)
+	}
+}
+
+// TestReset: statistics and entries drop to zero and the next lookup
+// recomputes.
+func TestReset(t *testing.T) {
+	Reset()
+	a, b := mustUniform(t, 0, 1), mustUniform(t, 0.2, 1.2)
+	ProbGreater(a, b)
+	ProbGreater(a, b)
+	Reset()
+	if hits, misses := Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("after Reset: hits=%d misses=%d, want 0/0", hits, misses)
+	}
+	ProbGreater(a, b)
+	if _, misses := Stats(); misses != 1 {
+		t.Fatalf("post-Reset lookup should recompute; misses = %d", misses)
+	}
+}

@@ -1,0 +1,71 @@
+package tpo
+
+import (
+	"fmt"
+	"testing"
+
+	"crowdtopk/internal/dist"
+)
+
+// benchLadder mirrors the paper-scale workload (N=20, K=5, width/spacing=7)
+// without importing internal/dataset (which would cycle through the engine
+// tests' helpers).
+func benchLadder(b *testing.B, n int, spacing, width float64) []dist.Distribution {
+	b.Helper()
+	ds := make([]dist.Distribution, n)
+	for i := range ds {
+		c := float64(i) * spacing
+		u, err := dist.NewUniform(c-width/2, c+width/2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ds[i] = u
+	}
+	return ds
+}
+
+// BenchmarkBuildWorkers measures the tentpole claim: the N=20, K=5 full
+// build with Workers=4 must be ≥2× faster than Workers=1, with byte-
+// identical output (pinned by TestBuildParallelDeterminism). Compare the
+// per-worker-count ns/op columns.
+func BenchmarkBuildWorkers(b *testing.B) {
+	ds := benchLadder(b, 20, 0.5, 3.5)
+	const k = 5
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("N=20/K=5/workers=%d", workers), func(b *testing.B) {
+			opt := BuildOptions{GridSize: 512, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				tree, err := Build(ds, k, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tree.NumLeaves() == 0 {
+					b.Fatal("empty tree")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtendWorkers measures the incremental path: growing one level of
+// a wide tree is a per-leaf fan-out, the unit of Extend's worker pool.
+func BenchmarkExtendWorkers(b *testing.B) {
+	ds := benchLadder(b, 16, 0.5, 3.0)
+	const k = 4
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opt := BuildOptions{GridSize: 512, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				tr, err := StartIncremental(ds, k, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for tr.Depth() < k {
+					if err := tr.Extend(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

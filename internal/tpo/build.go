@@ -2,9 +2,13 @@ package tpo
 
 import (
 	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
 
 	"crowdtopk/internal/dist"
 	"crowdtopk/internal/numeric"
+	"crowdtopk/internal/par"
 	"crowdtopk/internal/rank"
 )
 
@@ -20,6 +24,12 @@ type BuildOptions struct {
 	// this bounds the tree by the numerically meaningful orderings.
 	// Zero selects DefaultProbEpsilon.
 	ProbEpsilon float64
+	// Workers is the number of goroutines expanding independent subtrees
+	// during Build (and growing leaves during Extend). Zero selects
+	// GOMAXPROCS; 1 forces the sequential build. The resulting tree —
+	// child order, leaf order, and every probability bit — is identical
+	// for every worker count.
+	Workers int
 }
 
 // Defaults for BuildOptions.
@@ -39,6 +49,9 @@ func (o BuildOptions) withDefaults() BuildOptions {
 	if o.ProbEpsilon == 0 {
 		o.ProbEpsilon = DefaultProbEpsilon
 	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
@@ -52,18 +65,21 @@ func (o BuildOptions) withDefaults() BuildOptions {
 //
 // Leaf probabilities are renormalized to sum to one; the pre-normalization
 // mass (≈1 up to quadrature error) is returned in the tree diagnostics.
+//
+// Construction parallelizes across disjoint subtrees when opt.Workers
+// permits; the result is byte-identical to the sequential build.
 func Build(ds []dist.Distribution, k int, opt BuildOptions) (*Tree, error) {
 	t, err := prepare(ds, k, opt)
 	if err != nil {
 		return nil, err
 	}
 	t.opt = opt.withDefaults()
-	b := newBuilder(t, t.opt)
 	c0 := make([]float64, t.grid.Len())
 	for i := range c0 {
 		c0[i] = 1
 	}
-	if err := b.expand(t.Root, c0, allRemaining(len(ds)), k); err != nil {
+	root := buildJob{node: t.Root, c: c0, remaining: allRemaining(len(ds))}
+	if err := expandAll(t, t.opt, []buildJob{root}, k); err != nil {
 		return nil, err
 	}
 	t.depth = k
@@ -120,12 +136,65 @@ func allRemaining(n int) []int {
 	return r
 }
 
-// builder carries per-depth scratch buffers so a full DFS allocates O(K·N·G)
-// once instead of per node.
+// buildJob is one independent unit of parallel construction: a subtree root
+// together with the survival chain and candidate set it needs. Jobs own
+// disjoint subtrees and share nothing mutable besides the leaf budget, so
+// any number of them can expand concurrently.
+type buildJob struct {
+	node      *Node
+	c         []float64
+	remaining []int
+}
+
+// frontierFactor·workers is the number of independent subtree jobs targeted
+// before handing the frontier to the pool. Oversplitting keeps the pool busy
+// when subtree sizes are skewed (tuples whose support reaches high carry far
+// more orderings than tail tuples).
+const frontierFactor = 8
+
+// expandAll grows every job's subtree down to depth k using opt.Workers
+// goroutines. The result is byte-identical to a sequential build: children
+// are emitted in candidate order regardless of scheduling, each subtree is
+// produced by exactly the floating-point operations the sequential recursion
+// would perform, and jobs never touch each other's nodes.
+func expandAll(t *Tree, opt BuildOptions, jobs []buildJob, k int) error {
+	leaves := new(atomic.Int64)
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > 1 {
+		// Widen the frontier one level at a time until there is enough
+		// independent work to occupy the pool. Frontier chains are owned
+		// copies, so the jobs outlive the builder's scratch.
+		fb := newBuilder(t, opt, leaves)
+		for len(jobs) > 0 && len(jobs) < frontierFactor*workers {
+			var next []buildJob
+			for _, j := range jobs {
+				if err := fb.expand(j.node, j.c, j.remaining, k, &next); err != nil {
+					return err
+				}
+			}
+			jobs = next
+		}
+	}
+	builders := make([]*builder, workers)
+	return par.FirstError(par.For(len(jobs), workers, func(w, i int) error {
+		if builders[w] == nil {
+			builders[w] = newBuilder(t, opt, leaves)
+		}
+		j := jobs[i]
+		return builders[w].expand(j.node, j.c, j.remaining, k, nil)
+	}))
+}
+
+// builder carries one worker's per-depth scratch buffers so a full subtree
+// DFS allocates O(K·N·G) once instead of per node. Builders are never shared
+// between goroutines; the only cross-worker state is the leaf budget.
 type builder struct {
 	t       *Tree
 	opt     BuildOptions
-	leaves  int
+	leaves  *atomic.Int64 // shared across the workers of one Build/Extend
 	scratch []*depthScratch
 }
 
@@ -136,8 +205,8 @@ type depthScratch struct {
 	childC     []float64
 }
 
-func newBuilder(t *Tree, opt BuildOptions) *builder {
-	return &builder{t: t, opt: opt}
+func newBuilder(t *Tree, opt BuildOptions, leaves *atomic.Int64) *builder {
+	return &builder{t: t, opt: opt, leaves: leaves}
 }
 
 func (b *builder) scratchAt(depth, nRemaining int) *depthScratch {
@@ -157,9 +226,23 @@ func (b *builder) scratchAt(depth, nRemaining int) *depthScratch {
 	return s
 }
 
-// expand grows the subtree under n (whose survival chain is c) with the
-// remaining candidate tuples, down to depth k.
-func (b *builder) expand(n *Node, c []float64, remaining []int, k int) error {
+// expand materializes the children of n from its survival chain c and the
+// remaining candidate tuples, appending them to n.Children in candidate
+// order (which keeps the tree layout independent of goroutine scheduling),
+// and continues down to depth k. Depth-k children are leaves and counted
+// against the shared budget.
+//
+// When frontier is nil, expand recurses: the child survival chain
+// C'(x) = ∫_x^Hi f_id(y)·C(y) dy lives in this depth's scratch (the
+// recursive call only writes scratch at deeper levels and returns before
+// the next sibling overwrites it, so no copy is needed). When frontier is
+// non-nil, expand instead stops after this one level and appends each
+// non-leaf child — with a freshly allocated, job-owned chain — to *frontier
+// for a worker pool to pick up. The frontier mode is deliberately folded
+// into the same function (rather than an indirect descend callback) so the
+// grid-sized inner loops below stay directly optimizable: they are the
+// hottest code in the package.
+func (b *builder) expand(n *Node, c []float64, remaining []int, k int, frontier *[]buildJob) error {
 	g := b.t.grid
 	gl := g.Len()
 	s := b.scratchAt(n.depth, len(remaining))
@@ -209,21 +292,26 @@ func (b *builder) expand(n *Node, c []float64, remaining []int, k int) error {
 		child := &Node{Tuple: id, Prob: p, depth: n.depth + 1}
 		n.Children = append(n.Children, child)
 		if child.depth == k {
-			b.leaves++
-			if b.leaves > b.opt.MaxLeaves {
+			if b.leaves.Add(1) > int64(b.opt.MaxLeaves) {
 				return fmt.Errorf("%w: more than %d depth-%d prefixes", ErrTooLarge, b.opt.MaxLeaves, k)
 			}
 			continue
 		}
-		// Child survival chain: C'(x) = ∫_x^Hi f_id(y)·C(y) dy.
-		// s.childC belongs to this depth's scratch: the recursive call only
-		// writes scratch at deeper levels and returns before the next
-		// sibling overwrites it, so no copy is needed.
-		for i := 0; i < gl; i++ {
-			s.childC[i] = pdf[i] * c[i]
+		if frontier != nil {
+			childC := make([]float64, gl)
+			for i := 0; i < gl; i++ {
+				childC[i] = pdf[i] * c[i]
+			}
+			g.CumTrapezoidRight(childC, childC)
+			*frontier = append(*frontier, buildJob{child, childC, excluding(remaining, ri)})
+			continue
 		}
-		g.CumTrapezoidRight(s.childC, s.childC)
-		if err := b.expand(child, s.childC, excluding(remaining, ri), k); err != nil {
+		childC := s.childC
+		for i := 0; i < gl; i++ {
+			childC[i] = pdf[i] * c[i]
+		}
+		g.CumTrapezoidRight(childC, childC)
+		if err := b.expand(child, childC, excluding(remaining, ri), k, nil); err != nil {
 			return err
 		}
 	}
@@ -233,7 +321,7 @@ func (b *builder) expand(n *Node, c []float64, remaining []int, k int) error {
 // maxTwoLowerBounds returns the largest and second-largest support lower
 // bounds among the remaining tuples.
 func maxTwoLowerBounds(ds []dist.Distribution, remaining []int) (float64, float64) {
-	m1, m2 := negInf(), negInf()
+	m1, m2 := math.Inf(-1), math.Inf(-1)
 	for _, id := range remaining {
 		lo, _ := ds[id].Support()
 		if lo > m1 {
@@ -249,7 +337,7 @@ func maxTwoLowerBounds(ds []dist.Distribution, remaining []int) (float64, float6
 // loBoundOwner returns the id of the remaining tuple holding the largest
 // lower bound (first on ties).
 func loBoundOwner(ds []dist.Distribution, remaining []int) int {
-	best, owner := negInf(), -1
+	best, owner := math.Inf(-1), -1
 	for _, id := range remaining {
 		lo, _ := ds[id].Support()
 		if lo > best {
@@ -258,8 +346,6 @@ func loBoundOwner(ds []dist.Distribution, remaining []int) int {
 	}
 	return owner
 }
-
-func negInf() float64 { return -1.797e308 }
 
 func excluding(xs []int, i int) []int {
 	out := make([]int, 0, len(xs)-1)

@@ -2,8 +2,10 @@ package tpo
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"crowdtopk/internal/dist"
+	"crowdtopk/internal/par"
 	"crowdtopk/internal/rank"
 )
 
@@ -28,12 +30,17 @@ func StartIncremental(ds []dist.Distribution, k int, opt BuildOptions) (*Tree, e
 // prefix-extension probabilities. It returns ErrTooLarge when the new level
 // would exceed the leaf budget and leaves the tree unchanged in that case,
 // and ErrInvalidInput once the tree is already at depth K.
+//
+// Leaves grow concurrently when opt.Workers permits: each leaf's children
+// are an independent job (the survival chain is rebuilt from its path, so
+// jobs share only the immutable grid samples and the leaf budget), and the
+// staged results are attached in leaf order, making the extended tree
+// identical for every worker count.
 func (t *Tree) Extend() error {
 	if t.depth >= t.K {
 		return fmt.Errorf("%w: tree already at depth %d = K", ErrInvalidInput, t.depth)
 	}
 	opt := t.opt.withDefaults()
-	b := newBuilder(t, opt)
 
 	type job struct {
 		leaf *Node
@@ -48,25 +55,28 @@ func (t *Tree) Extend() error {
 		})
 	}
 
-	newLeaves := 0
-	type grown struct {
-		leaf     *Node
-		children []*Node
+	// Children are staged per leaf and only attached once every job
+	// succeeded, so a failed extension leaves the tree unchanged.
+	staged := make([][]*Node, len(jobs))
+	leaves := new(atomic.Int64)
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
 	}
-	var staged []grown
-	for _, j := range jobs {
-		children, err := b.childrenOf(j.path, j.leaf.Prob)
-		if err != nil {
-			return err
+	builders := make([]*builder, workers)
+	errs := par.For(len(jobs), workers, func(w, i int) error {
+		if builders[w] == nil {
+			builders[w] = newBuilder(t, opt, leaves)
 		}
-		newLeaves += len(children)
-		if newLeaves > opt.MaxLeaves {
-			return fmt.Errorf("%w: extending to depth %d needs more than %d leaves", ErrTooLarge, t.depth+1, opt.MaxLeaves)
-		}
-		staged = append(staged, grown{j.leaf, children})
+		var err error
+		staged[i], err = builders[w].childrenOf(jobs[i].path, jobs[i].leaf.Prob)
+		return err
+	})
+	if err := par.FirstError(errs); err != nil {
+		return err
 	}
-	for _, g := range staged {
-		g.leaf.Children = g.children
+	for i, children := range staged {
+		jobs[i].leaf.Children = children
 	}
 	t.depth++
 	return t.renormalize()
@@ -103,17 +113,18 @@ func (b *builder) childrenOf(path rank.Ordering, parentPosterior float64) ([]*No
 
 	parent := &Node{Tuple: -1, Prob: parentPosterior, depth: len(path)}
 	// expand with k = depth+1 materializes exactly one level.
-	if err := b.expand(parent, c, remaining, len(path)+1); err != nil {
+	if err := b.expand(parent, c, remaining, len(path)+1, nil); err != nil {
 		return nil, err
 	}
 	if len(parent.Children) == 0 {
 		// Every extension fell below ProbEpsilon: the prefix itself carries
 		// tiny raw mass, so its children's absolute masses vanish even
-		// though they must sum to the parent's. Retry thresholdless — the
+		// though they must sum to the parent's. Retry thresholdless with a
+		// dedicated builder (same tree, same shared leaf budget) — the
 		// relative split is what matters here.
-		noEps := *b
+		noEps := newBuilder(b.t, b.opt, b.leaves)
 		noEps.opt.ProbEpsilon = 1e-300
-		if err := noEps.expand(parent, c, remaining, len(path)+1); err != nil {
+		if err := noEps.expand(parent, c, remaining, len(path)+1, nil); err != nil {
 			return nil, err
 		}
 	}

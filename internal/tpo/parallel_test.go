@@ -1,0 +1,128 @@
+package tpo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"crowdtopk/internal/dist"
+)
+
+// overlapLadder builds n uniform scores with centers spacing apart and the
+// given support width — enough overlap that the tree has many orderings and
+// every subtree job carries real work.
+func overlapLadder(t *testing.T, n int, spacing, width float64) []dist.Distribution {
+	t.Helper()
+	ds := make([]dist.Distribution, n)
+	for i := range ds {
+		c := float64(i) * spacing
+		u, err := dist.NewUniform(c-width/2, c+width/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds[i] = u
+	}
+	return ds
+}
+
+// treeFingerprint serializes the complete tree structure with exact float64
+// bit patterns, so two trees compare byte-identical — not merely almost
+// equal.
+func treeFingerprint(tr *Tree) string {
+	var out []byte
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		out = fmt.Appendf(out, "%d:%d:%x(", n.Tuple, n.Depth(), math.Float64bits(n.Prob))
+		for _, c := range n.Children {
+			rec(c)
+		}
+		out = append(out, ')')
+	}
+	rec(tr.Root)
+	return string(out)
+}
+
+// TestBuildParallelDeterminism is the tentpole contract: the parallel build
+// must produce child order, leaf order and every probability bit identical
+// to the sequential build, for any worker count.
+func TestBuildParallelDeterminism(t *testing.T) {
+	ds := overlapLadder(t, 14, 0.5, 3.0)
+	const k = 4
+	opt := BuildOptions{GridSize: 256, Workers: 1}
+	seq, err := Build(ds, k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := treeFingerprint(seq)
+	for _, workers := range []int{2, 3, 4, 8} {
+		opt.Workers = workers
+		par, err := Build(ds, k, opt)
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", workers, err)
+		}
+		if got := treeFingerprint(par); got != want {
+			t.Errorf("Workers=%d: tree differs from sequential build", workers)
+		}
+		if par.BuildMass() != seq.BuildMass() {
+			t.Errorf("Workers=%d: build mass %g != %g", workers, par.BuildMass(), seq.BuildMass())
+		}
+	}
+}
+
+// TestExtendParallelDeterminism covers the incremental path: level-wise
+// extension with a worker pool must equal the sequential extension exactly,
+// including after pruning reshapes the leaf population.
+func TestExtendParallelDeterminism(t *testing.T) {
+	ds := overlapLadder(t, 12, 0.5, 2.8)
+	const k = 4
+	grow := func(workers int) *Tree {
+		t.Helper()
+		tr, err := StartIncremental(ds, k, BuildOptions{GridSize: 256, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Prune mid-construction so Extend also runs on a reweighted tree.
+		if err := tr.Prune(Answer{Q: NewQuestion(0, 11), Yes: false}); err != nil {
+			t.Fatal(err)
+		}
+		for tr.Depth() < k {
+			if err := tr.Extend(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tr
+	}
+	want := treeFingerprint(grow(1))
+	for _, workers := range []int{2, 4} {
+		if got := treeFingerprint(grow(workers)); got != want {
+			t.Errorf("Workers=%d: extended tree differs from sequential", workers)
+		}
+	}
+}
+
+// TestBuildParallelTooLarge: the leaf budget must abort the parallel build
+// with the same sentinel as the sequential one.
+func TestBuildParallelTooLarge(t *testing.T) {
+	ds := overlapLadder(t, 12, 0.1, 4.0) // heavy overlap: thousands of orderings
+	for _, workers := range []int{1, 4} {
+		_, err := Build(ds, 4, BuildOptions{GridSize: 128, MaxLeaves: 50, Workers: workers})
+		if !errors.Is(err, ErrTooLarge) {
+			t.Errorf("Workers=%d: err = %v, want ErrTooLarge", workers, err)
+		}
+	}
+}
+
+// TestBuildWorkersDefault: the zero value must keep working (and means "all
+// CPUs", which still has to validate against the sequential result — covered
+// above; here we only pin that it builds and normalizes).
+func TestBuildWorkersDefault(t *testing.T) {
+	ds := overlapLadder(t, 8, 0.5, 2.0)
+	tr, err := Build(ds, 3, BuildOptions{GridSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"crowdtopk/internal/dist"
 	"crowdtopk/internal/numeric"
+	"crowdtopk/internal/pcache"
 	"crowdtopk/internal/rank"
 )
 
@@ -51,7 +52,6 @@ type Tree struct {
 	depth     int          // current construction depth (== K after a full Build)
 	buildMass float64      // unnormalized mass found by Build, ≈1
 	opt       BuildOptions // options carried over to incremental Extend calls
-	pairCache map[Question]float64
 }
 
 // Depth returns the depth the tree is currently materialized to. It equals K
@@ -179,31 +179,20 @@ func (t *Tree) Tuples() []int {
 	return out
 }
 
-// ProbGreater returns Pr(s_i > s_j) from the score model, computed on the
-// shared grid and cached. It is the π_ij used to split undetermined leaves
-// when computing answer probabilities.
+// ProbGreater returns Pr(s_i > s_j) from the score model, memoized in the
+// process-wide pairwise cache (internal/pcache) so concurrent trials and
+// repeated selection sweeps over the same dataset never re-integrate a pair.
+// It is the π_ij used to split undetermined leaves when computing answer
+// probabilities. The canonical (i < j) orientation is the one computed;
+// flipped queries return the complement, as before the cache existed.
 func (t *Tree) ProbGreater(i, j int) float64 {
 	if i == j {
 		return 0.5
 	}
-	q := Question{I: i, J: j} // raw key; direction handled below
-	flip := false
 	if i > j {
-		q = Question{I: j, J: i}
-		flip = true
+		return 1 - pcache.ProbGreater(t.Dists[j], t.Dists[i])
 	}
-	if t.pairCache == nil {
-		t.pairCache = make(map[Question]float64)
-	}
-	p, ok := t.pairCache[q]
-	if !ok {
-		p = dist.ProbGreater(t.Dists[q.I], t.Dists[q.J])
-		t.pairCache[q] = p
-	}
-	if flip {
-		return 1 - p
-	}
-	return p
+	return pcache.ProbGreater(t.Dists[i], t.Dists[j])
 }
 
 // Clone deep-copies the tree structure. The score model, grid and cached
