@@ -10,6 +10,7 @@ import (
 	"crowdtopk/internal/crowd"
 	"crowdtopk/internal/dataset"
 	"crowdtopk/internal/engine"
+	"crowdtopk/internal/session"
 	"crowdtopk/internal/uncertainty"
 )
 
@@ -39,22 +40,6 @@ func cmdDemo(args []string) error {
 	}
 	rng := rand.New(rand.NewSource(*seed))
 	truth := crowd.SampleTruth(ds, rng)
-	var cr crowd.Crowd
-	switch {
-	case *interactive:
-		cr = newInteractiveCrowd(os.Stdin, os.Stdout, func(id int) string {
-			return fmt.Sprintf("t%d %s", id, ds[id])
-		})
-	case *accuracy >= 1 && *votes <= 1:
-		cr = &crowd.PerfectOracle{Truth: truth}
-	default:
-		pf, err := crowd.NewUniformPlatform(truth, 12, *accuracy, rng)
-		if err != nil {
-			return err
-		}
-		pf.Votes = *votes
-		cr = pf
-	}
 
 	fmt.Printf("dataset: %d tuples with uncertain scores; query: top-%d, budget %d, %s/%s crowd accuracy %.2f\n",
 		*n, *k, *budget, *alg, *measure, *accuracy)
@@ -65,6 +50,40 @@ func cmdDemo(args []string) error {
 	}
 	tw.Flush()
 
+	if *interactive {
+		// Interactive mode is a session client: the session plans the
+		// questions and conditions the orderings, the terminal user is the
+		// crowd — the same loop a platform integration runs over HTTP.
+		sess, err := session.New(session.Config{
+			Dists: ds, K: *k, Budget: *budget,
+			Algorithm: *alg, Measure: *measure, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		client := newInteractiveClient(os.Stdin, os.Stdout, func(id int) string {
+			return fmt.Sprintf("t%d %s", id, ds[id])
+		})
+		if err := client.run(sess); err != nil {
+			return err
+		}
+		res := sess.Result()
+		fmt.Printf("\npossible orderings:  %d (asked %d questions, %s)\n", res.Orderings, res.Asked, res.State)
+		fmt.Printf("answer:              %v (resolved=%v, uncertainty %.4f)\n", res.Ranking, res.Resolved, res.Uncertainty)
+		return nil
+	}
+
+	var cr crowd.Crowd
+	if *accuracy >= 1 && *votes <= 1 {
+		cr = &crowd.PerfectOracle{Truth: truth}
+	} else {
+		pf, err := crowd.NewUniformPlatform(truth, 12, *accuracy, rng)
+		if err != nil {
+			return err
+		}
+		pf.Votes = *votes
+		cr = pf
+	}
 	res, err := engine.Run(engine.Config{
 		Dists: ds, K: *k, Budget: *budget, Algorithm: *alg,
 		Measure: m, Crowd: cr, Truth: truth, Seed: *seed,

@@ -6,45 +6,61 @@ import (
 	"io"
 	"strings"
 
+	"crowdtopk/internal/session"
 	"crowdtopk/internal/tpo"
 )
 
-// interactiveCrowd turns the terminal user into the crowd: every question
-// the selection strategy picks is printed and answered on stdin. It is the
-// real crowdsourcing loop with a crowd of one.
-type interactiveCrowd struct {
+// interactiveClient turns the terminal user into the crowd for an
+// asynchronous query session: it pulls each question the session plans,
+// prompts on stdout and submits the y/n answer. It is just another session
+// client — the same pull/answer loop a crowd-platform integration runs over
+// HTTP, with a crowd of one.
+type interactiveClient struct {
 	in    *bufio.Scanner
 	out   io.Writer
 	names func(int) string
 	asked int
 }
 
-func newInteractiveCrowd(in io.Reader, out io.Writer, names func(int) string) *interactiveCrowd {
-	return &interactiveCrowd{in: bufio.NewScanner(in), out: out, names: names}
+func newInteractiveClient(in io.Reader, out io.Writer, names func(int) string) *interactiveClient {
+	return &interactiveClient{in: bufio.NewScanner(in), out: out, names: names}
 }
 
-// Ask implements crowd.Crowd.
-func (c *interactiveCrowd) Ask(q tpo.Question) tpo.Answer {
+// run drives the session to termination, one question at a time.
+func (c *interactiveClient) run(sess *session.Session) error {
+	for {
+		qs, err := sess.NextQuestions(1)
+		if err != nil {
+			return err
+		}
+		if len(qs) == 0 {
+			return nil // converged or exhausted
+		}
+		yes := c.prompt(qs[0])
+		if err := sess.SubmitAnswer(tpo.Answer{Q: qs[0], Yes: yes}); err != nil {
+			return err
+		}
+	}
+}
+
+// prompt asks the user one question, re-prompting until it parses. EOF
+// answers arbitrarily but deterministically so a piped session terminates
+// instead of hanging.
+func (c *interactiveClient) prompt(q tpo.Question) bool {
 	c.asked++
 	for {
 		fmt.Fprintf(c.out, "Q%d: does %s rank above %s? [y/n] ", c.asked, c.names(q.I), c.names(q.J))
 		if !c.in.Scan() {
-			// EOF: answer arbitrarily but deterministically so a piped
-			// session terminates instead of hanging.
 			fmt.Fprintln(c.out, "(eof — assuming yes)")
-			return tpo.Answer{Q: q, Yes: true}
+			return true
 		}
 		switch strings.ToLower(strings.TrimSpace(c.in.Text())) {
 		case "y", "yes":
-			return tpo.Answer{Q: q, Yes: true}
+			return true
 		case "n", "no":
-			return tpo.Answer{Q: q, Yes: false}
+			return false
 		default:
 			fmt.Fprintln(c.out, "please answer y or n")
 		}
 	}
 }
-
-// Reliability implements crowd.Crowd: interactive answers are trusted and
-// prune the tree outright.
-func (c *interactiveCrowd) Reliability() float64 { return 1 }

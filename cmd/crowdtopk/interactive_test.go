@@ -6,47 +6,73 @@ import (
 	"strings"
 	"testing"
 
+	"crowdtopk/internal/dataset"
+	"crowdtopk/internal/session"
 	"crowdtopk/internal/tpo"
 )
 
-func TestInteractiveCrowdParsesAnswers(t *testing.T) {
+func TestInteractiveClientParsesAnswers(t *testing.T) {
 	in := strings.NewReader("y\nn\nYES\nno\n")
 	var out bytes.Buffer
-	c := newInteractiveCrowd(in, &out, func(id int) string { return fmt.Sprintf("item-%d", id) })
+	c := newInteractiveClient(in, &out, func(id int) string { return fmt.Sprintf("item-%d", id) })
 	q := tpo.NewQuestion(0, 1)
 	wantYes := []bool{true, false, true, false}
 	for i, want := range wantYes {
-		a := c.Ask(q)
-		if a.Yes != want {
-			t.Fatalf("answer %d: got yes=%v, want %v", i, a.Yes, want)
+		if got := c.prompt(q); got != want {
+			t.Fatalf("answer %d: got yes=%v, want %v", i, got, want)
 		}
 	}
 	if got := out.String(); !strings.Contains(got, "item-0") || !strings.Contains(got, "item-1") {
 		t.Fatalf("prompt does not name the items: %q", got)
 	}
-	if c.Reliability() != 1 {
-		t.Fatal("interactive answers must be trusted")
-	}
 }
 
-func TestInteractiveCrowdReprompts(t *testing.T) {
+func TestInteractiveClientReprompts(t *testing.T) {
 	in := strings.NewReader("maybe\nwhat\ny\n")
 	var out bytes.Buffer
-	c := newInteractiveCrowd(in, &out, func(id int) string { return "x" })
-	a := c.Ask(tpo.NewQuestion(2, 3))
-	if !a.Yes {
-		t.Fatalf("final answer should be yes, got %v", a)
+	c := newInteractiveClient(in, &out, func(id int) string { return "x" })
+	if !c.prompt(tpo.NewQuestion(2, 3)) {
+		t.Fatal("final answer should be yes")
 	}
 	if n := strings.Count(out.String(), "please answer"); n != 2 {
 		t.Fatalf("expected 2 reprompts, saw %d", n)
 	}
 }
 
-func TestInteractiveCrowdEOFTerminates(t *testing.T) {
-	c := newInteractiveCrowd(strings.NewReader(""), &bytes.Buffer{}, func(id int) string { return "x" })
-	a := c.Ask(tpo.NewQuestion(0, 1))
+func TestInteractiveClientEOFTerminates(t *testing.T) {
+	c := newInteractiveClient(strings.NewReader(""), &bytes.Buffer{}, func(id int) string { return "x" })
 	// Deterministic fallback so piped sessions do not hang.
-	if !a.Yes {
-		t.Fatalf("EOF fallback = %v", a)
+	if !c.prompt(tpo.NewQuestion(0, 1)) {
+		t.Fatal("EOF fallback should answer yes")
+	}
+}
+
+// TestInteractiveClientDrivesSession: the TUI is a session client — it runs
+// a real session to termination, answering every planned question, and the
+// session accounts for each answer.
+func TestInteractiveClientDrivesSession(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Spec{N: 5, Width: 2.0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := session.New(session.Config{Dists: ds, K: 2, Budget: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader(strings.Repeat("y\n", 64))
+	var out bytes.Buffer
+	c := newInteractiveClient(in, &out, func(id int) string { return fmt.Sprintf("t%d", id) })
+	if err := c.run(sess); err != nil {
+		t.Fatal(err)
+	}
+	if !sess.State().Terminal() {
+		t.Fatalf("session not terminal after interactive run: %s", sess.State())
+	}
+	res := sess.Result()
+	if res.Asked == 0 || res.Asked != c.asked {
+		t.Fatalf("asked mismatch: session %d, client %d", res.Asked, c.asked)
+	}
+	if !strings.Contains(out.String(), "rank above") {
+		t.Fatalf("no prompts rendered: %q", out.String())
 	}
 }

@@ -8,6 +8,7 @@
 //	crowdtopk gen  -n 20 -family uniform -width 2.0 -out data.csv
 //	crowdtopk viz  -in data.csv -k 3 -out tree.dot
 //	crowdtopk demo -n 6 -k 3 -budget 8 [-accuracy 0.8]
+//	crowdtopk serve -addr :8080 [-workers 0 -ttl 30m -max-sessions 0]
 //	crowdtopk list
 package main
 
@@ -37,6 +38,8 @@ func main() {
 		err = cmdViz(os.Args[2:])
 	case "demo":
 		err = cmdDemo(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "list":
 		err = cmdList()
 	case "-h", "--help", "help":
@@ -60,6 +63,7 @@ commands:
   gen   generate a synthetic uncertain dataset as CSV
   viz   render the tree of possible orderings of a dataset as Graphviz DOT
   demo  run an end-to-end query against a simulated crowd
+  serve run the asynchronous query-session HTTP API
   list  list available experiments and algorithms`)
 }
 

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"crowdtopk/internal/server"
+)
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "process-wide worker budget shared by all sessions' tree builds (0 = all CPUs)")
+	ttl := fs.Duration("ttl", server.DefaultTTL, "evict sessions idle longer than this (0 = never)")
+	maxSessions := fs.Int("max-sessions", 0, "maximum live sessions, creates beyond it get 503 (0 = unbounded)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := server.New(server.Config{
+		Workers:     *workers,
+		TTL:         *ttl,
+		MaxSessions: *maxSessions,
+	})
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "crowdtopk serve: listening on %s (workers=%d ttl=%s)\n", *addr, *workers, *ttl)
+	return http.ListenAndServe(*addr, srv.Handler())
+}

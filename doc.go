@@ -30,6 +30,39 @@
 // repository. See the examples/ directory for runnable end-to-end programs
 // and DESIGN.md for the system inventory and experiment index.
 //
+// # Asynchronous sessions
+//
+// Process blocks on the Crowd callback, which suits simulations but not real
+// platforms, where answers arrive minutes or hours later. NewSession inverts
+// the callback into a pull/push state machine that holds the query open for
+// as long as the crowd needs:
+//
+//	                NextQuestions            SubmitAnswer
+//	  ┌─────────┐  (deliver work)  ┌──────────────────┐ ──┐
+//	  │ Created ├─────────────────▶│ AwaitingAnswers  │   │ answers condition
+//	  └────┬────┘                  └───────┬──────────┘ ◀─┘ the orderings
+//	       │                               │
+//	       │ nothing to ask                │ single ordering left ──▶ Converged
+//	       │ (budget 0)                    │ questions spent,
+//	       └──────────────▶ terminal ◀─────┘ uncertainty remains ──▶ Exhausted
+//
+// NextQuestions returns the strategy's currently best pending questions
+// (idempotently — a crashed client pulls the same work again), SubmitAnswer
+// accepts answers in any order within the issued set and conditions the tree
+// through the same transition code the batch engine runs, and Result reports
+// the current top-K belief in every state. Checkpoint serializes the whole
+// session (dataset, configuration, conditioned orderings, answer log, RNG
+// position) into a versioned JSON envelope; RestoreSession verifies the
+// schema version and dataset digest and resumes mid-query, in this process
+// or another. A session driven to completion returns exactly what Process
+// returns for the same configuration and answers.
+//
+// The crowdtopk CLI serves these sessions over HTTP (`crowdtopk serve`):
+// POST /v1/sessions creates or restores, GET questions / POST answers /
+// GET result / GET checkpoint / DELETE drive the lifecycle, and GET
+// /v1/stats exposes store and π-cache counters. See the README for curl
+// exchanges.
+//
 // # Numerical substrate
 //
 // All probabilities flow from the internal score-distribution kernel

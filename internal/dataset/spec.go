@@ -1,0 +1,128 @@
+package dataset
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+
+	"crowdtopk/internal/dist"
+)
+
+// DistSpec is the wire form of one uncertain score distribution: the
+// family-tagged parameter vector exchanged by the HTTP serving layer and
+// embedded in session checkpoints. Unlike the CSV codec (WriteCSV/ReadCSV,
+// kept for the experiment tooling) it covers every family the kernel
+// implements.
+//
+// Families and parameters:
+//
+//	uniform     params = [lo, hi]
+//	gaussian    params = [mu, sigma]
+//	triangular  params = [lo, mode, hi]
+//	point       params = [x]
+//	histogram   edges (len = bins+1) and weights (len = bins)
+type DistSpec struct {
+	Family  string    `json:"family"`
+	Params  []float64 `json:"params,omitempty"`
+	Edges   []float64 `json:"edges,omitempty"`
+	Weights []float64 `json:"weights,omitempty"`
+}
+
+// SpecOf returns the wire form of a kernel distribution.
+func SpecOf(d dist.Distribution) (DistSpec, error) {
+	switch v := d.(type) {
+	case *dist.Uniform:
+		return DistSpec{Family: "uniform", Params: []float64{v.Lo, v.Hi}}, nil
+	case *dist.Gaussian:
+		return DistSpec{Family: "gaussian", Params: []float64{v.Mu, v.Sigma}}, nil
+	case *dist.Triangular:
+		return DistSpec{Family: "triangular", Params: []float64{v.Lo, v.Mode, v.Hi}}, nil
+	case *dist.Point:
+		return DistSpec{Family: "point", Params: []float64{v.X}}, nil
+	case *dist.PiecewiseUniform:
+		return DistSpec{Family: "histogram", Edges: v.Edges(), Weights: v.Weights()}, nil
+	default:
+		return DistSpec{}, fmt.Errorf("dataset: distribution %T has no wire form", d)
+	}
+}
+
+// Distribution reconstructs the kernel distribution the spec describes,
+// re-running the family constructor's validation.
+func (s DistSpec) Distribution() (dist.Distribution, error) {
+	need := func(n int) error {
+		if len(s.Params) != n {
+			return fmt.Errorf("dataset: family %q needs %d params, got %d", s.Family, n, len(s.Params))
+		}
+		return nil
+	}
+	switch s.Family {
+	case "uniform":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return dist.NewUniform(s.Params[0], s.Params[1])
+	case "gaussian":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return dist.NewGaussian(s.Params[0], s.Params[1])
+	case "triangular":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		return dist.NewTriangular(s.Params[0], s.Params[1], s.Params[2])
+	case "point":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return dist.NewPoint(s.Params[0]), nil
+	case "histogram":
+		return dist.NewPiecewiseUniform(s.Edges, s.Weights)
+	default:
+		return nil, fmt.Errorf("dataset: unknown distribution family %q", s.Family)
+	}
+}
+
+// SpecsOf converts a dataset to wire form.
+func SpecsOf(ds []dist.Distribution) ([]DistSpec, error) {
+	specs := make([]DistSpec, len(ds))
+	for i, d := range ds {
+		s, err := SpecOf(d)
+		if err != nil {
+			return nil, fmt.Errorf("tuple %d: %w", i, err)
+		}
+		specs[i] = s
+	}
+	return specs, nil
+}
+
+// FromSpecs reconstructs a dataset from wire form.
+func FromSpecs(specs []DistSpec) ([]dist.Distribution, error) {
+	ds := make([]dist.Distribution, len(specs))
+	for i, s := range specs {
+		d, err := s.Distribution()
+		if err != nil {
+			return nil, fmt.Errorf("tuple %d: %w", i, err)
+		}
+		ds[i] = d
+	}
+	return ds, nil
+}
+
+// Digest returns a content hash ("sha256:…") of the dataset's wire form.
+// Checkpoint envelopes carry it so a restore against a different dataset is
+// rejected instead of silently mis-resuming: histogram weights are
+// normalized by their constructor and JSON float encoding is the shortest
+// round-trip form, so any two datasets with identical score models hash
+// identically regardless of how they were loaded.
+func Digest(ds []dist.Distribution) (string, error) {
+	specs, err := SpecsOf(ds)
+	if err != nil {
+		return "", err
+	}
+	raw, err := json.Marshal(specs)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("sha256:%x", sha256.Sum256(raw)), nil
+}

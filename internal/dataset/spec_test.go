@@ -1,0 +1,115 @@
+package dataset
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"crowdtopk/internal/dist"
+)
+
+func specFixture(t *testing.T) []dist.Distribution {
+	t.Helper()
+	u, err := dist.NewUniform(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dist.NewGaussian(0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := dist.NewTriangular(0, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := dist.NewPiecewiseUniform([]float64{0, 0.5, 1}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []dist.Distribution{u, g, tr, pw, dist.NewPoint(0.25)}
+}
+
+// TestSpecRoundTrip: every serializable family survives
+// distribution → spec → JSON → spec → distribution with identical behavior.
+func TestSpecRoundTrip(t *testing.T) {
+	ds := specFixture(t)
+	specs, err := SpecsOf(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []DistSpec
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromSpecs(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds {
+		glo, ghi := ds[i].Support()
+		blo, bhi := back[i].Support()
+		if glo != blo || ghi != bhi || ds[i].Mean() != back[i].Mean() {
+			t.Errorf("tuple %d: support/mean drift after round trip: (%g,%g,%g) vs (%g,%g,%g)",
+				i, glo, ghi, ds[i].Mean(), blo, bhi, back[i].Mean())
+		}
+		for _, x := range []float64{-0.1, 0.2, 0.5, 0.77, 1.1} {
+			if ds[i].CDF(x) != back[i].CDF(x) {
+				t.Errorf("tuple %d: CDF(%g) drift: %g vs %g", i, x, ds[i].CDF(x), back[i].CDF(x))
+			}
+		}
+	}
+}
+
+func TestSpecRejectsBadInput(t *testing.T) {
+	bad := []DistSpec{
+		{Family: "uniform", Params: []float64{1}},
+		{Family: "uniform", Params: []float64{2, 1}},
+		{Family: "nope", Params: []float64{1, 2}},
+		{Family: "histogram", Edges: []float64{0, 1}, Weights: []float64{}},
+	}
+	for i, s := range bad {
+		if _, err := s.Distribution(); err == nil {
+			t.Errorf("spec %d (%+v): expected error", i, s)
+		}
+	}
+}
+
+// TestDigest: equal score models hash equal regardless of construction
+// route; different models hash different.
+func TestDigest(t *testing.T) {
+	ds := specFixture(t)
+	d1, err := Digest(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(d1, "sha256:") {
+		t.Fatalf("digest %q lacks algorithm prefix", d1)
+	}
+	// Reload through the wire form: digest must be identical.
+	specs, _ := SpecsOf(ds)
+	back, err := FromSpecs(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Digest(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("digest changed across round trip: %s vs %s", d1, d2)
+	}
+	// Perturb one parameter: digest must change.
+	u, _ := dist.NewUniform(0, 1.0000001)
+	other := append(append([]dist.Distribution(nil), ds[1:]...), u)
+	d3, err := Digest(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d1 {
+		t.Fatal("different datasets produced the same digest")
+	}
+}

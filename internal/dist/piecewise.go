@@ -61,6 +61,16 @@ func NewPiecewiseUniform(edges, weights []float64) (*PiecewiseUniform, error) {
 // Mean implements Distribution.
 func (p *PiecewiseUniform) Mean() float64 { return p.mean }
 
+// Edges returns a copy of the bin edges (len = bins+1).
+func (p *PiecewiseUniform) Edges() []float64 {
+	return append([]float64(nil), p.edges...)
+}
+
+// Weights returns a copy of the normalized bin masses (len = bins).
+func (p *PiecewiseUniform) Weights() []float64 {
+	return append([]float64(nil), p.weights...)
+}
+
 // Support implements Distribution.
 func (p *PiecewiseUniform) Support() (float64, float64) {
 	return p.edges[0], p.edges[len(p.edges)-1]

@@ -206,50 +206,23 @@ func (r *runner) recordFinal() {
 	r.res.FinalOrdering = uncertainty.Representative(r.cfg.Measure, ls)
 }
 
-// applyAnswer prunes (trusted crowd) or reweights (noisy crowd) the tree.
-func (r *runner) applyAnswer(a tpo.Answer) {
+// applyAnswer conditions the tree on an answer via the shared transition
+// code (ApplyAnswer), recording timing and contradictions.
+func (r *runner) applyAnswer(a tpo.Answer) error {
 	start := time.Now()
 	defer func() { r.res.ApplyTime += time.Since(start) }()
-	rel := r.crowd.Reliability()
-	var err error
-	if rel >= 1 {
-		err = r.tree.Prune(a)
-	} else {
-		err = r.tree.Reweight(a, rel)
-	}
-	if errors.Is(err, tpo.ErrContradiction) {
-		// The answered ordering was numerically pruned at build time; the
-		// answer carries no usable information for this tree. Record and
-		// continue.
+	contradicted, err := ApplyAnswer(r.tree, a, r.crowd.Reliability())
+	if contradicted {
 		r.res.Contradictions++
 	}
-}
-
-// offlineStrategy instantiates the named batch strategy.
-func (r *runner) offlineStrategy() (selection.Offline, error) {
-	switch r.cfg.Algorithm {
-	case AlgRandom:
-		return selection.NewRandom(r.rng), nil
-	case AlgNaive:
-		return selection.NewNaive(r.rng), nil
-	case AlgTBOff:
-		return selection.TBOff{}, nil
-	case AlgCOff:
-		return selection.COff{}, nil
-	case AlgAStarOff:
-		return selection.AStarOff{}, nil
-	case AlgExhaustive:
-		return selection.Exhaustive{}, nil
-	default:
-		return nil, fmt.Errorf("%w: %q is not offline", ErrUnknownAlgorithm, r.cfg.Algorithm)
-	}
+	return err
 }
 
 func (r *runner) offline() error {
 	if err := r.buildFull(); err != nil {
 		return err
 	}
-	strat, err := r.offlineStrategy()
+	strat, err := OfflineStrategy(r.cfg.Algorithm, r.rng)
 	if err != nil {
 		return err
 	}
@@ -262,7 +235,9 @@ func (r *runner) offline() error {
 	for _, q := range batch {
 		a := r.crowd.Ask(q)
 		r.res.Asked++
-		r.applyAnswer(a)
+		if err := r.applyAnswer(a); err != nil {
+			return err
+		}
 		r.recordStep()
 	}
 	r.recordFinal()
@@ -273,14 +248,9 @@ func (r *runner) online() error {
 	if err := r.buildFull(); err != nil {
 		return err
 	}
-	var strat selection.Online
-	switch r.cfg.Algorithm {
-	case AlgT1On:
-		strat = selection.T1On{}
-	case AlgAStarOn:
-		strat = selection.AStarOn{}
-	default:
-		return fmt.Errorf("%w: %q is not online", ErrUnknownAlgorithm, r.cfg.Algorithm)
+	strat, err := OnlineStrategy(r.cfg.Algorithm)
+	if err != nil {
+		return err
 	}
 	for r.res.Asked < r.cfg.Budget {
 		start := time.Now()
@@ -294,7 +264,9 @@ func (r *runner) online() error {
 		}
 		a := r.crowd.Ask(q)
 		r.res.Asked++
-		r.applyAnswer(a)
+		if err := r.applyAnswer(a); err != nil {
+			return err
+		}
 		r.recordStep()
 	}
 	r.recordFinal()
@@ -321,53 +293,31 @@ func (r *runner) incremental() error {
 
 	remaining := r.cfg.Budget
 	for remaining > 0 {
-		// Build new levels only when there are not enough questions left
-		// to fill the round (§III.D).
-		qs := r.relevantQuestions()
-		for r.tree.Depth() < r.cfg.K && len(qs) < min(r.cfg.RoundSize, remaining) {
-			if err := r.timedExtend(); err != nil {
-				return err
-			}
-			qs = r.relevantQuestions()
-		}
-		if len(qs) == 0 {
-			break // tree fully built and certain
-		}
-		m := min(min(r.cfg.RoundSize, remaining), len(qs))
-		selStart := time.Now()
-		batch, err := (selection.TBOff{}).SelectBatch(r.tree.LeafSet(), m, r.context())
-		r.res.SelectTime += time.Since(selStart)
+		batch, buildTime, selectTime, err := PlanIncrRound(r.tree, r.cfg.K, r.cfg.RoundSize, remaining, r.context())
+		r.res.BuildTime += buildTime
+		r.res.SelectTime += selectTime
 		if err != nil {
 			return err
 		}
 		if len(batch) == 0 {
-			break
+			break // tree fully built and certain
 		}
 		for _, q := range batch {
 			a := r.crowd.Ask(q)
 			r.res.Asked++
-			r.applyAnswer(a)
+			if err := r.applyAnswer(a); err != nil {
+				return err
+			}
 		}
 		remaining -= len(batch)
 	}
 	// Materialize any missing levels so the reported result is a depth-K
 	// tree comparable with the other algorithms.
-	for r.tree.Depth() < r.cfg.K {
-		if err := r.timedExtend(); err != nil {
-			return err
-		}
+	buildTime, err := ExtendToDepth(r.tree, r.cfg.K)
+	r.res.BuildTime += buildTime
+	if err != nil {
+		return err
 	}
 	r.recordFinal()
 	return nil
-}
-
-func (r *runner) relevantQuestions() []tpo.Question {
-	return r.tree.LeafSet().RelevantQuestions()
-}
-
-func (r *runner) timedExtend() error {
-	start := time.Now()
-	err := r.tree.Extend()
-	r.res.BuildTime += time.Since(start)
-	return err
 }

@@ -1,0 +1,61 @@
+package par
+
+import "runtime"
+
+// Budget is a process-level pool of worker slots shared by independent
+// consumers of For — long-lived server sessions building or extending trees
+// concurrently. Each consumer asks for the parallelism it would like and is
+// granted what is currently free, never less than one slot, so progress is
+// guaranteed without queueing: under contention concurrent builds degrade to
+// fewer workers each instead of serializing behind one another. Degrading is
+// safe because every parallel operation in this repository produces results
+// identical for any worker count.
+type Budget struct {
+	slots chan struct{}
+}
+
+// NewBudget returns a budget of n worker slots; n < 1 selects GOMAXPROCS.
+func NewBudget(n int) *Budget {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Budget{slots: make(chan struct{}, n)}
+}
+
+// Cap returns the total number of slots.
+func (b *Budget) Cap() int { return cap(b.slots) }
+
+// Acquire claims between 1 and want slots: it blocks until the first slot is
+// free, then opportunistically takes more up to want without waiting.
+// want < 1 (or beyond the budget) asks for as much as possible, which on a
+// multi-slot budget is capped at cap-1: a greedy default consumer always
+// leaves one slot of headroom, so a concurrent consumer arriving mid-build
+// degrades to one worker instead of serializing behind the whole build. An
+// explicit want equal to the full budget is honored exactly. The grant must
+// be returned with Release.
+func (b *Budget) Acquire(want int) int {
+	if want < 1 || want > cap(b.slots) {
+		want = cap(b.slots)
+		if want > 1 {
+			want-- // headroom for late arrivals
+		}
+	}
+	b.slots <- struct{}{}
+	got := 1
+	for got < want {
+		select {
+		case b.slots <- struct{}{}:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// Release returns a grant obtained from Acquire.
+func (b *Budget) Release(got int) {
+	for i := 0; i < got; i++ {
+		<-b.slots
+	}
+}

@@ -1,0 +1,78 @@
+package par
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBudgetGrantsBetweenOneAndWant(t *testing.T) {
+	b := NewBudget(4)
+	if b.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", b.Cap())
+	}
+	got := b.Acquire(3)
+	if got != 3 {
+		t.Fatalf("uncontended Acquire(3) = %d, want 3", got)
+	}
+	// One slot left: a second consumer gets exactly it, without blocking on
+	// the rest.
+	second := b.Acquire(8)
+	if second != 1 {
+		t.Fatalf("contended Acquire = %d, want 1", second)
+	}
+	b.Release(got)
+	b.Release(second)
+	// Whole budget free again: want < 1 asks for as much as possible, which
+	// leaves one slot of headroom so late arrivals never fully serialize.
+	all := b.Acquire(0)
+	if all != 3 {
+		t.Fatalf("Acquire(0) = %d, want 3 (cap-1 headroom)", all)
+	}
+	// The headroom slot is immediately grantable without blocking.
+	if late := b.Acquire(1); late != 1 {
+		t.Fatalf("late arrival = %d, want 1", late)
+	} else {
+		b.Release(late)
+	}
+	b.Release(all)
+	// An explicit full-budget want is honored exactly.
+	if exact := b.Acquire(4); exact != 4 {
+		t.Fatalf("Acquire(4) = %d, want 4", exact)
+	} else {
+		b.Release(exact)
+	}
+}
+
+func TestBudgetNeverOversubscribes(t *testing.T) {
+	const slots = 3
+	b := NewBudget(slots)
+	var mu sync.Mutex
+	inUse, peak := 0, 0
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				got := b.Acquire(2)
+				mu.Lock()
+				inUse += got
+				if inUse > peak {
+					peak = inUse
+				}
+				mu.Unlock()
+				mu.Lock()
+				inUse -= got
+				mu.Unlock()
+				b.Release(got)
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > slots {
+		t.Fatalf("peak concurrent slots = %d, budget is %d", peak, slots)
+	}
+	if inUse != 0 {
+		t.Fatalf("slots leaked: %d still in use", inUse)
+	}
+}

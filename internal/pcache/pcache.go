@@ -39,6 +39,7 @@ var (
 	entries atomic.Int64
 	hits    atomic.Int64
 	misses  atomic.Int64
+	resets  atomic.Int64
 	resetMu sync.Mutex
 )
 
@@ -77,8 +78,11 @@ func store(k pairKey, p float64) {
 	}
 }
 
-// Reset empties the cache and zeroes the statistics. Intended for tests and
-// for long-lived processes switching workloads.
+// Reset empties the cache and zeroes the hit/miss/entry statistics. It runs
+// both on demand (tests, long-lived processes switching workloads) and
+// wholesale when the entry bound is exceeded; each call bumps the
+// process-cumulative Resets counter so deployments can observe cache churn
+// against the maxEntries clearing behavior.
 func Reset() {
 	resetMu.Lock()
 	defer resetMu.Unlock()
@@ -89,10 +93,27 @@ func Reset() {
 	entries.Store(0)
 	hits.Store(0)
 	misses.Store(0)
+	resets.Add(1)
 }
 
-// Stats reports the cumulative hit and miss counts since the last Reset —
-// exposed so tests can assert that repeated sweeps stop re-integrating pairs.
-func Stats() (cacheHits, cacheMisses int64) {
-	return hits.Load(), misses.Load()
+// Snapshot is a point-in-time view of the cache counters. Hits, Misses and
+// Entries count since the last Reset; Resets counts every wholesale clear
+// (explicit or maxEntries-triggered) since process start.
+type Snapshot struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int64 `json:"entries"`
+	Resets  int64 `json:"resets"`
+}
+
+// Stats reports the cache counters — exposed so tests can assert that
+// repeated sweeps stop re-integrating pairs, and surfaced by the serving
+// layer's stats endpoint so long-running deployments can watch churn.
+func Stats() Snapshot {
+	return Snapshot{
+		Hits:    hits.Load(),
+		Misses:  misses.Load(),
+		Entries: entries.Load(),
+		Resets:  resets.Load(),
+	}
 }

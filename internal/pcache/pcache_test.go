@@ -41,13 +41,17 @@ func TestCachedEqualsUncached(t *testing.T) {
 			t.Errorf("pair %d: flipped lookup = %v, want complement %v", i, got, 1-want)
 		}
 	}
-	hits, misses := Stats()
-	// Per pair: one miss, then one forward hit and one flipped hit.
-	if wantMisses := int64(len(pairs)); misses != wantMisses {
-		t.Errorf("misses = %d, want %d", misses, wantMisses)
+	st := Stats()
+	// Per pair: one miss, then one forward hit and one flipped hit; both
+	// orientations are stored on the miss.
+	if wantMisses := int64(len(pairs)); st.Misses != wantMisses {
+		t.Errorf("misses = %d, want %d", st.Misses, wantMisses)
 	}
-	if wantHits := int64(2 * len(pairs)); hits != wantHits {
-		t.Errorf("hits = %d, want %d", hits, wantHits)
+	if wantHits := int64(2 * len(pairs)); st.Hits != wantHits {
+		t.Errorf("hits = %d, want %d", st.Hits, wantHits)
+	}
+	if wantEntries := int64(2 * len(pairs)); st.Entries != wantEntries {
+		t.Errorf("entries = %d, want %d", st.Entries, wantEntries)
 	}
 }
 
@@ -105,14 +109,19 @@ func TestConcurrentAccess(t *testing.T) {
 func TestReset(t *testing.T) {
 	Reset()
 	a, b := mustUniform(t, 0, 1), mustUniform(t, 0.2, 1.2)
+	before := Stats().Resets
 	ProbGreater(a, b)
 	ProbGreater(a, b)
 	Reset()
-	if hits, misses := Stats(); hits != 0 || misses != 0 {
-		t.Fatalf("after Reset: hits=%d misses=%d, want 0/0", hits, misses)
+	st := Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("after Reset: %+v, want zero hits/misses/entries", st)
+	}
+	if st.Resets != before+1 {
+		t.Fatalf("resets = %d, want %d (counter must survive Reset)", st.Resets, before+1)
 	}
 	ProbGreater(a, b)
-	if _, misses := Stats(); misses != 1 {
-		t.Fatalf("post-Reset lookup should recompute; misses = %d", misses)
+	if st := Stats(); st.Misses != 1 {
+		t.Fatalf("post-Reset lookup should recompute; misses = %d", st.Misses)
 	}
 }

@@ -1,0 +1,411 @@
+// Package server exposes the asynchronous query sessions of
+// internal/session over a JSON HTTP API, turning the library into a
+// long-running service a real crowd platform can integrate with: create a
+// session for a dataset, pull the currently best questions, push answers
+// whenever workers return them, poll the result, and checkpoint/restore
+// across deployments.
+//
+// Endpoints (see the README for curl examples):
+//
+//	POST   /v1/sessions                   create (from a dataset or a checkpoint)
+//	GET    /v1/sessions/{id}/questions    pull up to n pending questions
+//	POST   /v1/sessions/{id}/answers      submit crowd answers
+//	GET    /v1/sessions/{id}/result       current top-K belief
+//	GET    /v1/sessions/{id}/checkpoint   versioned session envelope
+//	DELETE /v1/sessions/{id}              drop the session
+//	GET    /v1/stats                      store + π-cache counters
+//
+// Sessions are held in a concurrency-safe store with TTL eviction and share
+// one process-wide worker budget (internal/par.Budget): concurrent builds
+// degrade to fewer workers each instead of oversubscribing the host, which
+// never changes results.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"crowdtopk/internal/dataset"
+	"crowdtopk/internal/engine"
+	"crowdtopk/internal/par"
+	"crowdtopk/internal/pcache"
+	"crowdtopk/internal/session"
+	"crowdtopk/internal/tpo"
+)
+
+// Config tunes the server.
+type Config struct {
+	// Workers is the process-wide worker budget shared by every session's
+	// tree builds and extensions (0 = GOMAXPROCS).
+	Workers int
+	// TTL evicts sessions idle longer than this (0 = never evict).
+	TTL time.Duration
+	// MaxSessions bounds live sessions; creates beyond it fail with 503
+	// (0 = unbounded).
+	MaxSessions int
+}
+
+// DefaultTTL is the idle eviction default used by the serve subcommand.
+const DefaultTTL = 30 * time.Minute
+
+// Server routes the v1 API. Create with New, expose via Handler, and Close
+// when done to stop the eviction janitor.
+type Server struct {
+	store *store
+	pool  *par.Budget
+	mux   *http.ServeMux
+}
+
+// New builds a server with its own session store and worker budget.
+func New(cfg Config) *Server {
+	s := &Server{
+		store: newStore(cfg.TTL, cfg.MaxSessions),
+		pool:  par.NewBudget(cfg.Workers),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/questions", s.handleQuestions)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/answers", s.handleAnswers)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the HTTP handler for the v1 API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops background eviction and drops all sessions.
+func (s *Server) Close() { s.store.close() }
+
+// Sessions reports the number of live sessions (for stats and tests).
+func (s *Server) Sessions() int { return s.store.len() }
+
+// ---- wire types ----
+
+// createRequest creates a session from a dataset, or — when Checkpoint is
+// set — restores one from a session envelope (the other fields are then
+// ignored: the envelope carries its own configuration).
+type createRequest struct {
+	Tuples       []dataset.DistSpec `json:"tuples,omitempty"`
+	Names        []string           `json:"names,omitempty"`
+	K            int                `json:"k,omitempty"`
+	Budget       int                `json:"budget,omitempty"`
+	Algorithm    string             `json:"algorithm,omitempty"`
+	Measure      string             `json:"measure,omitempty"`
+	Reliability  float64            `json:"reliability,omitempty"`
+	RoundSize    int                `json:"round_size,omitempty"`
+	Seed         int64              `json:"seed,omitempty"`
+	GridSize     int                `json:"grid_size,omitempty"`
+	MaxOrderings int                `json:"max_orderings,omitempty"`
+	Checkpoint   json.RawMessage    `json:"checkpoint,omitempty"`
+}
+
+type sessionInfo struct {
+	ID        string        `json:"id"`
+	State     session.State `json:"state"`
+	Tuples    int           `json:"tuples"`
+	Asked     int           `json:"asked"`
+	Budget    int           `json:"budget"`
+	Pending   int           `json:"pending"`
+	Orderings int           `json:"orderings"`
+}
+
+type questionJSON struct {
+	I      int    `json:"i"`
+	J      int    `json:"j"`
+	Prompt string `json:"prompt"`
+}
+
+type questionsResponse struct {
+	State     session.State  `json:"state"`
+	Questions []questionJSON `json:"questions"`
+	Asked     int            `json:"asked"`
+	Budget    int            `json:"budget"`
+}
+
+type answerRequest struct {
+	Answers []struct {
+		I   int  `json:"i"`
+		J   int  `json:"j"`
+		Yes bool `json:"yes"`
+	} `json:"answers"`
+}
+
+type answersResponse struct {
+	State          session.State `json:"state"`
+	Accepted       int           `json:"accepted"`
+	Asked          int           `json:"asked"`
+	Pending        int           `json:"pending"`
+	Contradictions int           `json:"contradictions"`
+}
+
+type resultResponse struct {
+	State          session.State `json:"state"`
+	Ranking        []int         `json:"ranking"`
+	Names          []string      `json:"names"`
+	Resolved       bool          `json:"resolved"`
+	Orderings      int           `json:"orderings"`
+	Uncertainty    float64       `json:"uncertainty"`
+	Asked          int           `json:"asked"`
+	Budget         int           `json:"budget"`
+	Pending        int           `json:"pending"`
+	Contradictions int           `json:"contradictions"`
+}
+
+type statsResponse struct {
+	Sessions int             `json:"sessions"`
+	PCache   pcache.Snapshot `json:"pcache"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	// Claim store capacity before the build: shedding load after paying for
+	// tree construction would defend nothing.
+	if err := s.store.reserve(); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	var sess *session.Session
+	var err error
+	if len(req.Checkpoint) > 0 {
+		sess, err = session.Restore(bytes.NewReader(req.Checkpoint), s.pool)
+	} else {
+		sess, err = s.createFromSpecs(&req)
+	}
+	if err != nil {
+		s.store.unreserve()
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	id, err := s.store.add(sess)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	// Content-Type must be set before WriteHeader or it is ignored.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, s.info(id, sess))
+}
+
+func (s *Server) createFromSpecs(req *createRequest) (*session.Session, error) {
+	dists, err := dataset.FromSpecs(req.Tuples)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", session.ErrInvalidConfig, err)
+	}
+	return session.New(session.Config{
+		Dists:       dists,
+		Names:       req.Names,
+		K:           req.K,
+		Budget:      req.Budget,
+		Algorithm:   req.Algorithm,
+		Measure:     req.Measure,
+		Reliability: req.Reliability,
+		RoundSize:   req.RoundSize,
+		Seed:        req.Seed,
+		Build:       tpo.BuildOptions{GridSize: req.GridSize, MaxLeaves: req.MaxOrderings},
+		Pool:        s.pool,
+	})
+}
+
+func (s *Server) info(id string, sess *session.Session) sessionInfo {
+	st := sess.Status()
+	return sessionInfo{
+		ID:        id,
+		State:     st.State,
+		Tuples:    sess.Len(),
+		Asked:     st.Asked,
+		Budget:    st.Budget,
+		Pending:   st.Pending,
+		Orderings: sess.Orderings(),
+	}
+}
+
+func (s *Server) handleQuestions(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	n := 0
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad question count %q", raw))
+			return
+		}
+		n = v
+	}
+	qs, err := sess.NextQuestions(n)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	st := sess.Status()
+	out := questionsResponse{State: st.State, Asked: st.Asked, Budget: st.Budget, Questions: []questionJSON{}}
+	for _, q := range qs {
+		out.Questions = append(out.Questions, questionJSON{
+			I:      q.I,
+			J:      q.J,
+			Prompt: fmt.Sprintf("does %s rank above %s?", sess.Name(q.I), sess.Name(q.J)),
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req answerRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Answers) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("no answers in request"))
+		return
+	}
+	accepted := 0
+	for _, a := range req.Answers {
+		if a.I == a.J {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("answer %d compares tuple %d with itself", accepted, a.I))
+			return
+		}
+		err := sess.SubmitAnswer(tpo.Answer{Q: tpo.Question{I: a.I, J: a.J}, Yes: a.Yes})
+		if err != nil {
+			// Report what was applied before the failure so the client can
+			// reconcile.
+			writeErrWith(w, statusFor(err), err, map[string]any{"accepted": accepted})
+			return
+		}
+		accepted++
+	}
+	st := sess.Status()
+	writeJSON(w, answersResponse{
+		State:          st.State,
+		Accepted:       accepted,
+		Asked:          st.Asked,
+		Pending:        st.Pending,
+		Contradictions: st.Contradictions,
+	})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	res := sess.Result()
+	names := make([]string, len(res.Ranking))
+	for i, id := range res.Ranking {
+		names[i] = sess.Name(id)
+	}
+	writeJSON(w, resultResponse{
+		State:          res.State,
+		Ranking:        append([]int{}, res.Ranking...),
+		Names:          names,
+		Resolved:       res.Resolved,
+		Orderings:      res.Orderings,
+		Uncertainty:    res.Uncertainty,
+		Asked:          res.Asked,
+		Budget:         res.Budget,
+		Pending:        res.Pending,
+		Contradictions: res.Contradictions,
+	})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	// Serialize into memory first: Checkpoint holds the session lock, and
+	// streaming straight to a slow client would pin that lock (and stall
+	// the session's other requests) on TCP backpressure.
+	var buf bytes.Buffer
+	if err := sess.Checkpoint(&buf); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.store.remove(r.PathValue("id")) {
+		writeErr(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, statsResponse{Sessions: s.store.len(), PCache: pcache.Stats()})
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session.Session, bool) {
+	sess, err := s.store.get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return nil, false
+	}
+	return sess, true
+}
+
+// ---- plumbing ----
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeErrWith(w, status, err, nil)
+}
+
+func writeErrWith(w http.ResponseWriter, status int, err error, extra map[string]any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body := map[string]any{"error": err.Error()}
+	for k, v := range extra {
+		body[k] = v
+	}
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// statusFor maps the session subsystem's typed errors to HTTP statuses.
+func statusFor(err error) int {
+	var mismatch *tpo.MismatchError // session.MismatchError is the same type
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrFull):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, session.ErrDone), errors.Is(err, session.ErrUnknownQuestion):
+		return http.StatusConflict
+	case errors.Is(err, session.ErrInvalidConfig),
+		errors.Is(err, engine.ErrUnknownAlgorithm),
+		errors.As(err, &mismatch),
+		errors.Is(err, tpo.ErrInvalidInput),
+		errors.Is(err, tpo.ErrTooLarge):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+

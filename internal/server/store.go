@@ -1,0 +1,186 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+
+	"crowdtopk/internal/session"
+)
+
+// ErrNotFound reports a session id the store does not hold (never created,
+// deleted, or evicted after its TTL).
+var ErrNotFound = errors.New("server: no such session")
+
+// ErrFull reports that the store is at its session capacity.
+var ErrFull = errors.New("server: session limit reached")
+
+// entry is one stored session. The session serializes its own transitions;
+// the store only guards the map and the last-access stamp.
+type entry struct {
+	sess *session.Session
+
+	mu       sync.Mutex // guards lastUsed
+	lastUsed time.Time
+}
+
+func (e *entry) touch(now time.Time) {
+	e.mu.Lock()
+	e.lastUsed = now
+	e.mu.Unlock()
+}
+
+func (e *entry) idleSince() time.Time {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastUsed
+}
+
+// store is a concurrency-safe session registry with TTL eviction: sessions
+// idle longer than ttl are dropped by a janitor goroutine. Clients that
+// checkpoint before going quiet can restore after eviction.
+type store struct {
+	ttl time.Duration
+	max int
+
+	mu       sync.Mutex
+	sessions map[string]*entry
+	reserved int // capacity claimed by creates still building (see reserve)
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newStore(ttl time.Duration, max int) *store {
+	s := &store{
+		ttl:      ttl,
+		max:      max,
+		sessions: make(map[string]*entry),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.janitor()
+	return s
+}
+
+// newID returns a fresh 128-bit random session id.
+func newID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return "s_" + hex.EncodeToString(b[:]), nil
+}
+
+// reserve claims capacity for a session about to be built, so load shedding
+// happens before the expensive tree construction rather than after it. The
+// reservation is consumed by add or returned with unreserve.
+func (s *store) reserve() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.max > 0 && len(s.sessions)+s.reserved >= s.max {
+		return ErrFull
+	}
+	s.reserved++
+	return nil
+}
+
+// unreserve returns a reservation whose build failed.
+func (s *store) unreserve() {
+	s.mu.Lock()
+	s.reserved--
+	s.mu.Unlock()
+}
+
+// add registers a session under a fresh id, consuming one reservation made
+// with reserve (which guarantees room).
+func (s *store) add(sess *session.Session) (string, error) {
+	id, err := newID()
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reserved--
+	if err != nil {
+		return "", err
+	}
+	s.sessions[id] = &entry{sess: sess, lastUsed: now}
+	return id, nil
+}
+
+// get returns the session and refreshes its TTL.
+func (s *store) get(id string) (*session.Session, error) {
+	s.mu.Lock()
+	e, ok := s.sessions[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	e.touch(time.Now())
+	return e.sess, nil
+}
+
+// remove deletes a session; it reports whether the id existed.
+func (s *store) remove(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[id]; !ok {
+		return false
+	}
+	delete(s.sessions, id)
+	return true
+}
+
+// len returns the number of live sessions.
+func (s *store) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// close stops the janitor and drops every session.
+func (s *store) close() {
+	close(s.stop)
+	<-s.done
+	s.mu.Lock()
+	s.sessions = make(map[string]*entry)
+	s.mu.Unlock()
+}
+
+// janitor evicts idle sessions every ttl/4 (bounded to [1s, 1m] so tiny
+// test TTLs still evict promptly and huge TTLs don't scan needlessly).
+func (s *store) janitor() {
+	defer close(s.done)
+	if s.ttl <= 0 {
+		<-s.stop // eviction disabled; just wait for close
+		return
+	}
+	interval := s.ttl / 4
+	if interval < time.Second {
+		interval = s.ttl // sub-second TTLs (tests) sweep at TTL cadence
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case now := <-tick.C:
+			s.evictIdle(now)
+		}
+	}
+}
+
+func (s *store) evictIdle(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, e := range s.sessions {
+		if now.Sub(e.idleSince()) > s.ttl {
+			delete(s.sessions, id)
+		}
+	}
+}

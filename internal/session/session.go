@@ -1,0 +1,523 @@
+// Package session inverts the engine's synchronous crowd callback into a
+// long-lived, resumable query state machine. Where engine.Run drives a
+// Crowd's Ask method and blocks until the budget is spent, a Session hands
+// out the next best questions (NextQuestions), absorbs answers whenever they
+// arrive (SubmitAnswer) — minutes or hours later, in any order within a
+// round — and reports the current top-K belief at any time (Result). The
+// whole session round-trips through a versioned JSON checkpoint
+// (Checkpoint/Restore), so a crashed or redeployed server resumes mid-query
+// instead of re-asking the crowd.
+//
+// Both this package and the batch runner consume the transition code
+// extracted into internal/engine (ApplyAnswer, the strategy factories,
+// PlanIncrRound), so the served protocol and the experiment protocol cannot
+// drift.
+//
+// Lifecycle:
+//
+//	Created ──NextQuestions──▶ AwaitingAnswers ──SubmitAnswer──▶ ... ─┬─▶ Converged  (single ordering remains)
+//	   │                                                              └─▶ Exhausted  (questions spent, uncertainty remains)
+//	   └───────────── (budget 0 or nothing to ask) ───────────────────┴──────▲
+//
+// All methods are safe for concurrent use; a Session serializes its own
+// transitions with an internal lock.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"crowdtopk/internal/dataset"
+	"crowdtopk/internal/dist"
+	"crowdtopk/internal/engine"
+	"crowdtopk/internal/par"
+	"crowdtopk/internal/rank"
+	"crowdtopk/internal/selection"
+	"crowdtopk/internal/tpo"
+	"crowdtopk/internal/uncertainty"
+)
+
+// State is a session lifecycle phase.
+type State string
+
+// Session states. Converged and Exhausted are terminal.
+const (
+	// Created: the tree is built and questions are planned, but none have
+	// been delivered yet.
+	Created State = "created"
+	// AwaitingAnswers: questions have been handed out and the session is
+	// waiting for the crowd.
+	AwaitingAnswers State = "awaiting_answers"
+	// Converged: a single ordering remains; the query is answered.
+	Converged State = "converged"
+	// Exhausted: no further questions will be asked (budget spent or the
+	// strategy found nothing more worth asking) but several orderings
+	// remain possible.
+	Exhausted State = "exhausted"
+)
+
+// Terminal reports whether the session will accept no further answers.
+func (s State) Terminal() bool { return s == Converged || s == Exhausted }
+
+// valid reports whether s is one of the defined states (used when restoring
+// checkpoints).
+func (s State) valid() bool {
+	switch s {
+	case Created, AwaitingAnswers, Converged, Exhausted:
+		return true
+	}
+	return false
+}
+
+// Errors reported by session operations.
+var (
+	// ErrDone reports an answer submitted to a terminal session.
+	ErrDone = errors.New("session: already converged or exhausted")
+	// ErrUnknownQuestion reports an answer to a question the session has
+	// not issued (or has already accepted an answer for).
+	ErrUnknownQuestion = errors.New("session: answer to a question not currently issued")
+	// ErrInvalidConfig reports an unusable session configuration.
+	ErrInvalidConfig = errors.New("session: invalid config")
+)
+
+// Config describes one asynchronous query session.
+type Config struct {
+	// Dists is the uncertain score model of the N tuples.
+	Dists []dist.Distribution
+	// Names optionally attaches human-readable tuple names (len N); they
+	// ride along in checkpoints for rendering on the other side.
+	Names []string
+	// K is the result size; Budget the maximum number of crowd answers
+	// accepted. Budget 0 creates an immediately terminal session that
+	// reports the prior belief.
+	K, Budget int
+	// Algorithm selects the question strategy by engine.Alg* name
+	// (default T1-on, the paper's best cost/quality tradeoff for
+	// interactive use).
+	Algorithm string
+	// Measure names the uncertainty measure (default MPO).
+	Measure string
+	// Reliability is the probability a submitted answer is correct: 1
+	// prunes orderings outright, lower values apply the Bayesian
+	// reweighting of §III.C. Default 1.
+	Reliability float64
+	// RoundSize is the incr algorithm's questions per round (default 5).
+	RoundSize int
+	// Build tunes TPO construction.
+	Build tpo.BuildOptions
+	// Seed drives the random baselines' question shuffles.
+	Seed int64
+	// Pool optionally shares a process-wide worker budget with other
+	// sessions: tree builds and extensions run with whatever share is
+	// free (results are identical for any share). Nil uses Build.Workers
+	// as-is.
+	Pool *par.Budget
+}
+
+// Session is a resumable uncertainty-reduction query. Create one with New,
+// resume one with Restore.
+type Session struct {
+	mu sync.Mutex
+
+	cfg     Config
+	measure uncertainty.Measure
+	digest  string // content hash of cfg.Dists, stamped into checkpoints
+
+	tree    *tpo.Tree
+	online  selection.Online // non-nil for online algorithms
+	src     *countingSource
+	rng     *rand.Rand
+	state   State
+	pending []tpo.Question // issued (or planned) questions awaiting answers
+	answers []tpo.Answer   // accepted answers, in submission order
+	asked   int
+	contra  int
+}
+
+// New validates the configuration, builds the initial tree and plans the
+// first questions. The session starts in Created (or directly in a terminal
+// state when there is nothing to ask).
+func New(cfg Config) (*Session, error) {
+	if len(cfg.Dists) == 0 {
+		return nil, fmt.Errorf("%w: empty dataset", ErrInvalidConfig)
+	}
+	if cfg.Names != nil && len(cfg.Names) != len(cfg.Dists) {
+		return nil, fmt.Errorf("%w: %d names for %d tuples", ErrInvalidConfig, len(cfg.Names), len(cfg.Dists))
+	}
+	if cfg.K < 1 || cfg.K > len(cfg.Dists) {
+		return nil, fmt.Errorf("%w: k=%d with %d tuples", ErrInvalidConfig, cfg.K, len(cfg.Dists))
+	}
+	if cfg.Budget < 0 {
+		return nil, fmt.Errorf("%w: negative budget %d", ErrInvalidConfig, cfg.Budget)
+	}
+	applyDefaults(&cfg)
+	if cfg.Reliability <= 0 || cfg.Reliability > 1 {
+		return nil, fmt.Errorf("%w: reliability %g outside (0, 1]", ErrInvalidConfig, cfg.Reliability)
+	}
+	if !engine.IsOffline(cfg.Algorithm) && !engine.IsOnline(cfg.Algorithm) && cfg.Algorithm != engine.AlgIncr {
+		return nil, fmt.Errorf("%w: %q", engine.ErrUnknownAlgorithm, cfg.Algorithm)
+	}
+	m, err := uncertainty.New(cfg.Measure)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	digest, err := dataset.Digest(cfg.Dists)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+
+	s := &Session{cfg: cfg, measure: m, digest: digest, state: Created}
+	s.initRNG(0)
+	if err := s.withWorkers(func(workers int) error {
+		opt := cfg.Build
+		opt.Workers = workers
+		var err error
+		if cfg.Algorithm == engine.AlgIncr {
+			s.tree, err = tpo.StartIncremental(cfg.Dists, cfg.K, opt)
+		} else {
+			s.tree, err = tpo.Build(cfg.Dists, cfg.K, opt)
+		}
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := s.plan(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func applyDefaults(cfg *Config) {
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = engine.AlgT1On
+	}
+	if cfg.Measure == "" {
+		cfg.Measure = "MPO"
+	}
+	if cfg.Reliability == 0 {
+		cfg.Reliability = 1
+	}
+	if cfg.RoundSize == 0 {
+		cfg.RoundSize = 5
+	}
+}
+
+// initRNG seeds the counting source and burns `draws` values (checkpoint
+// restore replays the source to the recorded position).
+func (s *Session) initRNG(draws uint64) {
+	s.src = newCountingSource(s.cfg.Seed)
+	s.src.burn(draws)
+	s.rng = rand.New(s.src)
+}
+
+// withWorkers runs f with the parallelism this session may use right now:
+// its configured worker count when it has no pool, otherwise whatever share
+// of the shared budget is currently free (at least one slot).
+func (s *Session) withWorkers(f func(workers int) error) error {
+	if s.cfg.Pool == nil {
+		return f(s.cfg.Build.Workers)
+	}
+	got := s.cfg.Pool.Acquire(s.cfg.Build.Workers)
+	defer s.cfg.Pool.Release(got)
+	return f(got)
+}
+
+func (s *Session) context() *selection.Context {
+	return &selection.Context{Tree: s.tree, Measure: s.measure}
+}
+
+// plan fills the pending question list after construction or after the
+// previous questions were all answered, and settles terminal states. It
+// runs with s.mu held (or on a session not yet shared).
+func (s *Session) plan() error {
+	if s.state.Terminal() {
+		return nil
+	}
+	if len(s.pending) > 0 {
+		return nil
+	}
+	remaining := s.cfg.Budget - s.asked
+	if remaining <= 0 {
+		return s.finish()
+	}
+	switch {
+	case engine.IsOffline(s.cfg.Algorithm):
+		// Offline strategies commit to the whole batch before any answer
+		// (§III.A); the batch is planned once, right after construction.
+		if s.asked > 0 {
+			return s.finish() // batch consumed
+		}
+		strat, err := engine.OfflineStrategy(s.cfg.Algorithm, s.rng)
+		if err != nil {
+			return err
+		}
+		batch, err := strat.SelectBatch(s.tree.LeafSet(), remaining, s.context())
+		if err != nil {
+			return err
+		}
+		if len(batch) == 0 {
+			return s.finish()
+		}
+		s.pending = batch
+	case engine.IsOnline(s.cfg.Algorithm):
+		if s.online == nil {
+			strat, err := engine.OnlineStrategy(s.cfg.Algorithm)
+			if err != nil {
+				return err
+			}
+			s.online = strat
+		}
+		q, ok, err := s.online.NextQuestion(s.tree.LeafSet(), remaining, s.context())
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return s.finish() // early termination: all uncertainty removed
+		}
+		s.pending = []tpo.Question{q}
+	default: // incr
+		var batch []tpo.Question
+		err := s.withWorkers(func(workers int) error {
+			s.tree.SetWorkers(workers)
+			var err error
+			batch, _, _, err = engine.PlanIncrRound(s.tree, s.cfg.K, s.cfg.RoundSize, remaining, s.context())
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if len(batch) == 0 {
+			return s.finish() // tree fully built and certain
+		}
+		s.pending = batch
+	}
+	return nil
+}
+
+// finish settles the terminal state: the tree is materialized to depth K
+// (the incr algorithm may still owe levels) and the session converges or
+// exhausts depending on whether a single ordering remains.
+func (s *Session) finish() error {
+	if err := s.withWorkers(func(workers int) error {
+		s.tree.SetWorkers(workers)
+		_, err := engine.ExtendToDepth(s.tree, s.cfg.K)
+		return err
+	}); err != nil {
+		return err
+	}
+	s.pending = nil
+	if s.tree.LeafSet().Len() <= 1 {
+		s.state = Converged
+	} else {
+		s.state = Exhausted
+	}
+	return nil
+}
+
+// State returns the current lifecycle state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// NextQuestions returns up to n pending questions for the crowd (n < 1
+// returns all of them). The call is idempotent — questions stay pending
+// until answered, so a crashed client pulls the same work again. Online
+// strategies expose one question at a time by construction: the next best
+// question is only defined once the previous answer has conditioned the
+// tree. A terminal session returns an empty slice.
+func (s *Session) NextQuestions(n int) ([]tpo.Question, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state.Terminal() {
+		return nil, nil
+	}
+	if len(s.pending) > 0 && s.state == Created {
+		s.state = AwaitingAnswers
+	}
+	if n < 1 || n > len(s.pending) {
+		n = len(s.pending)
+	}
+	return append([]tpo.Question(nil), s.pending[:n]...), nil
+}
+
+// SubmitAnswer accepts one crowd answer for a currently issued question,
+// conditions the tree with the session's reliability (prune or reweight via
+// the shared engine transition), and plans further questions once the
+// outstanding ones are all answered. Answers may arrive in any order within
+// the issued set and in either orientation of the pair. A contradictory
+// answer is absorbed (counted, tree unchanged) exactly as in the batch
+// engine.
+func (s *Session) SubmitAnswer(a tpo.Answer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state.Terminal() {
+		return fmt.Errorf("%w (state %s)", ErrDone, s.state)
+	}
+	if a.Q.I == a.Q.J {
+		return fmt.Errorf("%w: self-comparison t%d", ErrUnknownQuestion, a.Q.I)
+	}
+	// Canonicalize: questions are stored with I < J.
+	if a.Q.I > a.Q.J {
+		a = tpo.Answer{Q: tpo.NewQuestion(a.Q.J, a.Q.I), Yes: !a.Yes}
+	}
+	found := -1
+	for i, q := range s.pending {
+		if q == a.Q {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		return fmt.Errorf("%w: %v", ErrUnknownQuestion, a.Q)
+	}
+	s.pending = append(s.pending[:found], s.pending[found+1:]...)
+	s.answers = append(s.answers, a)
+	s.asked++
+	contradicted, err := engine.ApplyAnswer(s.tree, a, s.cfg.Reliability)
+	if err != nil {
+		return err
+	}
+	if contradicted {
+		s.contra++
+	}
+	if s.state == Created {
+		s.state = AwaitingAnswers
+	}
+	if len(s.pending) == 0 {
+		return s.plan()
+	}
+	return nil
+}
+
+// Result reports the current top-K belief.
+type Result struct {
+	// State is the lifecycle state the result was computed in.
+	State State
+	// Ranking is the representative ordering under the session's measure
+	// (the single survivor when Resolved). Until an incr session
+	// terminates it may be shorter than K: the incremental tree only
+	// materializes the levels its questions needed so far.
+	Ranking rank.Ordering
+	// Resolved reports whether a single ordering remains.
+	Resolved bool
+	// Orderings is the number of orderings still possible.
+	Orderings int
+	// Uncertainty is the measure's current value.
+	Uncertainty float64
+	// Asked counts accepted answers; Budget the configured maximum.
+	Asked, Budget int
+	// Pending counts questions currently awaiting answers.
+	Pending int
+	// Contradictions counts absorbed contradictory answers.
+	Contradictions int
+}
+
+// Status is the cheap subset of Result: lifecycle counters that need no
+// sweep over the leaf set. Serving hot paths (question polls, answer acks)
+// report it instead of computing the full belief.
+type Status struct {
+	State          State
+	Asked, Budget  int
+	Pending        int
+	Contradictions int
+}
+
+// Status reports the lifecycle counters without computing the
+// representative ranking or the measure value (both O(orderings)).
+func (s *Session) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Status{
+		State:          s.state,
+		Asked:          s.asked,
+		Budget:         s.cfg.Budget,
+		Pending:        len(s.pending),
+		Contradictions: s.contra,
+	}
+}
+
+// Orderings counts the orderings still possible (without snapshotting them).
+func (s *Session) Orderings() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.NumLeaves()
+}
+
+// Result computes the current top-K belief with uncertainty. It is valid in
+// every state: mid-query it reports the partially conditioned belief.
+func (s *Session) Result() *Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ls := s.tree.LeafSet()
+	return &Result{
+		State:          s.state,
+		Ranking:        uncertainty.Representative(s.measure, ls),
+		Resolved:       ls.Len() <= 1,
+		Orderings:      ls.Len(),
+		Uncertainty:    s.measure.Value(ls),
+		Asked:          s.asked,
+		Budget:         s.cfg.Budget,
+		Pending:        len(s.pending),
+		Contradictions: s.contra,
+	}
+}
+
+// Name returns the tuple's configured name (t<id> when unnamed).
+func (s *Session) Name(id int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.Names != nil && id >= 0 && id < len(s.cfg.Names) {
+		return s.cfg.Names[id]
+	}
+	return fmt.Sprintf("t%d", id)
+}
+
+// Names returns the configured tuple names (nil when unnamed).
+func (s *Session) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.cfg.Names...)
+}
+
+// Len returns the number of tuples in the session's dataset.
+func (s *Session) Len() int { return len(s.cfg.Dists) }
+
+// countingSource wraps the standard PRNG source and counts how many values
+// have been drawn, so a checkpoint can record the exact generator position
+// and a restore can replay to it. Both Int63 and Uint64 advance the
+// underlying generator by one step, so replaying n draws through either
+// method reproduces the state.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.draws = 0
+}
+
+func (c *countingSource) burn(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.src.Uint64()
+	}
+	c.draws = n
+}

@@ -61,6 +61,17 @@ func (t *Tree) Depth() int { return t.depth }
 // Grid exposes the shared evaluation grid (for diagnostics and tests).
 func (t *Tree) Grid() *numeric.Grid { return t.grid }
 
+// SetWorkers adjusts the goroutine count used by subsequent Extend calls.
+// The extended tree is identical for every value; the serving layer uses
+// this to run each extension with whatever share of a process-wide worker
+// budget is currently free. n < 1 selects GOMAXPROCS.
+func (t *Tree) SetWorkers(n int) {
+	if n < 0 {
+		n = 0 // withDefaults maps 0 (not negatives) to GOMAXPROCS
+	}
+	t.opt.Workers = n
+}
+
 // NumLeaves returns the number of depth-Depth() leaves.
 func (t *Tree) NumLeaves() int {
 	n := 0
