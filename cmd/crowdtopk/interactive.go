@@ -29,7 +29,7 @@ func newInteractiveClient(in io.Reader, out io.Writer, names func(int) string) *
 // run drives the session to termination, one question at a time.
 func (c *interactiveClient) run(sess *session.Session) error {
 	for {
-		qs, err := sess.NextQuestions(1)
+		qs, _, err := sess.NextQuestions(1)
 		if err != nil {
 			return err
 		}

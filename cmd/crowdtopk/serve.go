@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
 	"crowdtopk/internal/server"
 )
@@ -25,5 +26,14 @@ func cmdServe(args []string) error {
 	})
 	defer srv.Close()
 	fmt.Fprintf(os.Stderr, "crowdtopk serve: listening on %s (workers=%d ttl=%s)\n", *addr, *workers, *ttl)
-	return http.ListenAndServe(*addr, srv.Handler())
+	// Header and idle timeouts so slow clients cannot pin connections
+	// forever (slowloris); read/write timeouts stay unset because large
+	// checkpoint transfers on slow links are legitimate.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return hs.ListenAndServe()
 }

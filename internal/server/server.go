@@ -249,12 +249,14 @@ func (s *Server) handleQuestions(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
-	qs, err := sess.NextQuestions(n)
+	// Questions and status come from one locked snapshot, so a concurrent
+	// answer cannot make this response pair fresh questions with a terminal
+	// state.
+	qs, st, err := sess.NextQuestions(n)
 	if err != nil {
 		writeErr(w, statusFor(err), err)
 		return
 	}
-	st := sess.Status()
 	out := questionsResponse{State: st.State, Asked: st.Asked, Budget: st.Budget, Questions: []questionJSON{}}
 	for _, q := range qs {
 		out.Questions = append(out.Questions, questionJSON{
@@ -283,7 +285,11 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 	accepted := 0
 	for _, a := range req.Answers {
 		if a.I == a.J {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("answer %d compares tuple %d with itself", accepted, a.I))
+			// Like any other mid-batch failure, report what was applied
+			// before it so the client can reconcile.
+			writeErrWith(w, http.StatusBadRequest,
+				fmt.Errorf("answer %d compares tuple %d with itself", accepted, a.I),
+				map[string]any{"accepted": accepted})
 			return
 		}
 		err := sess.SubmitAnswer(tpo.Answer{Q: tpo.Question{I: a.I, J: a.J}, Yes: a.Yes})
@@ -399,6 +405,7 @@ func statusFor(err error) int {
 	case errors.Is(err, session.ErrDone), errors.Is(err, session.ErrUnknownQuestion):
 		return http.StatusConflict
 	case errors.Is(err, session.ErrInvalidConfig),
+		errors.Is(err, session.ErrInvalidCheckpoint),
 		errors.Is(err, engine.ErrUnknownAlgorithm),
 		errors.As(err, &mismatch),
 		errors.Is(err, tpo.ErrInvalidInput),

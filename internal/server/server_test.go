@@ -383,6 +383,59 @@ func TestServerErrorPaths(t *testing.T) {
 		map[string]any{"checkpoint": json.RawMessage(corrupt)}, nil); code != http.StatusBadRequest {
 		t.Errorf("corrupt checkpoint: status %d, want 400", code)
 	}
+
+	// Structurally inconsistent checkpoints are client errors (400), not
+	// 500s: an unknown state, an answer count that contradicts asked, and
+	// an absurd RNG position (which must also be rejected without replaying
+	// it — a crafted value near 2^64 would otherwise spin the CPU).
+	var env map[string]any
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func(map[string]any){
+		"unknown state":  func(e map[string]any) { e["state"] = "bogus" },
+		"asked mismatch": func(e map[string]any) { e["asked"] = 7 },
+		"huge rng_draws": func(e map[string]any) { e["rng_draws"] = float64(1 << 40) },
+	} {
+		e := map[string]any{}
+		for k, v := range env {
+			e[k] = v
+		}
+		mutate(e)
+		bad, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/sessions",
+			map[string]any{"checkpoint": json.RawMessage(bad)}, nil); code != http.StatusBadRequest {
+			t.Errorf("%s checkpoint: status %d, want 400", name, code)
+		}
+	}
+
+	// A mid-batch self-comparison → 400 that still reports how many answers
+	// were accepted before it, like every other mid-batch failure.
+	var ackErr struct {
+		Error    string `json:"error"`
+		Accepted int    `json:"accepted"`
+	}
+	if code := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/sessions/"+info.ID+"/answers",
+		map[string]any{"answers": []map[string]any{
+			{"i": q.I, "j": q.J, "yes": true},
+			{"i": 0, "j": 0, "yes": true},
+		}}, &ackErr); code != http.StatusBadRequest {
+		t.Errorf("self-comparison: status %d, want 400", code)
+	}
+	if ackErr.Accepted != 1 {
+		t.Errorf("self-comparison accepted = %d, want 1", ackErr.Accepted)
+	}
+}
+
+// TestServerCloseIdempotent: embedders commonly both defer Close and call it
+// on a shutdown-signal path; the second call must be a no-op, not a panic.
+func TestServerCloseIdempotent(t *testing.T) {
+	srv := server.New(server.Config{})
+	srv.Close()
+	srv.Close()
 }
 
 // TestStatsEndpoint: session counts and π-cache counters are exposed.

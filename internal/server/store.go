@@ -49,8 +49,9 @@ type store struct {
 	sessions map[string]*entry
 	reserved int // capacity claimed by creates still building (see reserve)
 
-	stop chan struct{}
-	done chan struct{}
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
 }
 
 func newStore(ttl time.Duration, max int) *store {
@@ -139,13 +140,17 @@ func (s *store) len() int {
 	return len(s.sessions)
 }
 
-// close stops the janitor and drops every session.
+// close stops the janitor and drops every session. It is idempotent, so
+// embedders that both defer Close and call it on a shutdown-signal path do
+// not panic on the second call.
 func (s *store) close() {
-	close(s.stop)
-	<-s.done
-	s.mu.Lock()
-	s.sessions = make(map[string]*entry)
-	s.mu.Unlock()
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		<-s.done
+		s.mu.Lock()
+		s.sessions = make(map[string]*entry)
+		s.mu.Unlock()
+	})
 }
 
 // janitor evicts idle sessions every ttl/4 (bounded to [1s, 1m] so tiny

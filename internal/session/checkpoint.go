@@ -7,10 +7,8 @@ import (
 	"io"
 
 	"crowdtopk/internal/dataset"
-	"crowdtopk/internal/engine"
 	"crowdtopk/internal/par"
 	"crowdtopk/internal/tpo"
-	"crowdtopk/internal/uncertainty"
 )
 
 // Schema is the session checkpoint envelope version. Bump on incompatible
@@ -20,6 +18,14 @@ const Schema = 1
 // envelopeKind tags session checkpoints so unrelated JSON (including bare
 // leaf-set checkpoints) is rejected early.
 const envelopeKind = "crowdtopk/session"
+
+// maxRNGReplay bounds the checkpointed RNG position Restore is willing to
+// replay. Only the random offline baselines draw from the session RNG — one
+// shuffle over at most n(n-1)/2 candidate pairs — so any position a real
+// session can reach is far below this ceiling (it allows n ≈ 23k, well past
+// what TPO construction can hold). Without the bound a crafted checkpoint
+// with rng_draws near 2^64 would pin a CPU inside burn for years.
+const maxRNGReplay = 1 << 28
 
 // MismatchError reports a checkpoint that cannot be restored: wrong schema
 // version, wrong payload kind, or a dataset digest that does not match the
@@ -133,7 +139,7 @@ func (s *Session) Checkpoint(w io.Writer) error {
 func Restore(r io.Reader, pool *par.Budget) (*Session, error) {
 	var env envelope
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
-		return nil, fmt.Errorf("session: decoding checkpoint: %w", err)
+		return nil, fmt.Errorf("%w: decoding: %v", ErrInvalidCheckpoint, err)
 	}
 	if env.Kind != envelopeKind {
 		return nil, &MismatchError{Field: "kind", Want: envelopeKind, Got: fmt.Sprintf("%q", env.Kind)}
@@ -152,14 +158,14 @@ func Restore(r io.Reader, pool *par.Budget) (*Session, error) {
 	if env.Digest != digest {
 		return nil, &MismatchError{Field: "dataset digest", Want: digest, Got: env.Digest}
 	}
-	if env.Names != nil && len(env.Names) != len(dists) {
-		return nil, fmt.Errorf("%w: %d names for %d tuples", ErrInvalidConfig, len(env.Names), len(dists))
-	}
 	if !env.State.valid() {
-		return nil, fmt.Errorf("session: checkpoint carries unknown state %q", env.State)
+		return nil, fmt.Errorf("%w: unknown state %q", ErrInvalidCheckpoint, env.State)
 	}
 	if env.Asked != len(env.Answers) {
-		return nil, fmt.Errorf("session: checkpoint inconsistent: asked=%d but %d answers", env.Asked, len(env.Answers))
+		return nil, fmt.Errorf("%w: asked=%d but %d answers", ErrInvalidCheckpoint, env.Asked, len(env.Answers))
+	}
+	if env.RNGDraws > maxRNGReplay {
+		return nil, fmt.Errorf("%w: rng_draws %d exceeds replay bound %d", ErrInvalidCheckpoint, env.RNGDraws, uint64(maxRNGReplay))
 	}
 
 	cfg := Config{
@@ -179,19 +185,15 @@ func Restore(r io.Reader, pool *par.Budget) (*Session, error) {
 		},
 		Pool: pool,
 	}
-	applyDefaults(&cfg)
-	if cfg.K < 1 || cfg.K > len(dists) {
-		return nil, fmt.Errorf("%w: k=%d with %d tuples", ErrInvalidConfig, cfg.K, len(dists))
-	}
-	if cfg.Reliability <= 0 || cfg.Reliability > 1 {
-		return nil, fmt.Errorf("%w: reliability %g outside (0, 1]", ErrInvalidConfig, cfg.Reliability)
-	}
-	if !engine.IsOffline(cfg.Algorithm) && !engine.IsOnline(cfg.Algorithm) && cfg.Algorithm != engine.AlgIncr {
-		return nil, fmt.Errorf("%w: %q", engine.ErrUnknownAlgorithm, cfg.Algorithm)
-	}
-	m, err := uncertainty.New(cfg.Measure)
+	m, err := validate(&cfg)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		return nil, err
+	}
+	// plan never issues more questions than the remaining budget, so a
+	// checkpoint that does is crafted — and would let a restored session
+	// accept answers past Budget.
+	if n := len(env.Pending); n > cfg.Budget-env.Asked {
+		return nil, fmt.Errorf("%w: %d pending questions with budget %d and asked %d", ErrInvalidCheckpoint, n, cfg.Budget, env.Asked)
 	}
 
 	ls, err := tpo.ReadCheckpoint(bytes.NewReader(env.Leaves), digest)
@@ -215,15 +217,23 @@ func Restore(r io.Reader, pool *par.Budget) (*Session, error) {
 	s.initRNG(env.RNGDraws)
 	for _, p := range env.Pending {
 		if p.I == p.J || p.I < 0 || p.J < 0 || p.I >= len(dists) || p.J >= len(dists) {
-			return nil, fmt.Errorf("session: checkpoint carries invalid pending question (%d, %d)", p.I, p.J)
+			return nil, fmt.Errorf("%w: invalid pending question (%d, %d)", ErrInvalidCheckpoint, p.I, p.J)
 		}
 		s.pending = append(s.pending, tpo.NewQuestion(p.I, p.J))
 	}
 	for _, a := range env.Answers {
 		if a.I == a.J || a.I < 0 || a.J < 0 || a.I >= len(dists) || a.J >= len(dists) {
-			return nil, fmt.Errorf("session: checkpoint carries invalid answer (%d, %d)", a.I, a.J)
+			return nil, fmt.Errorf("%w: invalid answer (%d, %d)", ErrInvalidCheckpoint, a.I, a.J)
 		}
-		s.answers = append(s.answers, tpo.Answer{Q: tpo.NewQuestion(a.I, a.J), Yes: a.Yes})
+		yes := a.Yes
+		if a.I > a.J {
+			// NewQuestion swaps the pair into canonical I < J order; the
+			// answer flips with it, mirroring SubmitAnswer (Checkpoint
+			// always writes canonical pairs, but a hand-edited envelope
+			// must not restore with inverted semantics).
+			yes = !yes
+		}
+		s.answers = append(s.answers, tpo.Answer{Q: tpo.NewQuestion(a.I, a.J), Yes: yes})
 	}
 	// A non-terminal session always has questions planned; a checkpoint
 	// written between rounds (or hand-trimmed) may not — replan.

@@ -80,6 +80,10 @@ var (
 	ErrUnknownQuestion = errors.New("session: answer to a question not currently issued")
 	// ErrInvalidConfig reports an unusable session configuration.
 	ErrInvalidConfig = errors.New("session: invalid config")
+	// ErrInvalidCheckpoint reports a checkpoint stream that is structurally
+	// unusable: not decodable, or internally inconsistent. Mismatched
+	// schema/kind/digest are reported as *MismatchError instead.
+	ErrInvalidCheckpoint = errors.New("session: invalid checkpoint")
 )
 
 // Config describes one asynchronous query session.
@@ -140,28 +144,9 @@ type Session struct {
 // first questions. The session starts in Created (or directly in a terminal
 // state when there is nothing to ask).
 func New(cfg Config) (*Session, error) {
-	if len(cfg.Dists) == 0 {
-		return nil, fmt.Errorf("%w: empty dataset", ErrInvalidConfig)
-	}
-	if cfg.Names != nil && len(cfg.Names) != len(cfg.Dists) {
-		return nil, fmt.Errorf("%w: %d names for %d tuples", ErrInvalidConfig, len(cfg.Names), len(cfg.Dists))
-	}
-	if cfg.K < 1 || cfg.K > len(cfg.Dists) {
-		return nil, fmt.Errorf("%w: k=%d with %d tuples", ErrInvalidConfig, cfg.K, len(cfg.Dists))
-	}
-	if cfg.Budget < 0 {
-		return nil, fmt.Errorf("%w: negative budget %d", ErrInvalidConfig, cfg.Budget)
-	}
-	applyDefaults(&cfg)
-	if cfg.Reliability <= 0 || cfg.Reliability > 1 {
-		return nil, fmt.Errorf("%w: reliability %g outside (0, 1]", ErrInvalidConfig, cfg.Reliability)
-	}
-	if !engine.IsOffline(cfg.Algorithm) && !engine.IsOnline(cfg.Algorithm) && cfg.Algorithm != engine.AlgIncr {
-		return nil, fmt.Errorf("%w: %q", engine.ErrUnknownAlgorithm, cfg.Algorithm)
-	}
-	m, err := uncertainty.New(cfg.Measure)
+	m, err := validate(&cfg)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		return nil, err
 	}
 	digest, err := dataset.Digest(cfg.Dists)
 	if err != nil {
@@ -187,6 +172,36 @@ func New(cfg Config) (*Session, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// validate applies defaults, checks the configuration and instantiates the
+// measure. Both entry points (New and checkpoint Restore) consume it, so
+// the two cannot drift on what a usable configuration is.
+func validate(cfg *Config) (uncertainty.Measure, error) {
+	if len(cfg.Dists) == 0 {
+		return nil, fmt.Errorf("%w: empty dataset", ErrInvalidConfig)
+	}
+	if cfg.Names != nil && len(cfg.Names) != len(cfg.Dists) {
+		return nil, fmt.Errorf("%w: %d names for %d tuples", ErrInvalidConfig, len(cfg.Names), len(cfg.Dists))
+	}
+	if cfg.K < 1 || cfg.K > len(cfg.Dists) {
+		return nil, fmt.Errorf("%w: k=%d with %d tuples", ErrInvalidConfig, cfg.K, len(cfg.Dists))
+	}
+	if cfg.Budget < 0 {
+		return nil, fmt.Errorf("%w: negative budget %d", ErrInvalidConfig, cfg.Budget)
+	}
+	applyDefaults(cfg)
+	if cfg.Reliability <= 0 || cfg.Reliability > 1 {
+		return nil, fmt.Errorf("%w: reliability %g outside (0, 1]", ErrInvalidConfig, cfg.Reliability)
+	}
+	if !engine.IsOffline(cfg.Algorithm) && !engine.IsOnline(cfg.Algorithm) && cfg.Algorithm != engine.AlgIncr {
+		return nil, fmt.Errorf("%w: %q", engine.ErrUnknownAlgorithm, cfg.Algorithm)
+	}
+	m, err := uncertainty.New(cfg.Measure)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	return m, nil
 }
 
 func applyDefaults(cfg *Config) {
@@ -324,24 +339,28 @@ func (s *Session) State() State {
 }
 
 // NextQuestions returns up to n pending questions for the crowd (n < 1
-// returns all of them). The call is idempotent — questions stay pending
-// until answered, so a crashed client pulls the same work again. Online
-// strategies expose one question at a time by construction: the next best
-// question is only defined once the previous answer has conditioned the
-// tree. A terminal session returns an empty slice.
-func (s *Session) NextQuestions(n int) ([]tpo.Question, error) {
+// returns all of them) together with the Status they were issued under —
+// one atomic snapshot, so a concurrent answer cannot pair fresh questions
+// with a terminal state in the caller's view. The call is idempotent —
+// questions stay pending until answered, so a crashed client pulls the
+// same work again. Online strategies expose one question at a time by
+// construction: the next best question is only defined once the previous
+// answer has conditioned the tree. A terminal session returns an empty
+// slice.
+func (s *Session) NextQuestions(n int) ([]tpo.Question, Status, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.state.Terminal() {
-		return nil, nil
+	var qs []tpo.Question
+	if !s.state.Terminal() {
+		if len(s.pending) > 0 && s.state == Created {
+			s.state = AwaitingAnswers
+		}
+		if n < 1 || n > len(s.pending) {
+			n = len(s.pending)
+		}
+		qs = append([]tpo.Question(nil), s.pending[:n]...)
 	}
-	if len(s.pending) > 0 && s.state == Created {
-		s.state = AwaitingAnswers
-	}
-	if n < 1 || n > len(s.pending) {
-		n = len(s.pending)
-	}
-	return append([]tpo.Question(nil), s.pending[:n]...), nil
+	return qs, s.status(), nil
 }
 
 // SubmitAnswer accepts one crowd answer for a currently issued question,
@@ -374,13 +393,17 @@ func (s *Session) SubmitAnswer(a tpo.Answer) error {
 	if found < 0 {
 		return fmt.Errorf("%w: %v", ErrUnknownQuestion, a.Q)
 	}
-	s.pending = append(s.pending[:found], s.pending[found+1:]...)
-	s.answers = append(s.answers, a)
-	s.asked++
+	// Condition the tree first: on a real apply error the answer is not
+	// accepted, so the question stays pending and the answer log (and any
+	// later Checkpoint) never records an answer that did not condition the
+	// tree.
 	contradicted, err := engine.ApplyAnswer(s.tree, a, s.cfg.Reliability)
 	if err != nil {
 		return err
 	}
+	s.pending = append(s.pending[:found], s.pending[found+1:]...)
+	s.answers = append(s.answers, a)
+	s.asked++
 	if contradicted {
 		s.contra++
 	}
@@ -431,6 +454,11 @@ type Status struct {
 func (s *Session) Status() Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.status()
+}
+
+// status builds the counter snapshot with s.mu held.
+func (s *Session) status() Status {
 	return Status{
 		State:          s.state,
 		Asked:          s.asked,

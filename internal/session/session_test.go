@@ -2,6 +2,7 @@ package session
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"math"
 	"math/rand"
@@ -32,7 +33,7 @@ func testDists(t *testing.T, n int, seed int64) []dist.Distribution {
 func drive(t *testing.T, s *Session, cr crowd.Crowd, batch int) {
 	t.Helper()
 	for i := 0; i < 10_000; i++ {
-		qs, err := s.NextQuestions(batch)
+		qs, _, err := s.NextQuestions(batch)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -193,7 +194,7 @@ func TestSessionCheckpointRestoreMidQuery(t *testing.T) {
 			cr := &crowd.PerfectOracle{Truth: truth}
 			half := want.Asked / 2
 			for s.Result().Asked < half && !s.State().Terminal() {
-				qs, err := s.NextQuestions(1)
+				qs, _, err := s.NextQuestions(1)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -254,7 +255,7 @@ func TestSessionStateMachine(t *testing.T) {
 			t.Fatalf("unexpected error: %v", err)
 		}
 	}
-	qs, err := s.NextQuestions(1)
+	qs, _, err := s.NextQuestions(1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +266,7 @@ func TestSessionStateMachine(t *testing.T) {
 		t.Fatalf("state after delivery = %s, want %s", s.State(), AwaitingAnswers)
 	}
 	// Redelivery returns the same question.
-	again, err := s.NextQuestions(1)
+	again, _, err := s.NextQuestions(1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +290,7 @@ func TestSessionStateMachine(t *testing.T) {
 	if err := s.SubmitAnswer(a); !errors.Is(err, ErrDone) {
 		t.Fatalf("terminal submit error = %v, want ErrDone", err)
 	}
-	if qs, err := s.NextQuestions(5); err != nil || len(qs) != 0 {
+	if qs, _, err := s.NextQuestions(5); err != nil || len(qs) != 0 {
 		t.Fatalf("terminal NextQuestions = %v, %v", qs, err)
 	}
 }
@@ -339,6 +340,117 @@ func TestRestoreRejectsMismatches(t *testing.T) {
 	}
 }
 
+// TestRestoreBoundsRNGReplay: a crafted checkpoint with an absurd RNG
+// position is rejected with a typed error instead of spinning the CPU
+// replaying up to 2^64 draws.
+func TestRestoreBoundsRNGReplay(t *testing.T) {
+	ds := testDists(t, 5, 2)
+	s, err := New(Config{Dists: ds, K: 2, Budget: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var env envelope
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	env.RNGDraws = math.MaxUint64
+	b, err := json.Marshal(&env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(bytes.NewReader(b), nil); !errors.Is(err, ErrInvalidCheckpoint) {
+		t.Fatalf("excessive rng_draws = %v, want ErrInvalidCheckpoint", err)
+	}
+}
+
+// TestRestoreRejectsPendingOverBudget: a crafted checkpoint whose pending
+// list exceeds the remaining budget is rejected — otherwise the restored
+// session would accept answers past Budget.
+func TestRestoreRejectsPendingOverBudget(t *testing.T) {
+	ds := testDists(t, 5, 2)
+	s, err := New(Config{Dists: ds, K: 2, Budget: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var env envelope
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	env.Pending = []pairJSON{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}} // 5 > budget 4
+	b, err := json.Marshal(&env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(bytes.NewReader(b), nil); !errors.Is(err, ErrInvalidCheckpoint) {
+		t.Fatalf("pending over budget = %v, want ErrInvalidCheckpoint", err)
+	}
+}
+
+// TestRestoreCanonicalizesAnswers: a checkpoint carrying answers in
+// non-canonical (I > J) orientation restores them flipped along with the
+// pair — mirroring SubmitAnswer — so the restored answer log keeps the same
+// semantics instead of silently inverting.
+func TestRestoreCanonicalizesAnswers(t *testing.T) {
+	ds := testDists(t, 5, 2)
+	truth := crowd.SampleTruth(ds, rand.New(rand.NewSource(12)))
+	s, err := New(Config{Dists: ds, K: 2, Budget: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, _, err := s.NextQuestions(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) == 0 {
+		t.Fatal("no questions planned")
+	}
+	for _, q := range qs {
+		if err := s.SubmitAnswer(truth.Correct(q)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var env envelope
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Answers) == 0 {
+		t.Fatal("checkpoint carries no answers")
+	}
+	// Rewrite each answer in the opposite orientation with the same
+	// semantics: (j, i, !yes) states the same fact as (i, j, yes).
+	for i, a := range env.Answers {
+		env.Answers[i] = answerJSON{I: a.J, J: a.I, Yes: !a.Yes}
+	}
+	b, err := json.Marshal(&env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(bytes.NewReader(b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.answers) != len(s.answers) {
+		t.Fatalf("restored %d answers, want %d", len(restored.answers), len(s.answers))
+	}
+	for i := range s.answers {
+		if restored.answers[i] != s.answers[i] {
+			t.Fatalf("answer %d = %+v, want %+v", i, restored.answers[i], s.answers[i])
+		}
+	}
+}
+
 // TestSessionSharedPool: sessions created concurrently against one worker
 // budget complete correctly (run under -race this also pins the pool's
 // concurrency safety).
@@ -364,7 +476,7 @@ func TestSessionSharedPool(t *testing.T) {
 			}
 			cr := &crowd.PerfectOracle{Truth: truth}
 			for {
-				qs, err := s.NextQuestions(0)
+				qs, _, err := s.NextQuestions(0)
 				if err != nil {
 					errs[i] = err
 					return

@@ -107,7 +107,7 @@ func (s *Session) State() SessionState { return SessionState(s.inner.State()) }
 // question is only defined once the previous answer conditioned the
 // orderings. A terminal session returns an empty slice.
 func (s *Session) NextQuestions(n int) ([]Question, error) {
-	qs, err := s.inner.NextQuestions(n)
+	qs, _, err := s.inner.NextQuestions(n)
 	if err != nil {
 		return nil, err
 	}
