@@ -1,0 +1,24 @@
+# Convenience targets for the reproduction. The benchmarks regenerate the
+# paper's figures; `bench` records the selection + Fig-1(b) families (the
+# residual-sweep hot path) to BENCH_selection.json via cmd/benchreport so
+# before/after numbers live next to the code.
+
+BENCHTIME ?= 20x
+
+.PHONY: test race bench bench-smoke
+
+test:
+	go build ./... && go vet ./... && go test ./...
+
+race:
+	go test -race ./...
+
+# Full recording run: refreshes BENCH_selection.json in place.
+bench:
+	go run ./cmd/benchreport -benchtime $(BENCHTIME) -out BENCH_selection.json
+
+# CI smoke: one iteration per benchmark, written to a scratch file and
+# compared (informationally) against the committed recording so selection
+# regressions are visible in PR logs.
+bench-smoke:
+	go run ./cmd/benchreport -benchtime 1x -out /tmp/BENCH_selection.json -compare BENCH_selection.json

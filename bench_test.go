@@ -213,7 +213,10 @@ func BenchmarkAStarOptimality(b *testing.B) {
 }
 
 // BenchmarkSelectionPrimitives measures the question-scoring hot path that
-// dominates Fig. 1(b): one full R_q sweep over Q_K.
+// dominates Fig. 1(b): one full R_q sweep over Q_K (a fresh flat engine per
+// iteration, as every selection step pays), sequentially and fanned across
+// GOMAXPROCS workers, plus the C-off conditional batch as the deepest
+// consumer of incremental cell splitting.
 func BenchmarkSelectionPrimitives(b *testing.B) {
 	o := benchOptions()
 	cfg, err := engine.ConfigFor(o, engine.AlgT1On)
@@ -225,20 +228,42 @@ func BenchmarkSelectionPrimitives(b *testing.B) {
 		b.Fatal(err)
 	}
 	ls := tree.LeafSet()
-	for _, m := range []string{"H", "MPO"} {
-		b.Run("QuestionResiduals/"+m, func(b *testing.B) {
-			meas, err := uncertainty.New(m)
-			if err != nil {
-				b.Fatal(err)
+	for _, m := range []string{"H", "Hw", "MPO"} {
+		for _, workers := range []int{1, -1} {
+			name := "QuestionResiduals/" + m
+			if workers != 1 {
+				name = "QuestionResidualsParallel/" + m
 			}
-			ctx := &selection.Context{Tree: tree, Measure: meas}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				qs, _ := selection.QuestionResiduals(ls, ctx)
-				if len(qs) == 0 {
-					b.Fatal("no questions")
+			b.Run(name, func(b *testing.B) {
+				meas, err := uncertainty.New(m)
+				if err != nil {
+					b.Fatal(err)
 				}
-			}
-		})
+				ctx := &selection.Context{Tree: tree, Measure: meas, Workers: workers}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					qs, _ := selection.QuestionResiduals(ls, ctx)
+					if len(qs) == 0 {
+						b.Fatal("no questions")
+					}
+				}
+			})
+		}
 	}
+	b.Run("ConditionalBatch/MPO", func(b *testing.B) {
+		meas, err := uncertainty.New("MPO")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := &selection.Context{Tree: tree, Measure: meas}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			batch, err := (selection.COff{}).SelectBatch(ls, 5, ctx)
+			if err != nil || len(batch) == 0 {
+				b.Fatalf("C-off batch: %v (%d questions)", err, len(batch))
+			}
+		}
+	})
 }

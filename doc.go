@@ -74,6 +74,23 @@
 // scores are truncated at ±4σ and renormalized so every score has bounded
 // support, which keeps the shared evaluation grids finite.
 //
+// # Selection engine
+//
+// Question selection evaluates the expected residual uncertainty R_Q(T_K)
+// for every candidate question. internal/selection runs that sweep on a
+// flat, index-based engine: the leaf set is snapshotted once into an arena
+// (paths flattened into one backing array, weights in one vector), a
+// consistency index classifies every leaf against every candidate question
+// in a single pass (packed byte rows plus per-class aggregates), and
+// partition cells are index/weight views over the arena — splitting under a
+// hypothetical answer copies indices, never paths. Pairwise probabilities
+// are resolved once per sweep into a dense matrix, measures evaluate
+// weight/path views in place without normalized copies
+// (uncertainty.ViewMeasure), and candidate questions fan across a
+// configurable worker count with deterministic output. The README's
+// Performance section records the measured effect (≈4–11× on the residual
+// sweeps, 40–70× fewer allocations, identical selected batches).
+//
 // # Concurrency model
 //
 // The hot paths are parallel and deterministic. Tree construction splits

@@ -69,9 +69,12 @@ type Config struct {
 	Seed int64
 	// Workers bounds the number of concurrent trials in RunTrials and of
 	// concurrent experiment cells; it is also forwarded to the TPO build
-	// when Build.Workers is unset. Zero selects GOMAXPROCS. Results are
+	// when Build.Workers is unset, and to the selection sweeps of a
+	// standalone Run (where >1 fans candidate questions across that many
+	// goroutines). Zero selects GOMAXPROCS for trials/cells. Results are
 	// identical for every value: trials derive independent RNGs from Seed
-	// and aggregate in trial order.
+	// and aggregate in trial order, and sweep residuals land in per-index
+	// slots.
 	Workers int
 	// RecordTrajectory captures D(ω_r, T_K) after every answer into
 	// Result.Trajectory (index 0 is the pre-question distance).
@@ -162,6 +165,10 @@ func (r *runner) context() *selection.Context {
 		Tree:          r.tree,
 		Measure:       r.cfg.Measure,
 		BranchEpsilon: r.cfg.BranchEpsilon,
+		// Forwarded as-is: RunTrials and the experiment sweeps pin this to 1
+		// so the worker budget stays spent at the outermost parallel level;
+		// a standalone Run with Workers > 1 parallelizes its residual sweeps.
+		Workers: r.cfg.Workers,
 	}
 }
 

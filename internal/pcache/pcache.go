@@ -18,10 +18,13 @@
 package pcache
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"crowdtopk/internal/dist"
+	"crowdtopk/internal/par"
 )
 
 // maxEntries bounds the number of cached pairs. Note the bound is on entry
@@ -41,6 +44,11 @@ var (
 	misses  atomic.Int64
 	resets  atomic.Int64
 	resetMu sync.Mutex
+
+	// Prewarm telemetry: process-cumulative (like resets, surviving Reset)
+	// so served cold-starts stay diagnosable across workload switches.
+	prewarmPairs atomic.Int64
+	prewarmNanos atomic.Int64
 )
 
 // pairKey identifies an ordered distribution pair. Distribution
@@ -96,24 +104,78 @@ func Reset() {
 	resets.Add(1)
 }
 
+// Prewarm bulk-fills the cache with π for every pair of dists (both
+// orientations, as ProbGreater stores them), fanning the integrations across
+// up to `workers` goroutines (< 1 selects GOMAXPROCS, clamped to the pair
+// count). The serving layer calls it at
+// session creation so the first residual sweep of a cold dataset finds every
+// pair hot. It returns the number of pairs actually computed — already-warm
+// pairs cost one cache hit. Fill time and pair counts accumulate into the
+// Snapshot telemetry.
+func Prewarm(dists []dist.Distribution, workers int) (computed int) {
+	n := len(dists)
+	if n < 2 {
+		return 0
+	}
+	// A fill that cannot fit would cross maxEntries mid-way and trigger the
+	// wholesale clear — paying the full O(n²) integration cost only to leave
+	// the cache mostly empty. Skip it (and leave the telemetry untouched);
+	// the sweeps populate the pairs they actually use organically.
+	if pairs := n * (n - 1); pairs > maxEntries { // both orientations stored
+		return 0
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	type pair struct{ a, b dist.Distribution }
+	pairs := make([]pair, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, pair{dists[i], dists[j]})
+		}
+	}
+	var fresh atomic.Int64
+	par.For(len(pairs), workers, func(_, p int) error {
+		if _, ok := cache.Load(pairKey{pairs[p].a, pairs[p].b}); !ok {
+			fresh.Add(1)
+		}
+		ProbGreater(pairs[p].a, pairs[p].b)
+		return nil
+	})
+	prewarmPairs.Add(int64(len(pairs)))
+	prewarmNanos.Add(time.Since(start).Nanoseconds())
+	return int(fresh.Load())
+}
+
 // Snapshot is a point-in-time view of the cache counters. Hits, Misses and
-// Entries count since the last Reset; Resets counts every wholesale clear
-// (explicit or maxEntries-triggered) since process start.
+// Entries count since the last Reset; Resets and the Prewarm counters are
+// process-cumulative. HitRate is Hits/(Hits+Misses), 0 before any lookup.
 type Snapshot struct {
-	Hits    int64 `json:"hits"`
-	Misses  int64 `json:"misses"`
-	Entries int64 `json:"entries"`
-	Resets  int64 `json:"resets"`
+	Hits         int64   `json:"hits"`
+	Misses       int64   `json:"misses"`
+	Entries      int64   `json:"entries"`
+	Resets       int64   `json:"resets"`
+	HitRate      float64 `json:"hit_rate"`
+	PrewarmPairs int64   `json:"prewarm_pairs"`
+	PrewarmNanos int64   `json:"prewarm_ns"`
 }
 
 // Stats reports the cache counters — exposed so tests can assert that
 // repeated sweeps stop re-integrating pairs, and surfaced by the serving
-// layer's stats endpoint so long-running deployments can watch churn.
+// layer's stats endpoint so long-running deployments can watch churn and
+// diagnose cold-start fill cost.
 func Stats() Snapshot {
-	return Snapshot{
-		Hits:    hits.Load(),
-		Misses:  misses.Load(),
-		Entries: entries.Load(),
-		Resets:  resets.Load(),
+	s := Snapshot{
+		Hits:         hits.Load(),
+		Misses:       misses.Load(),
+		Entries:      entries.Load(),
+		Resets:       resets.Load(),
+		PrewarmPairs: prewarmPairs.Load(),
+		PrewarmNanos: prewarmNanos.Load(),
 	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	}
+	return s
 }

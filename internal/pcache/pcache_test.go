@@ -125,3 +125,70 @@ func TestReset(t *testing.T) {
 		t.Fatalf("post-Reset lookup should recompute; misses = %d", st.Misses)
 	}
 }
+
+// TestPrewarm: the bulk fill computes every pair once (both orientations
+// stored), reports the fresh-pair count, accumulates cumulative telemetry,
+// and turns subsequent lookups into pure hits.
+func TestPrewarm(t *testing.T) {
+	Reset()
+	dists := []dist.Distribution{
+		mustUniform(t, 0, 1),
+		mustUniform(t, 0.3, 1.3),
+		mustUniform(t, 0.6, 1.6),
+		mustUniform(t, 0.9, 1.9),
+	}
+	pairsBefore := Stats().PrewarmPairs
+	const pairs = 4 * 3 / 2
+	if got := Prewarm(dists, 3); got != pairs {
+		t.Fatalf("cold Prewarm computed %d pairs, want %d", got, pairs)
+	}
+	st := Stats()
+	if st.Entries != 2*pairs {
+		t.Fatalf("entries = %d, want %d (both orientations)", st.Entries, 2*pairs)
+	}
+	if st.PrewarmPairs != pairsBefore+pairs {
+		t.Fatalf("prewarm pairs = %d, want %d", st.PrewarmPairs, pairsBefore+pairs)
+	}
+	if st.PrewarmNanos <= 0 {
+		t.Fatal("prewarm fill time not recorded")
+	}
+	// A warm repeat computes nothing new.
+	if got := Prewarm(dists, 0); got != 0 {
+		t.Fatalf("warm Prewarm recomputed %d pairs, want 0", got)
+	}
+	missesBefore := Stats().Misses
+	for i := range dists {
+		for j := range dists {
+			if i != j {
+				ProbGreater(dists[i], dists[j])
+			}
+		}
+	}
+	st = Stats()
+	if st.Misses != missesBefore {
+		t.Fatalf("lookups after Prewarm missed (%d → %d misses)", missesBefore, st.Misses)
+	}
+	if st.HitRate <= 0 || st.HitRate > 1 {
+		t.Fatalf("hit rate = %g, want in (0, 1]", st.HitRate)
+	}
+}
+
+// TestPrewarmSkipsOversizedDatasets: a fill that cannot fit under
+// maxEntries would clear itself mid-way; Prewarm must refuse it outright
+// and leave the telemetry untouched.
+func TestPrewarmSkipsOversizedDatasets(t *testing.T) {
+	Reset()
+	// 1025·1024 ordered pairs > maxEntries (1<<20).
+	dists := make([]dist.Distribution, 1025)
+	for i := range dists {
+		dists[i] = mustUniform(t, float64(i), float64(i)+1)
+	}
+	before := Stats()
+	if got := Prewarm(dists, 2); got != 0 {
+		t.Fatalf("oversized Prewarm computed %d pairs, want 0 (skipped)", got)
+	}
+	after := Stats()
+	if after.PrewarmPairs != before.PrewarmPairs || after.Entries != before.Entries {
+		t.Fatalf("oversized Prewarm touched the cache: %+v → %+v", before, after)
+	}
+}

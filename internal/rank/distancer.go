@@ -46,6 +46,27 @@ func (d *TopKDist) grow(id int) {
 	}
 }
 
+// Reset repoints the distancer at a new reference list, reusing every
+// internal buffer. It is equivalent to NewTopKDist(ref, penalty) but
+// allocation-free once the buffers have grown to the workload's id range —
+// the U_ORA/U_MPO measures re-reference every partition cell during the
+// expected-residual sweeps, where a fresh distancer per cell dominated the
+// allocation profile.
+func (d *TopKDist) Reset(ref Ordering, penalty float64) {
+	if penalty == 0 {
+		penalty = DefaultPenalty
+	}
+	for _, id := range d.ref {
+		d.posRef[id] = -1
+	}
+	d.penalty = penalty
+	d.ref = append(d.ref[:0], ref...)
+	d.grow(maxID(ref))
+	for i, id := range d.ref {
+		d.posRef[id] = i
+	}
+}
+
 // Distance returns K^(p)(o, ref) (unnormalized).
 func (d *TopKDist) Distance(o Ordering) float64 {
 	d.epoch++

@@ -52,8 +52,8 @@ func (AStarOff) SelectBatch(ls *tpo.LeafSet, budget int, ctx *Context) ([]tpo.Qu
 	if err := validateBudget(budget); err != nil {
 		return nil, err
 	}
-	qk := ls.RelevantQuestions()
-	sortQuestions(qk)
+	eng := NewResidualEngine(ls, ctx)
+	qk := eng.Questions()
 	if budget > len(qk) {
 		budget = len(qk)
 	}
@@ -115,7 +115,7 @@ func (AStarOff) SelectBatch(ls *tpo.LeafSet, budget int, ctx *Context) ([]tpo.Qu
 			}
 			picks := append(append([]int(nil), s.picks...), qi)
 			child := &searchState{picks: picks}
-			child.eu = ExpectedResidual(ls, toQuestions(picks), ctx)
+			child.eu = eng.ExpectedResidual(toQuestions(picks))
 			child.f = lowerBound(child.eu, budget-len(picks), maxDrop)
 			heap.Push(h, child)
 		}
@@ -168,8 +168,8 @@ func (Exhaustive) SelectBatch(ls *tpo.LeafSet, budget int, ctx *Context) ([]tpo.
 	if err := validateBudget(budget); err != nil {
 		return nil, err
 	}
-	qk := ls.RelevantQuestions()
-	sortQuestions(qk)
+	eng := NewResidualEngine(ls, ctx)
+	qk := eng.Questions()
 	if budget > len(qk) {
 		budget = len(qk)
 	}
@@ -182,7 +182,7 @@ func (Exhaustive) SelectBatch(ls *tpo.LeafSet, budget int, ctx *Context) ([]tpo.
 	var rec func(start int)
 	rec = func(start int) {
 		if len(cur) == budget {
-			r := ExpectedResidual(ls, cur, ctx)
+			r := eng.ExpectedResidual(cur)
 			if best == nil || r < bestR-tieEpsilon {
 				best = append([]tpo.Question(nil), cur...)
 				bestR = r

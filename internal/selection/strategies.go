@@ -19,23 +19,57 @@ func NewRandom(rng *rand.Rand) *Random { return &Random{rng: rng} }
 // Name implements Offline.
 func (*Random) Name() string { return "random" }
 
-// SelectBatch implements Offline.
+// SelectBatch implements Offline. When the budget covers every pair the
+// historical full-shuffle draw sequence is preserved; below that, the
+// questions are drawn by a sparse partial Fisher–Yates that samples without
+// replacement in O(budget) space — the old code materialized and shuffled
+// all O(n²) pairs even for a budget of one.
 func (r *Random) SelectBatch(ls *tpo.LeafSet, budget int, _ *Context) ([]tpo.Question, error) {
 	if err := validateBudget(budget); err != nil {
 		return nil, err
 	}
 	tuples := ls.Tuples()
-	var all []tpo.Question
-	for a := 0; a < len(tuples); a++ {
-		for b := a + 1; b < len(tuples); b++ {
-			all = append(all, tpo.NewQuestion(tuples[a], tuples[b]))
+	total := len(tuples) * (len(tuples) - 1) / 2
+	if budget >= total {
+		all := make([]tpo.Question, 0, total)
+		for a := 0; a < len(tuples); a++ {
+			for b := a + 1; b < len(tuples); b++ {
+				all = append(all, tpo.NewQuestion(tuples[a], tuples[b]))
+			}
 		}
+		r.rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+		return all, nil
 	}
-	r.rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
-	if budget < len(all) {
-		all = all[:budget]
+	// Partial Fisher–Yates over the virtual pair sequence: swaps that a full
+	// shuffle would have applied are tracked sparsely, so only the first
+	// `budget` positions are ever materialized.
+	swaps := make(map[int]int, 2*budget)
+	at := func(i int) int {
+		if v, ok := swaps[i]; ok {
+			return v
+		}
+		return i
 	}
-	return all, nil
+	out := make([]tpo.Question, 0, budget)
+	for i := 0; i < budget; i++ {
+		j := i + r.rng.Intn(total-i)
+		vi, vj := at(i), at(j)
+		swaps[i], swaps[j] = vj, vi
+		out = append(out, pairAt(tuples, vj))
+	}
+	return out, nil
+}
+
+// pairAt decodes the p-th pair of the row-major upper-triangle enumeration
+// of tuple pairs — the same order the full materialization produces.
+func pairAt(tuples []int, p int) tpo.Question {
+	for a := 0; ; a++ {
+		row := len(tuples) - a - 1
+		if p < row {
+			return tpo.NewQuestion(tuples[a], tuples[a+1+p])
+		}
+		p -= row
+	}
 }
 
 // Naive is the §IV baseline that avoids irrelevant comparisons: budget
@@ -123,13 +157,47 @@ type COff struct{}
 func (COff) Name() string { return "C-off" }
 
 // SelectBatch implements Offline. The partition of the leaf set induced by
-// the questions chosen so far is maintained incrementally, so evaluating the
-// (i+1)-th candidate costs one split of the current cells instead of a fresh
-// recursion over all i+1 questions.
+// the questions chosen so far is maintained incrementally over the flat
+// residual engine, so evaluating the (i+1)-th candidate costs one indexed
+// split of the current cells instead of a fresh recursion over all i+1
+// questions; the candidate loop fans across the context's sweep workers.
 func (COff) SelectBatch(ls *tpo.LeafSet, budget int, ctx *Context) ([]tpo.Question, error) {
 	if err := validateBudget(budget); err != nil {
 		return nil, err
 	}
+	e := NewResidualEngine(ls, ctx)
+	if e.arena == nil {
+		return selectConditionalSlow(ls, budget, ctx)
+	}
+	qk := e.Questions()
+	cells := e.partition(nil)
+	var chosen []tpo.Question
+	chosenSet := make(map[tpo.Question]bool)
+	for len(chosen) < budget && len(chosen) < len(qk) && len(cells) > 0 {
+		rs := e.splitResiduals(cells, qk, func(q tpo.Question) bool { return chosenSet[q] })
+		bestQ := tpo.Question{I: -1}
+		bestR := 0.0
+		for i, q := range qk {
+			if chosenSet[q] {
+				continue
+			}
+			if r := rs[i]; bestQ.I == -1 || r < bestR-tieEpsilon {
+				bestQ, bestR = q, r
+			}
+		}
+		if bestQ.I == -1 {
+			break
+		}
+		chosen = append(chosen, bestQ)
+		chosenSet[bestQ] = true
+		cells = e.splitCells(cells, bestQ)
+	}
+	return chosen, nil
+}
+
+// selectConditionalSlow is C-off over the slice-of-LeafSet adapter, used for
+// ragged (hand-built) leaf sets the arena cannot represent.
+func selectConditionalSlow(ls *tpo.LeafSet, budget int, ctx *Context) ([]tpo.Question, error) {
 	qk := ls.RelevantQuestions()
 	sortQuestions(qk)
 	cells := Partition(ls, nil, ctx)

@@ -317,3 +317,78 @@ func TestNumericSanityOfResidualsAcrossMeasures(t *testing.T) {
 		}
 	}
 }
+
+// TestRandomFullShuffleMatchesHistoricalOrder pins that a budget covering
+// every pair reproduces the exact pre-partial-Fisher–Yates draw sequence: a
+// full materialization shuffled with rng.Shuffle from the same seed.
+func TestRandomFullShuffleMatchesHistoricalOrder(t *testing.T) {
+	tree := buildTestTree(t, 12, 5, 3)
+	ls := tree.LeafSet()
+	qs, err := NewRandom(rand.New(rand.NewSource(7))).SelectBatch(ls, 1_000, ctxFor(tree, uncertainty.Entropy{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := ls.Tuples()
+	var want []tpo.Question
+	for a := 0; a < len(tuples); a++ {
+		for b := a + 1; b < len(tuples); b++ {
+			want = append(want, tpo.NewQuestion(tuples[a], tuples[b]))
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(want), func(i, j int) { want[i], want[j] = want[j], want[i] })
+	if len(qs) != len(want) {
+		t.Fatalf("got %d questions, want %d", len(qs), len(want))
+	}
+	for i := range qs {
+		if qs[i] != want[i] {
+			t.Fatalf("question %d = %v, historical shuffle has %v", i, qs[i], want[i])
+		}
+	}
+}
+
+// TestRandomPartialSampleProperties pins the partial Fisher–Yates path:
+// deterministic per seed, duplicate-free, drawn from the full pair set, and
+// covering every pair across enough seeds (no silently unreachable pairs).
+func TestRandomPartialSampleProperties(t *testing.T) {
+	tree := buildTestTree(t, 13, 6, 3)
+	ls := tree.LeafSet()
+	tuples := ls.Tuples()
+	all := map[tpo.Question]bool{}
+	for a := 0; a < len(tuples); a++ {
+		for b := a + 1; b < len(tuples); b++ {
+			all[tpo.NewQuestion(tuples[a], tuples[b])] = true
+		}
+	}
+	covered := map[tpo.Question]bool{}
+	for seed := int64(0); seed < 200; seed++ {
+		qs, err := NewRandom(rand.New(rand.NewSource(seed))).SelectBatch(ls, 5, ctxFor(tree, uncertainty.Entropy{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := NewRandom(rand.New(rand.NewSource(seed))).SelectBatch(ls, 5, ctxFor(tree, uncertainty.Entropy{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(qs) != 5 || len(again) != 5 {
+			t.Fatalf("seed %d: got %d/%d questions, want 5", seed, len(qs), len(again))
+		}
+		seen := map[tpo.Question]bool{}
+		for i, q := range qs {
+			if q != again[i] {
+				t.Fatalf("seed %d: non-deterministic draw %v vs %v", seed, q, again[i])
+			}
+			if seen[q] {
+				t.Fatalf("seed %d: duplicate question %v", seed, q)
+			}
+			if !all[q] {
+				t.Fatalf("seed %d: question %v outside the pair set", seed, q)
+			}
+			seen[q] = true
+			covered[q] = true
+		}
+	}
+	if len(covered) != len(all) {
+		t.Fatalf("200 seeds covered %d of %d pairs", len(covered), len(all))
+	}
+}

@@ -455,10 +455,13 @@ func TestStatsEndpoint(t *testing.T) {
 	var stats struct {
 		Sessions int `json:"sessions"`
 		PCache   struct {
-			Hits    int64 `json:"hits"`
-			Misses  int64 `json:"misses"`
-			Entries int64 `json:"entries"`
-			Resets  int64 `json:"resets"`
+			Hits         int64   `json:"hits"`
+			Misses       int64   `json:"misses"`
+			Entries      int64   `json:"entries"`
+			Resets       int64   `json:"resets"`
+			HitRate      float64 `json:"hit_rate"`
+			PrewarmPairs int64   `json:"prewarm_pairs"`
+			PrewarmNanos int64   `json:"prewarm_ns"`
 		} `json:"pcache"`
 	}
 	if code := doJSON(t, ts.Client(), "GET", ts.URL+"/v1/stats", nil, &stats); code != http.StatusOK {
@@ -469,6 +472,17 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if stats.PCache.Hits+stats.PCache.Misses == 0 {
 		t.Error("pcache counters all zero after a session build")
+	}
+	// Session creation prewarms the π cache: the cold-start fill must be
+	// visible (pair count and fill time), and the hit rate derivable.
+	if stats.PCache.PrewarmPairs == 0 {
+		t.Error("prewarm pair count zero after a session build")
+	}
+	if stats.PCache.PrewarmNanos <= 0 {
+		t.Error("prewarm fill time not surfaced")
+	}
+	if stats.PCache.HitRate <= 0 || stats.PCache.HitRate > 1 {
+		t.Errorf("hit rate = %g, want in (0, 1]", stats.PCache.HitRate)
 	}
 }
 

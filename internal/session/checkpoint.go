@@ -8,6 +8,7 @@ import (
 
 	"crowdtopk/internal/dataset"
 	"crowdtopk/internal/par"
+	"crowdtopk/internal/pcache"
 	"crowdtopk/internal/tpo"
 )
 
@@ -199,6 +200,15 @@ func Restore(r io.Reader, pool *par.Budget) (*Session, error) {
 	ls, err := tpo.ReadCheckpoint(bytes.NewReader(env.Leaves), digest)
 	if err != nil {
 		return nil, fmt.Errorf("session: restoring leaves: %w", err)
+	}
+	// As in New: fill the π cache up front (with whatever share of the pool
+	// is free) so the restored session's first sweep runs hot.
+	if pool != nil {
+		got := pool.Acquire(cfg.Build.Workers)
+		pcache.Prewarm(dists, got)
+		pool.Release(got)
+	} else {
+		pcache.Prewarm(dists, cfg.Build.Workers)
 	}
 	tree, err := tpo.FromLeafSet(dists, cfg.K, ls, cfg.Build)
 	if err != nil {

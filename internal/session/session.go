@@ -33,6 +33,7 @@ import (
 	"crowdtopk/internal/dist"
 	"crowdtopk/internal/engine"
 	"crowdtopk/internal/par"
+	"crowdtopk/internal/pcache"
 	"crowdtopk/internal/rank"
 	"crowdtopk/internal/selection"
 	"crowdtopk/internal/tpo"
@@ -156,6 +157,11 @@ func New(cfg Config) (*Session, error) {
 	s := &Session{cfg: cfg, measure: m, digest: digest, state: Created}
 	s.initRNG(0)
 	if err := s.withWorkers(func(workers int) error {
+		// Bulk-fill the pairwise π cache before building: the build and the
+		// first residual sweep of a cold dataset then find every pair hot,
+		// and the fill cost lands in the stats endpoint's prewarm counters
+		// instead of smeared over the first NextQuestions call.
+		pcache.Prewarm(cfg.Dists, workers)
 		opt := cfg.Build
 		opt.Workers = workers
 		var err error
@@ -240,7 +246,16 @@ func (s *Session) withWorkers(f func(workers int) error) error {
 }
 
 func (s *Session) context() *selection.Context {
-	return &selection.Context{Tree: s.tree, Measure: s.measure}
+	// The residual sweeps draw their parallelism from the shared pool (when
+	// configured) for the duration of each sweep, exactly like builds and
+	// extensions do through withWorkers; selected questions are identical
+	// for any share.
+	return &selection.Context{
+		Tree:    s.tree,
+		Measure: s.measure,
+		Workers: s.cfg.Build.Workers,
+		Pool:    s.cfg.Pool,
+	}
 }
 
 // plan fills the pending question list after construction or after the
@@ -296,8 +311,12 @@ func (s *Session) plan() error {
 		var batch []tpo.Question
 		err := s.withWorkers(func(workers int) error {
 			s.tree.SetWorkers(workers)
+			// The pool share is already held for this round: the context
+			// reuses it directly rather than re-acquiring (two sessions
+			// nesting pool acquisitions could deadlock each other).
+			ctx := &selection.Context{Tree: s.tree, Measure: s.measure, Workers: workers}
 			var err error
-			batch, _, _, err = engine.PlanIncrRound(s.tree, s.cfg.K, s.cfg.RoundSize, remaining, s.context())
+			batch, _, _, err = engine.PlanIncrRound(s.tree, s.cfg.K, s.cfg.RoundSize, remaining, ctx)
 			return err
 		})
 		if err != nil {

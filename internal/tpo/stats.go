@@ -28,36 +28,39 @@ type Stats struct {
 }
 
 // ComputeStats walks the tree once and returns its shape summary.
+//
+// The per-level prefix distributions are aggregated by node identity: the
+// children of a node carry distinct tuples, so each depth-l node terminates
+// exactly one distinct length-l prefix and its subtree leaf mass is that
+// prefix's aggregated weight. No per-prefix keys (previously O(K·leaves)
+// fmt.Sprint allocations per call) are needed.
 func (t *Tree) ComputeStats() Stats {
 	st := Stats{Depth: t.depth, K: t.K}
 	st.NodesPerLevel = make([]int, t.depth)
 	childCount := make([]int, t.depth+1)  // children per level
 	parentCount := make([]int, t.depth+1) // nodes with children per level
-	levelWeights := make([]map[string]float64, t.depth)
-	for i := range levelWeights {
-		levelWeights[i] = make(map[string]float64)
-	}
-	var rec func(n *Node, prefix []int)
-	rec = func(n *Node, prefix []int) {
-		if n.Tuple >= 0 {
-			st.NodesPerLevel[n.depth-1]++
-		}
+	levelMasses := make([][]float64, t.depth)
+	var rec func(n *Node) float64
+	rec = func(n *Node) float64 {
 		if n.depth < t.depth {
 			childCount[n.depth] += len(n.Children)
 			parentCount[n.depth]++
 		}
+		var mass float64
 		if n.depth == t.depth && n != t.Root {
-			// Accumulate leaf mass into every prefix level.
-			for l := 1; l <= len(prefix); l++ {
-				levelWeights[l-1][fmt.Sprint(prefix[:l])] += n.Prob
-			}
 			st.Leaves++
+			mass = n.Prob
 		}
 		for _, c := range n.Children {
-			rec(c, append(prefix, c.Tuple))
+			mass += rec(c)
 		}
+		if n.Tuple >= 0 {
+			st.NodesPerLevel[n.depth-1]++
+			levelMasses[n.depth-1] = append(levelMasses[n.depth-1], mass)
+		}
+		return mass
 	}
-	rec(t.Root, nil)
+	rec(t.Root)
 	st.MeanBranching = make([]float64, t.depth)
 	for d := 0; d < t.depth; d++ {
 		if parentCount[d] > 0 {
@@ -65,11 +68,7 @@ func (t *Tree) ComputeStats() Stats {
 		}
 	}
 	st.LevelEntropy = make([]float64, t.depth)
-	for d, group := range levelWeights {
-		ws := make([]float64, 0, len(group))
-		for _, w := range group {
-			ws = append(ws, w)
-		}
+	for d, ws := range levelMasses {
 		st.LevelEntropy[d] = numeric.EntropyBits(ws)
 	}
 	st.Tuples = len(t.Tuples())

@@ -124,18 +124,44 @@ type LeafSet struct {
 	K     int
 	Paths []rank.Ordering
 	W     []float64
+
+	// flat is the contiguous path backing when the set was snapshotted from
+	// a tree: Paths[i] aliases flat[i*K : (i+1)*K]. Derived sets (Split,
+	// Clone, deserialization) leave it nil. See Flat.
+	flat []int
 }
 
-// LeafSet snapshots the tree's current leaves. Paths are copies; mutating
-// the result does not affect the tree.
+// LeafSet snapshots the tree's current leaves. Paths are copies laid out in
+// one contiguous backing array (one allocation instead of one per leaf);
+// mutating the result does not affect the tree.
 func (t *Tree) LeafSet() *LeafSet {
 	ls := &LeafSet{K: t.depth}
-	t.walkLeaves(func(n *Node, path rank.Ordering) {
-		ls.Paths = append(ls.Paths, path.Clone())
-		ls.W = append(ls.W, n.Prob)
+	n := 0
+	t.walkLeaves(func(*Node, rank.Ordering) { n++ })
+	ls.flat = make([]int, 0, n*t.depth)
+	ls.Paths = make([]rank.Ordering, 0, n)
+	ls.W = make([]float64, 0, n)
+	t.walkLeaves(func(nd *Node, path rank.Ordering) {
+		ls.flat = append(ls.flat, path...)
+		ls.W = append(ls.W, nd.Prob)
 	})
+	for i := 0; i < n; i++ {
+		ls.Paths = append(ls.Paths, rank.Ordering(ls.flat[i*t.depth:(i+1)*t.depth:(i+1)*t.depth]))
+	}
 	numeric.Normalize(ls.W)
 	return ls
+}
+
+// Flat exposes the arena layout of the leaf set: all paths of length K
+// back to back in one array, leaf i occupying flat[i*K : (i+1)*K]. ok is
+// false when the set was not snapshotted from a tree (derived or hand-built
+// sets), in which case callers flatten or fall back themselves. The returned
+// slice is shared with Paths and must not be mutated.
+func (ls *LeafSet) Flat() (flat []int, ok bool) {
+	if ls.flat == nil || len(ls.flat) != len(ls.Paths)*ls.K {
+		return nil, false
+	}
+	return ls.flat, true
 }
 
 // Len returns the number of leaves.
