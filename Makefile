@@ -1,6 +1,7 @@
 # Convenience targets for the reproduction. The benchmarks regenerate the
 # paper's figures; `bench` records the selection + Fig-1(b) families (the
-# residual-sweep hot path) to BENCH_selection.json via cmd/benchreport so
+# residual-sweep hot path) and the persist family (WAL append, snapshot
+# compaction, cold recovery) to BENCH_selection.json via cmd/benchreport so
 # before/after numbers live next to the code.
 
 BENCHTIME ?= 20x
@@ -19,6 +20,6 @@ bench:
 
 # CI smoke: one iteration per benchmark, written to a scratch file and
 # compared (informationally) against the committed recording so selection
-# regressions are visible in PR logs.
+# and persistence regressions are visible in PR logs.
 bench-smoke:
 	go run ./cmd/benchreport -benchtime 1x -out /tmp/BENCH_selection.json -compare BENCH_selection.json

@@ -1,11 +1,11 @@
-// Command benchreport runs the selection and figure benchmarks with
-// -benchmem and writes the parsed results to a machine-readable JSON file
-// (BENCH_selection.json at the repository root, by convention). With
+// Command benchreport runs the selection, figure and persistence benchmarks
+// with -benchmem and writes the parsed results to a machine-readable JSON
+// file (BENCH_selection.json at the repository root, by convention). With
 // -compare it also diffs the fresh run against a previously recorded file
 // and prints per-benchmark ns/op and allocs/op ratios, so CI can surface
-// selection-path regressions in PRs at a glance. The comparison is
-// informational: hardware differs between the recording and CI machines, so
-// it never fails the build on its own.
+// hot-path regressions in PRs at a glance. The comparison is informational:
+// hardware differs between the recording and CI machines, so it never fails
+// the build on its own.
 //
 // Usage:
 //
@@ -24,9 +24,15 @@ import (
 	"strings"
 )
 
-// defaultBench covers the residual-sweep primitives and the end-to-end
-// figure benchmark they dominate.
-const defaultBench = "BenchmarkSelectionPrimitives|BenchmarkFig1b"
+// defaultBench covers the residual-sweep primitives, the end-to-end figure
+// benchmark they dominate, and the durability family (WAL append, snapshot
+// compaction, cold recovery).
+const defaultBench = "BenchmarkSelectionPrimitives|BenchmarkFig1b|BenchmarkPersist"
+
+// defaultPkgs are the packages holding those families (comma-separated for
+// the -pkg flag; benchmark names are globally unique, so one report file
+// can hold all of them).
+const defaultPkgs = ".,./internal/persist"
 
 // Result is one benchmark line.
 type Result struct {
@@ -53,11 +59,13 @@ func main() {
 	benchtime := flag.String("benchtime", "20x", "go test -benchtime value")
 	out := flag.String("out", "BENCH_selection.json", "output JSON path")
 	compare := flag.String("compare", "", "previously recorded report to diff against (informational)")
-	pkg := flag.String("pkg", ".", "package to benchmark")
+	pkg := flag.String("pkg", defaultPkgs, "comma-separated packages to benchmark")
 	flag.Parse()
 
-	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", *bench, "-benchmem", "-benchtime", *benchtime, "-count", "1", *pkg)
+	args := []string{"test", "-run", "^$",
+		"-bench", *bench, "-benchmem", "-benchtime", *benchtime, "-count", "1"}
+	args = append(args, strings.Split(*pkg, ",")...)
+	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
 	if err != nil {

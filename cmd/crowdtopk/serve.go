@@ -1,12 +1,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"crowdtopk/internal/persist"
 	"crowdtopk/internal/server"
 )
 
@@ -14,18 +19,47 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "process-wide worker budget shared by all sessions' tree builds (0 = all CPUs)")
-	ttl := fs.Duration("ttl", server.DefaultTTL, "evict sessions idle longer than this (0 = never)")
-	maxSessions := fs.Int("max-sessions", 0, "maximum live sessions, creates beyond it get 503 (0 = unbounded)")
+	ttl := fs.Duration("ttl", server.DefaultTTL, "evict sessions idle longer than this (0 = never); with -data-dir eviction moves them to disk instead of dropping them")
+	maxSessions := fs.Int("max-sessions", 0, "maximum live in-memory sessions, creates beyond it get 503 (0 = unbounded)")
+	dataDir := fs.String("data-dir", "", "durable session store directory; empty serves memory-only (sessions die with the process)")
+	fsync := fs.String("fsync", string(persist.SyncAlways), "wal fsync policy with -data-dir: always (each answer batch durable) or none (page cache + flush on shutdown)")
+	snapshotEvery := fs.Int("snapshot-every", persist.DefaultSnapshotEvery, "with -data-dir, compact a session's wal into a fresh snapshot after this many appended answers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv := server.New(server.Config{
+
+	cfg := server.Config{
 		Workers:     *workers,
 		TTL:         *ttl,
 		MaxSessions: *maxSessions,
-	})
+	}
+	if *dataDir != "" {
+		policy, err := persist.ParseSyncPolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		store, err := persist.NewFile(persist.FileOptions{
+			Dir:           *dataDir,
+			SnapshotEvery: *snapshotEvery,
+			Sync:          policy,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Persist = store
+	}
+	srv, err := server.New(cfg) // recovers all persisted sessions on boot
+	if err != nil {
+		return err
+	}
 	defer srv.Close()
-	fmt.Fprintf(os.Stderr, "crowdtopk serve: listening on %s (workers=%d ttl=%s)\n", *addr, *workers, *ttl)
+	if *dataDir != "" {
+		fmt.Fprintf(os.Stderr, "crowdtopk serve: listening on %s (workers=%d ttl=%s data-dir=%s fsync=%s snapshot-every=%d)\n",
+			*addr, *workers, *ttl, *dataDir, *fsync, *snapshotEvery)
+	} else {
+		fmt.Fprintf(os.Stderr, "crowdtopk serve: listening on %s (workers=%d ttl=%s, memory-only)\n", *addr, *workers, *ttl)
+	}
+
 	// Header and idle timeouts so slow clients cannot pin connections
 	// forever (slowloris); read/write timeouts stay unset because large
 	// checkpoint transfers on slow links are legitimate.
@@ -35,5 +69,29 @@ func cmdServe(args []string) error {
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	return hs.ListenAndServe()
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting, drain in-flight
+	// requests under a deadline, then flush every dirty session to the
+	// durable store (srv.Close) so nothing acked is lost.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		stop() // a second signal kills hot instead of waiting for the drain
+		fmt.Fprintln(os.Stderr, "crowdtopk serve: shutting down (draining requests, flushing sessions)")
+		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			fmt.Fprintf(os.Stderr, "crowdtopk serve: shutdown: %v\n", err)
+		}
+		srv.Close() // flush dirty sessions to disk, then close the store
+		return nil
+	}
 }

@@ -59,9 +59,29 @@
 //
 // The crowdtopk CLI serves these sessions over HTTP (`crowdtopk serve`):
 // POST /v1/sessions creates or restores, GET questions / POST answers /
-// GET result / GET checkpoint / DELETE drive the lifecycle, and GET
-// /v1/stats exposes store and π-cache counters. See the README for curl
-// exchanges.
+// GET result / GET checkpoint / DELETE drive the lifecycle, GET /v1/sessions
+// lists known sessions, and GET /v1/stats exposes store, persistence and
+// π-cache counters. See the README for curl exchanges.
+//
+// With `crowdtopk serve -data-dir`, sessions also survive server crashes:
+// the in-memory table becomes a cache over a durable file store
+// (internal/persist), and every accepted answer takes the persist path
+// alongside the in-memory transition:
+//
+//	POST answers          dirty hook    ┌────────────────┐  append (+fsync)
+//	──────▶ live session ──────────────▶│ async persister│─────────────────▶ <data-dir>/sessions/<id>/
+//	         (memory tier)              └────────────────┘  every N answers:    ├─ snapshot.json
+//	            ▲   │                                       compact WAL into    └─ wal.log (CRC-framed,
+//	            │   │ idle TTL: persist, then release       a fresh snapshot       seq-numbered answers)
+//	   lazy     │   ▼
+//	 hydration  └── disk ── restore snapshot, replay WAL tail through SubmitAnswer
+//	                        (torn tail dropped; corruption → typed error)
+//
+// On boot the server scans the store so every persisted session is
+// immediately addressable; a killed server restarted on the same data dir
+// finishes its queries with results identical to an uninterrupted run.
+// Graceful shutdown (SIGINT/SIGTERM) drains in-flight requests, then
+// flushes every dirty session to disk before exit.
 //
 // # Numerical substrate
 //

@@ -1,0 +1,108 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"crowdtopk/internal/tpo"
+)
+
+// The persist benchmark family, recorded by `make bench` / cmd/benchreport
+// alongside the selection family:
+//
+//	BenchmarkPersistWALAppend    one answer record appended (per fsync policy)
+//	BenchmarkPersistSnapshot     one full checkpoint compaction
+//	BenchmarkPersistColdRecovery snapshot restore + WAL replay of a session
+
+func BenchmarkPersistWALAppend(b *testing.B) {
+	for _, sync := range []SyncPolicy{SyncNone, SyncAlways} {
+		b.Run(fmt.Sprintf("sync=%s", sync), func(b *testing.B) {
+			w, err := os.Create(filepath.Join(b.TempDir(), "wal.log"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			batch := []tpo.Answer{{Q: tpo.NewQuestion(3, 5), Yes: true}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := appendWAL(w, uint64(i), batch); err != nil {
+					b.Fatal(err)
+				}
+				if sync == SyncAlways {
+					if err := w.Sync(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPersistSnapshot(b *testing.B) {
+	st, err := NewFile(FileOptions{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	s, cr := newTestSession(b, 7, 3, 12)
+	answerN(b, s, cr, 5, nil)
+	if err := st.Put("s_bench", s); err != nil {
+		b.Fatal(err)
+	}
+	fs, err := st.state("s_bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs.mu.Lock()
+		err := st.writeSnapshot("s_bench", fs, s)
+		fs.mu.Unlock()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPersistColdRecovery(b *testing.B) {
+	// One snapshot at zero answers plus the whole query in the WAL: the
+	// worst-case recovery (full tree rebuild + full replay).
+	dir := b.TempDir()
+	st, err := NewFile(FileOptions{Dir: dir, SnapshotEvery: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, cr := newTestSession(b, 7, 3, 12)
+	if err := st.Put("s_bench", s); err != nil {
+		b.Fatal(err)
+	}
+	// Stop short of the budget: a terminal Put compacts, which would empty
+	// the WAL this benchmark exists to replay.
+	replayed := answerN(b, s, cr, 5, func() {
+		if err := st.Put("s_bench", s); err != nil {
+			b.Fatal(err)
+		}
+	})
+	if s.State().Terminal() {
+		b.Fatalf("session terminal after %d answers; WAL compacted away", replayed)
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(replayed), "replays/op")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cold, err := NewFile(FileOptions{Dir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cold.Get("s_bench"); err != nil {
+			b.Fatal(err)
+		}
+		if err := cold.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

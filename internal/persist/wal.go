@@ -1,0 +1,128 @@
+package persist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"crowdtopk/internal/tpo"
+)
+
+// WAL record framing. Each accepted answer becomes one self-checking record:
+//
+//	seq     uint64  little-endian — index of the answer in the session log
+//	length  uint32  little-endian — payload byte count
+//	payload []byte  JSON {"i":…,"j":…,"yes":…}
+//	crc     uint32  little-endian — IEEE CRC-32 over seq‖length‖payload
+//
+// The sequence number makes replay idempotent across the compaction crash
+// window: a snapshot that was renamed into place before the old log was
+// truncated simply causes the low-seq records to be skipped. The CRC plus
+// the declared extent distinguish a torn final append (file ends before the
+// record's extent — tolerated, truncated away) from corruption in place
+// (extent present but the CRC or payload lies — a *CorruptError).
+
+const (
+	walHeaderLen = 12 // seq (8) + length (4)
+	walCRCLen    = 4
+	// maxWALPayload bounds a record's declared payload so a corrupt length
+	// field cannot drive a huge allocation. Answer payloads are ~40 bytes.
+	maxWALPayload = 1 << 16
+)
+
+// errTornTail is the internal marker readWAL attaches to a tail that looks
+// like a crash landed mid-append. Recovery tolerates it; it never escapes
+// the package.
+var errTornTail = errors.New("persist: torn wal tail")
+
+// walPayload is one answer on disk.
+type walPayload struct {
+	I   int  `json:"i"`
+	J   int  `json:"j"`
+	Yes bool `json:"yes"`
+}
+
+// walRecord is one decoded record.
+type walRecord struct {
+	Seq    uint64
+	Answer tpo.Answer
+}
+
+// appendWAL encodes answers as records seqStart, seqStart+1, … and writes
+// them to w in one buffer (a single write per Put keeps the torn-tail window
+// to at most one batch).
+func appendWAL(w io.Writer, seqStart uint64, answers []tpo.Answer) error {
+	var buf []byte
+	scratch := make([]byte, walHeaderLen)
+	for k, a := range answers {
+		payload, err := json.Marshal(walPayload{I: a.Q.I, J: a.Q.J, Yes: a.Yes})
+		if err != nil {
+			return fmt.Errorf("persist: encoding wal record: %w", err)
+		}
+		binary.LittleEndian.PutUint64(scratch[0:8], seqStart+uint64(k))
+		binary.LittleEndian.PutUint32(scratch[8:12], uint32(len(payload)))
+		crc := crc32.NewIEEE()
+		_, _ = crc.Write(scratch)
+		_, _ = crc.Write(payload)
+		buf = append(buf, scratch...)
+		buf = append(buf, payload...)
+		buf = binary.LittleEndian.AppendUint32(buf, crc.Sum32())
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// readWAL decodes every intact record from data. It returns the records, the
+// byte offset just past the last intact record (the length recovery should
+// truncate the log to), whether a torn tail was dropped, and — for
+// corruption that is not a plausible torn append — an error wrapping the
+// reason (the caller turns it into a *CorruptError).
+func readWAL(data []byte) (recs []walRecord, validEnd int64, torn bool, err error) {
+	off := 0
+	var prevSeq uint64
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < walHeaderLen {
+			return recs, int64(off), true, nil
+		}
+		seq := binary.LittleEndian.Uint64(rest[0:8])
+		plen := int(binary.LittleEndian.Uint32(rest[8:12]))
+		// Validate the length before the extent: appendWAL writes each batch
+		// as one contiguous buffer, so a torn append that left a complete
+		// header always carries the true (small) length — an intact header
+		// declaring an oversized payload is provably corruption, and must
+		// not be mistaken for a torn tail (which would silently truncate
+		// every durable record after it).
+		if plen > maxWALPayload {
+			return recs, int64(off), false, fmt.Errorf("record at offset %d declares %d payload bytes (max %d)", off, plen, maxWALPayload)
+		}
+		extent := walHeaderLen + plen + walCRCLen
+		if len(rest) < extent {
+			// The file ends inside this record's declared extent: exactly
+			// what a crash mid-append leaves behind.
+			return recs, int64(off), true, nil
+		}
+		payload := rest[walHeaderLen : walHeaderLen+plen]
+		want := binary.LittleEndian.Uint32(rest[walHeaderLen+plen : extent])
+		crc := crc32.NewIEEE()
+		_, _ = crc.Write(rest[:walHeaderLen])
+		_, _ = crc.Write(payload)
+		if got := crc.Sum32(); got != want {
+			return recs, int64(off), false, fmt.Errorf("record at offset %d fails crc: got %08x want %08x", off, got, want)
+		}
+		var p walPayload
+		if err := json.Unmarshal(payload, &p); err != nil {
+			return recs, int64(off), false, fmt.Errorf("record at offset %d payload undecodable: %v", off, err)
+		}
+		if len(recs) > 0 && seq <= prevSeq {
+			return recs, int64(off), false, fmt.Errorf("record at offset %d breaks seq monotonicity: %d after %d", off, seq, prevSeq)
+		}
+		recs = append(recs, walRecord{Seq: seq, Answer: tpo.Answer{Q: tpo.Question{I: p.I, J: p.J}, Yes: p.Yes}})
+		prevSeq = seq
+		off += extent
+	}
+	return recs, int64(off), false, nil
+}

@@ -1,0 +1,98 @@
+package server
+
+import "sync"
+
+// persister coalesces dirty-session notifications and writes them to the
+// durable backend from one background goroutine. Sessions are persisted
+// whole-delta at a time: many answers accepted while a write is in flight
+// collapse into the next write, so a hot session costs one disk append per
+// drain, not per answer.
+type persister struct {
+	persist func(id string) // the store's persistOne
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	dirty    map[string]struct{}
+	inflight bool
+	stopped  bool
+	done     chan struct{}
+}
+
+func newPersister(persist func(string)) *persister {
+	p := &persister{
+		persist: persist,
+		dirty:   make(map[string]struct{}),
+		done:    make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	go p.loop()
+	return p
+}
+
+// enqueue marks a session dirty. Duplicate marks coalesce.
+func (p *persister) enqueue(id string) {
+	p.mu.Lock()
+	if !p.stopped {
+		p.dirty[id] = struct{}{}
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// pending reports how many sessions await a durable write (including the
+// one being written right now).
+func (p *persister) pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.dirty)
+	if p.inflight {
+		n++
+	}
+	return n
+}
+
+// flush blocks until every enqueued session has been written.
+func (p *persister) flush() {
+	p.mu.Lock()
+	for len(p.dirty) > 0 || p.inflight {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// stopAndDrain writes everything still queued, then stops the goroutine.
+func (p *persister) stopAndDrain() {
+	p.mu.Lock()
+	p.stopped = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	<-p.done
+}
+
+func (p *persister) loop() {
+	defer close(p.done)
+	p.mu.Lock()
+	for {
+		for len(p.dirty) == 0 && !p.stopped {
+			p.cond.Wait()
+		}
+		if len(p.dirty) == 0 { // stopped and drained
+			p.mu.Unlock()
+			return
+		}
+		var id string
+		for k := range p.dirty {
+			id = k
+			break
+		}
+		delete(p.dirty, id)
+		p.inflight = true
+		p.mu.Unlock()
+
+		p.persist(id)
+
+		p.mu.Lock()
+		p.inflight = false
+		p.cond.Broadcast()
+	}
+}

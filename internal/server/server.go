@@ -8,17 +8,26 @@
 // Endpoints (see the README for curl examples):
 //
 //	POST   /v1/sessions                   create (from a dataset or a checkpoint)
+//	GET    /v1/sessions                   list known sessions (limit parameter)
 //	GET    /v1/sessions/{id}/questions    pull up to n pending questions
 //	POST   /v1/sessions/{id}/answers      submit crowd answers
 //	GET    /v1/sessions/{id}/result       current top-K belief
 //	GET    /v1/sessions/{id}/checkpoint   versioned session envelope
 //	DELETE /v1/sessions/{id}              drop the session
-//	GET    /v1/stats                      store + π-cache counters
+//	GET    /v1/stats                      store + persistence + π-cache counters
 //
 // Sessions are held in a concurrency-safe store with TTL eviction and share
 // one process-wide worker budget (internal/par.Budget): concurrent builds
 // degrade to fewer workers each instead of oversubscribing the host, which
 // never changes results.
+//
+// With a durable backend (Config.Persist, internal/persist), the in-memory
+// table becomes a cache: every accepted answer is asynchronously appended to
+// the backend's write-ahead log, idle sessions are evicted to disk instead
+// of dropped, misses hydrate lazily from disk, and a restarted server
+// recovers every persisted session — crowd answers that trickled in over
+// hours survive a crash. Without a backend, behavior is unchanged: sessions
+// die with the process (clients can still pull checkpoints themselves).
 package server
 
 import (
@@ -35,6 +44,7 @@ import (
 	"crowdtopk/internal/engine"
 	"crowdtopk/internal/par"
 	"crowdtopk/internal/pcache"
+	"crowdtopk/internal/persist"
 	"crowdtopk/internal/session"
 	"crowdtopk/internal/tpo"
 )
@@ -44,11 +54,17 @@ type Config struct {
 	// Workers is the process-wide worker budget shared by every session's
 	// tree builds and extensions (0 = GOMAXPROCS).
 	Workers int
-	// TTL evicts sessions idle longer than this (0 = never evict).
+	// TTL evicts sessions idle longer than this (0 = never evict). With a
+	// durable backend eviction moves the session to disk; without one it
+	// drops the session for good.
 	TTL time.Duration
-	// MaxSessions bounds live sessions; creates beyond it fail with 503
-	// (0 = unbounded).
+	// MaxSessions bounds live in-memory sessions; creates beyond it fail
+	// with 503 (0 = unbounded). Lazy hydration of persisted sessions is
+	// exempt: a session returning from disk is served, not shed.
 	MaxSessions int
+	// Persist optionally attaches a durable session store. The server owns
+	// it from then on: Close flushes and closes it.
+	Persist persist.Store
 }
 
 // DefaultTTL is the idle eviction default used by the serve subcommand.
@@ -62,28 +78,42 @@ type Server struct {
 	mux   *http.ServeMux
 }
 
-// New builds a server with its own session store and worker budget.
-func New(cfg Config) *Server {
+// New builds a server with its own session store and worker budget. With
+// cfg.Persist set it also scans the backend so every persisted session is
+// immediately addressable (sessions hydrate lazily on first access), and
+// takes ownership of the backend.
+func New(cfg Config) (*Server, error) {
+	st, err := newStore(cfg.TTL, cfg.MaxSessions, cfg.Persist)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		store: newStore(cfg.TTL, cfg.MaxSessions),
+		store: st,
 		pool:  par.NewBudget(cfg.Workers),
 		mux:   http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/questions", s.handleQuestions)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/answers", s.handleAnswers)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP handler for the v1 API.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops background eviction and drops all sessions.
+// Close stops background eviction, flushes every dirty session to the
+// durable backend (when one is configured) and closes it, then drops all
+// live sessions. Idempotent.
 func (s *Server) Close() { s.store.close() }
+
+// Flush synchronously pushes every pending durable write to the backend and
+// syncs it. A no-op without a backend.
+func (s *Server) Flush() { s.store.flush() }
 
 // Sessions reports the number of live sessions (for stats and tests).
 func (s *Server) Sessions() int { return s.store.len() }
@@ -160,9 +190,50 @@ type resultResponse struct {
 	Contradictions int           `json:"contradictions"`
 }
 
+// storeStats is the /v1/stats view of the session store's two tiers.
+type storeStats struct {
+	// Backend names the durable tier: "memory" (none) or "file".
+	Backend string `json:"backend"`
+	// LiveSessions counts hydrated in-memory sessions; KnownSessions adds
+	// the ones resident only in the durable backend.
+	LiveSessions  int `json:"live_sessions"`
+	KnownSessions int `json:"known_sessions"`
+	// DirtySessions counts sessions with accepted answers awaiting their
+	// asynchronous durable write (0 means everything acked is on disk).
+	DirtySessions   int    `json:"dirty_sessions"`
+	EvictionsToDisk uint64 `json:"evictions_to_disk"`
+	HydrationHits   uint64 `json:"hydration_hits"`
+	HydrationMisses uint64 `json:"hydration_misses"`
+	PersistErrors   uint64 `json:"persist_errors"`
+	// Persist carries the backend's own counters (snapshots, wal_appends,
+	// replays, recovered_sessions, fsyncs) when it exposes them.
+	Persist *persist.CounterSnapshot `json:"persist,omitempty"`
+}
+
 type statsResponse struct {
 	Sessions int             `json:"sessions"`
+	Store    storeStats      `json:"store"`
 	PCache   pcache.Snapshot `json:"pcache"`
+}
+
+// listResponse is the GET /v1/sessions page.
+type listResponse struct {
+	Sessions []listEntryJSON `json:"sessions"`
+	// Total is the number of known sessions, which may exceed the page.
+	Total int `json:"total"`
+}
+
+type listEntryJSON struct {
+	ID string `json:"id"`
+	// State and Asked/Pending are reported for live sessions only: reading
+	// them off a disk-resident session would force the hydration the
+	// listing exists to avoid.
+	State       session.State `json:"state,omitempty"`
+	Asked       int           `json:"asked,omitempty"`
+	Pending     int           `json:"pending,omitempty"`
+	IdleSeconds float64       `json:"idle_seconds"`
+	Persisted   bool          `json:"persisted"`
+	Hydrated    bool          `json:"hydrated"`
 }
 
 // ---- handlers ----
@@ -360,14 +431,73 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// defaultListLimit bounds GET /v1/sessions pages unless the client asks for
+// more; against a store with millions of persisted sessions an unbounded
+// listing would be an accidental denial of service.
+const defaultListLimit = 100
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	limit := defaultListLimit
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", raw))
+			return
+		}
+		limit = v
+	}
+	items, total := s.store.list(limit)
+	out := listResponse{Sessions: []listEntryJSON{}, Total: total}
+	for _, it := range items {
+		e := listEntryJSON{
+			ID:          it.id,
+			IdleSeconds: it.idle.Seconds(),
+			Persisted:   it.persisted,
+			Hydrated:    it.hydrated,
+		}
+		if sess := s.store.peek(it.id); sess != nil {
+			st := sess.Status()
+			e.State = st.State
+			e.Asked = st.Asked
+			e.Pending = st.Pending
+		}
+		out.Sessions = append(out.Sessions, e)
+	}
+	writeJSON(w, out)
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, statsResponse{Sessions: s.store.len(), PCache: pcache.Stats()})
+	st := storeStats{
+		Backend:         "memory",
+		LiveSessions:    s.store.len(),
+		KnownSessions:   s.store.known(),
+		EvictionsToDisk: s.store.evictions.Load(),
+		HydrationHits:   s.store.hydraHits.Load(),
+		HydrationMisses: s.store.hydraMisses.Load(),
+		PersistErrors:   s.store.persistErrors.Load(),
+	}
+	if s.store.disk != nil {
+		st.Backend = "file"
+		st.DirtySessions = s.store.bg.pending()
+		if cs, ok := s.store.disk.(persist.CounterSource); ok {
+			c := cs.Counters()
+			st.Persist = &c
+		}
+	}
+	writeJSON(w, statsResponse{Sessions: s.store.len(), Store: st, PCache: pcache.Stats()})
 }
 
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session.Session, bool) {
 	sess, err := s.store.get(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		// Only a genuine miss is a 404: a hydration failure (I/O error,
+		// corrupt on-disk state) must surface as a server error, not
+		// convince the client the session never existed.
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, err)
 		return nil, false
 	}
 	return sess, true

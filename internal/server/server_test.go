@@ -16,6 +16,16 @@ import (
 	"crowdtopk/internal/server"
 )
 
+// newServer builds a server, failing the test on a store error.
+func newServer(t *testing.T, cfg server.Config) *server.Server {
+	t.Helper()
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 // doJSON performs one API call, decoding the response JSON into out (which
 // may be nil) and returning the status code.
 func doJSON(t *testing.T, client *http.Client, method, url string, body, out any) int {
@@ -204,7 +214,7 @@ func TestServedQueryMatchesProcess(t *testing.T) {
 			name = "checkpoint-midway"
 		}
 		t.Run(name, func(t *testing.T) {
-			srv := server.New(server.Config{})
+			srv := newServer(t, server.Config{})
 			defer srv.Close()
 			ts := httptest.NewServer(srv.Handler())
 			defer ts.Close()
@@ -248,7 +258,7 @@ func TestServedQueryMatchesProcess(t *testing.T) {
 // through one server at the same time; under -race this pins the store's
 // and the shared worker budget's concurrency safety.
 func TestConcurrentSessions(t *testing.T) {
-	srv := server.New(server.Config{Workers: 2})
+	srv := newServer(t, server.Config{Workers: 2})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -306,7 +316,7 @@ func TestConcurrentSessions(t *testing.T) {
 
 // TestServerErrorPaths pins the API's typed failure modes.
 func TestServerErrorPaths(t *testing.T) {
-	srv := server.New(server.Config{})
+	srv := newServer(t, server.Config{})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -433,14 +443,14 @@ func TestServerErrorPaths(t *testing.T) {
 // TestServerCloseIdempotent: embedders commonly both defer Close and call it
 // on a shutdown-signal path; the second call must be a no-op, not a panic.
 func TestServerCloseIdempotent(t *testing.T) {
-	srv := server.New(server.Config{})
+	srv := newServer(t, server.Config{})
 	srv.Close()
 	srv.Close()
 }
 
 // TestStatsEndpoint: session counts and π-cache counters are exposed.
 func TestStatsEndpoint(t *testing.T) {
-	srv := server.New(server.Config{})
+	srv := newServer(t, server.Config{})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -489,7 +499,7 @@ func TestStatsEndpoint(t *testing.T) {
 // TestTTLEviction: idle sessions are evicted by the janitor; active ones
 // have their TTL refreshed by use.
 func TestTTLEviction(t *testing.T) {
-	srv := server.New(server.Config{TTL: 50 * time.Millisecond})
+	srv := newServer(t, server.Config{TTL: 50 * time.Millisecond})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -518,7 +528,7 @@ func TestTTLEviction(t *testing.T) {
 
 // TestMaxSessions: creates beyond the cap fail with 503 until a slot frees.
 func TestMaxSessions(t *testing.T) {
-	srv := server.New(server.Config{MaxSessions: 1})
+	srv := newServer(t, server.Config{MaxSessions: 1})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

@@ -4,66 +4,97 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
+	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"crowdtopk/internal/persist"
 	"crowdtopk/internal/session"
 )
 
 // ErrNotFound reports a session id the store does not hold (never created,
-// deleted, or evicted after its TTL).
+// deleted, or — in memory-only mode — evicted after its TTL).
 var ErrNotFound = errors.New("server: no such session")
 
 // ErrFull reports that the store is at its session capacity.
 var ErrFull = errors.New("server: session limit reached")
 
-// entry is one stored session. The session serializes its own transitions;
-// the store only guards the map and the last-access stamp.
-type entry struct {
-	sess *session.Session
-
-	mu       sync.Mutex // guards lastUsed
+// meta is the store's bookkeeping for one known session — live or resident
+// only in the durable backend. All fields are guarded by store.mu; the
+// session itself lives in the memory tier and serializes its own
+// transitions.
+type meta struct {
 	lastUsed time.Time
+	// hydrated: the session object is in the memory tier.
+	hydrated bool
+	// persisted: a durable copy exists (possibly stale while dirty).
+	persisted bool
+	// dirtyGen counts accepted answers (and other persist-worthy events);
+	// persistedGen is the dirtyGen value the last successful persist
+	// covered. dirtyGen > persistedGen means durable work is pending.
+	dirtyGen, persistedGen uint64
 }
 
-func (e *entry) touch(now time.Time) {
-	e.mu.Lock()
-	e.lastUsed = now
-	e.mu.Unlock()
-}
-
-func (e *entry) idleSince() time.Time {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.lastUsed
-}
-
-// store is a concurrency-safe session registry with TTL eviction: sessions
-// idle longer than ttl are dropped by a janitor goroutine. Clients that
-// checkpoint before going quiet can restore after eviction.
+// store layers the server's session registry over the persist subsystem:
+// live sessions sit in a sharded in-memory tier (persist.Memory), and — when
+// a durable backend is configured — every accepted answer is asynchronously
+// appended to it, idle sessions are evicted to it instead of dropped, and
+// misses hydrate from it lazily. Without a durable backend the behavior is
+// exactly the pre-persistence server: TTL eviction drops sessions for good.
 type store struct {
 	ttl time.Duration
 	max int
 
-	mu       sync.Mutex
-	sessions map[string]*entry
-	reserved int // capacity claimed by creates still building (see reserve)
+	live *persist.Memory // hydrated sessions (the cache tier)
+	disk persist.Store   // nil in memory-only mode
+	bg   *persister      // nil in memory-only mode
+
+	mu        sync.Mutex
+	meta      map[string]*meta
+	hydrating map[string]chan struct{} // singleflight per hydrating id
+	reserved  int                      // capacity claimed by creates still building
+	hydrated  int                      // count of meta entries with hydrated=true
+
+	evictions     atomic.Uint64 // sessions moved memory → disk by the janitor
+	hydraHits     atomic.Uint64 // lazy loads that found the session on disk
+	hydraMisses   atomic.Uint64 // misses that found nothing anywhere
+	persistErrors atomic.Uint64 // failed durable writes (answers stay live)
 
 	stop      chan struct{}
 	done      chan struct{}
 	closeOnce sync.Once
 }
 
-func newStore(ttl time.Duration, max int) *store {
+// newStore builds the registry. With a durable backend it scans the backend
+// once so every persisted session is addressable immediately after a
+// restart (the scan reads ids only; sessions hydrate lazily on first
+// access).
+func newStore(ttl time.Duration, max int, disk persist.Store) (*store, error) {
 	s := &store{
-		ttl:      ttl,
-		max:      max,
-		sessions: make(map[string]*entry),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		ttl:       ttl,
+		max:       max,
+		live:      persist.NewMemory(),
+		disk:      disk,
+		meta:      make(map[string]*meta),
+		hydrating: make(map[string]chan struct{}),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	if disk != nil {
+		ids, err := disk.List()
+		if err != nil {
+			return nil, fmt.Errorf("server: scanning persisted sessions: %w", err)
+		}
+		now := time.Now()
+		for _, id := range ids {
+			s.meta[id] = &meta{lastUsed: now, persisted: true}
+		}
+		s.bg = newPersister(s.persistOne)
 	}
 	go s.janitor()
-	return s
+	return s, nil
 }
 
 // newID returns a fresh 128-bit random session id.
@@ -77,11 +108,12 @@ func newID() (string, error) {
 
 // reserve claims capacity for a session about to be built, so load shedding
 // happens before the expensive tree construction rather than after it. The
-// reservation is consumed by add or returned with unreserve.
+// reservation is consumed by add or returned with unreserve. Capacity
+// bounds hydrated (in-memory) sessions: disk residency is not load.
 func (s *store) reserve() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.max > 0 && len(s.sessions)+s.reserved >= s.max {
+	if s.max > 0 && s.hydrated+s.reserved >= s.max {
 		return ErrFull
 	}
 	s.reserved++
@@ -96,60 +128,330 @@ func (s *store) unreserve() {
 }
 
 // add registers a session under a fresh id, consuming one reservation made
-// with reserve (which guarantees room).
+// with reserve (which guarantees room). With a durable backend the new
+// session is queued for its initial snapshot right away.
 func (s *store) add(sess *session.Session) (string, error) {
 	id, err := newID()
 	now := time.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.reserved--
 	if err != nil {
+		s.mu.Unlock()
 		return "", err
 	}
-	s.sessions[id] = &entry{sess: sess, lastUsed: now}
+	s.meta[id] = &meta{lastUsed: now, hydrated: true, dirtyGen: 1}
+	s.hydrated++
+	s.mu.Unlock()
+	if err := s.live.Put(id, sess); err != nil {
+		// Roll the registration back: a meta entry without a live session
+		// would hold a MaxSessions slot forever.
+		s.mu.Lock()
+		if m := s.meta[id]; m != nil && m.hydrated {
+			s.hydrated--
+		}
+		delete(s.meta, id)
+		s.mu.Unlock()
+		return "", err
+	}
+	s.watch(id, sess)
+	if s.bg != nil {
+		s.bg.enqueue(id) // initial snapshot: durable before the first answer
+	}
 	return id, nil
 }
 
-// get returns the session and refreshes its TTL.
-func (s *store) get(id string) (*session.Session, error) {
-	s.mu.Lock()
-	e, ok := s.sessions[id]
-	s.mu.Unlock()
-	if !ok {
-		return nil, ErrNotFound
+// watch wires the session's dirty-answer hook to the async persister: every
+// accepted answer bumps the dirty generation and queues a durable write.
+func (s *store) watch(id string, sess *session.Session) {
+	if s.bg == nil {
+		return
 	}
-	e.touch(time.Now())
-	return e.sess, nil
+	sess.SetDirtyHook(func() { s.markDirty(id, sess) })
 }
 
-// remove deletes a session; it reports whether the id existed.
+// markDirty records an accepted answer on sess. The session reference
+// matters: a request handler can hold a session across a TTL eviction and
+// still accept an answer on it — the answer was acked, so the store
+// re-attaches the very object that accepted it rather than letting the
+// write vanish with an unreachable pointer. A deleted session (meta gone)
+// stays deleted.
+func (s *store) markDirty(id string, sess *session.Session) {
+	s.mu.Lock()
+	m := s.meta[id]
+	if m == nil {
+		s.mu.Unlock()
+		return
+	}
+	m.dirtyGen++
+	if !m.hydrated {
+		if err := s.live.Put(id, sess); err == nil {
+			m.hydrated = true
+			s.hydrated++
+			m.lastUsed = time.Now()
+		}
+	}
+	s.mu.Unlock()
+	s.bg.enqueue(id)
+}
+
+// persistOne writes one session's pending state to the durable backend. It
+// runs on the persister goroutine, the janitor's eviction path, and Flush —
+// never under s.mu, because a file-backend Put fsyncs.
+func (s *store) persistOne(id string) {
+	s.mu.Lock()
+	m := s.meta[id]
+	if m == nil || !m.hydrated {
+		s.mu.Unlock()
+		return
+	}
+	gen := m.dirtyGen
+	if m.persisted && gen == m.persistedGen {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	sess, err := s.live.Get(id)
+	if err != nil {
+		return // evicted or deleted in the window
+	}
+	if err := s.disk.Put(id, sess); err != nil {
+		// The answers are still live in memory; the next accepted answer
+		// re-queues the session, so a transient disk error heals itself.
+		s.persistErrors.Add(1)
+		return
+	}
+	s.mu.Lock()
+	if m2 := s.meta[id]; m2 != nil {
+		m2.persisted = true
+		if m2.persistedGen < gen {
+			m2.persistedGen = gen
+		}
+	}
+	s.mu.Unlock()
+}
+
+// get returns the session and refreshes its TTL, lazily hydrating from the
+// durable backend when the session is not in memory (evicted, or created by
+// a previous process).
+func (s *store) get(id string) (*session.Session, error) {
+	for {
+		s.mu.Lock()
+		m := s.meta[id]
+		if m != nil && m.hydrated {
+			m.lastUsed = time.Now()
+			s.mu.Unlock()
+			sess, err := s.live.Get(id)
+			if err != nil {
+				if s.disk != nil {
+					continue // a remove/evict won the window; retry resolves it
+				}
+				return nil, ErrNotFound
+			}
+			return sess, nil
+		}
+		// Unknown ids are misses even with a durable backend: the boot scan
+		// registered every persisted session, so there is nothing to probe
+		// the disk for (and probing on arbitrary ids would let clients turn
+		// 404s into disk reads).
+		if m == nil || s.disk == nil {
+			s.mu.Unlock()
+			return nil, ErrNotFound
+		}
+		// Hydration singleflight: wait for an in-flight load of the same id
+		// rather than rebuilding the tree twice.
+		if ch, ok := s.hydrating[id]; ok {
+			s.mu.Unlock()
+			<-ch
+			continue
+		}
+		ch := make(chan struct{})
+		s.hydrating[id] = ch
+		s.mu.Unlock()
+
+		sess, err := s.hydrate(id)
+
+		s.mu.Lock()
+		delete(s.hydrating, id)
+		s.mu.Unlock()
+		close(ch)
+		return sess, err
+	}
+}
+
+// hydrate loads one session from the durable backend into the memory tier.
+// Runs outside s.mu (recovery rebuilds the tree); the caller holds the
+// singleflight slot for id.
+func (s *store) hydrate(id string) (*session.Session, error) {
+	sess, err := s.disk.Get(id)
+	if errors.Is(err, persist.ErrNotFound) {
+		s.hydraMisses.Add(1)
+		s.mu.Lock()
+		if m := s.meta[id]; m != nil && !m.hydrated {
+			delete(s.meta, id) // the backend lost it out from under us
+		}
+		s.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: hydrating session %s: %w", id, err)
+	}
+	s.mu.Lock()
+	m := s.meta[id]
+	if m == nil {
+		// Deleted while we were loading: the DELETE was acknowledged, so
+		// the disk copy we just read must not come back to life.
+		s.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	if m.hydrated {
+		// Re-attached while we were loading (markDirty on an in-flight
+		// answer): the live object is strictly newer than the disk copy we
+		// read — keep it.
+		s.mu.Unlock()
+		live, lerr := s.live.Get(id)
+		if lerr != nil {
+			return nil, ErrNotFound // gone again already; client retries
+		}
+		return live, nil
+	}
+	if err := s.live.Put(id, sess); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	m.hydrated = true
+	s.hydrated++
+	m.persisted = true
+	m.persistedGen = m.dirtyGen // the restored state is durable by definition
+	m.lastUsed = time.Now()
+	s.mu.Unlock()
+	s.watch(id, sess)
+	s.hydraHits.Add(1)
+	return sess, nil
+}
+
+// remove deletes a session from every tier; it reports whether the id
+// existed.
 func (s *store) remove(id string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.sessions[id]; !ok {
+	m := s.meta[id]
+	if m == nil {
+		s.mu.Unlock()
 		return false
 	}
-	delete(s.sessions, id)
+	if m.hydrated {
+		s.hydrated--
+	}
+	delete(s.meta, id)
+	s.mu.Unlock()
+	_ = s.live.Delete(id)
+	if s.disk != nil {
+		_ = s.disk.Delete(id) // ErrNotFound fine: never persisted yet
+	}
 	return true
 }
 
-// len returns the number of live sessions.
+// len returns the number of live (in-memory) sessions.
 func (s *store) len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.sessions)
+	return s.hydrated
 }
 
-// close stops the janitor and drops every session. It is idempotent, so
-// embedders that both defer Close and call it on a shutdown-signal path do
-// not panic on the second call.
+// known returns the number of sessions the store can serve, including those
+// resident only in the durable backend.
+func (s *store) known() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.meta)
+}
+
+// listItem is one row of the store's session listing.
+type listItem struct {
+	id        string
+	idle      time.Duration
+	hydrated  bool
+	persisted bool
+}
+
+// list snapshots up to limit known sessions, sorted by id for a stable
+// pagination order.
+func (s *store) list(limit int) (items []listItem, total int) {
+	now := time.Now()
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.meta))
+	for id := range s.meta {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	total = len(ids)
+	if limit > 0 && limit < len(ids) {
+		ids = ids[:limit]
+	}
+	items = make([]listItem, 0, len(ids))
+	for _, id := range ids {
+		m := s.meta[id]
+		items = append(items, listItem{
+			id:        id,
+			idle:      now.Sub(m.lastUsed),
+			hydrated:  m.hydrated,
+			persisted: m.persisted,
+		})
+	}
+	s.mu.Unlock()
+	return items, total
+}
+
+// peek returns the live session without refreshing its TTL (listing a
+// session must not keep it alive).
+func (s *store) peek(id string) *session.Session {
+	sess, err := s.live.Get(id)
+	if err != nil {
+		return nil
+	}
+	return sess
+}
+
+// flush pushes every pending durable write to the backend and syncs it —
+// the graceful-shutdown barrier.
+func (s *store) flush() {
+	if s.bg == nil {
+		return
+	}
+	s.bg.flush()
+	// Catch stragglers the queue never saw (e.g. a markDirty racing the
+	// flush): persist anything still marked dirty, synchronously.
+	s.mu.Lock()
+	var pending []string
+	for id, m := range s.meta {
+		if m.hydrated && (!m.persisted || m.dirtyGen > m.persistedGen) {
+			pending = append(pending, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, id := range pending {
+		s.persistOne(id)
+	}
+	_ = s.disk.Flush()
+}
+
+// close stops the janitor and the persister (flushing pending writes), then
+// drops every live session. It is idempotent, so embedders that both defer
+// Close and call it on a shutdown-signal path do not panic on the second
+// call.
 func (s *store) close() {
 	s.closeOnce.Do(func() {
 		close(s.stop)
 		<-s.done
+		if s.bg != nil {
+			s.bg.stopAndDrain()
+			s.flush()
+			_ = s.disk.Close()
+		}
 		s.mu.Lock()
-		s.sessions = make(map[string]*entry)
+		s.meta = make(map[string]*meta)
+		s.hydrated = 0
 		s.mu.Unlock()
+		_ = s.live.Close()
 	})
 }
 
@@ -180,12 +482,55 @@ func (s *store) janitor() {
 	}
 }
 
+// evictIdle moves idle live sessions out of memory: dropped for good in
+// memory-only mode (the original TTL semantics), persisted to the durable
+// backend and released otherwise — the memory tier is then just a cache.
 func (s *store) evictIdle(now time.Time) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	for id, e := range s.sessions {
-		if now.Sub(e.idleSince()) > s.ttl {
-			delete(s.sessions, id)
+	var idle []string
+	for id, m := range s.meta {
+		if m.hydrated && now.Sub(m.lastUsed) > s.ttl {
+			idle = append(idle, id)
 		}
 	}
+	if s.disk == nil {
+		for _, id := range idle {
+			if m := s.meta[id]; m != nil && m.hydrated {
+				s.hydrated--
+			}
+			delete(s.meta, id)
+		}
+		s.mu.Unlock()
+		for _, id := range idle {
+			_ = s.live.Delete(id)
+		}
+		return
+	}
+	s.mu.Unlock()
+	for _, id := range idle {
+		s.evictToDisk(id, now)
+	}
+}
+
+// evictToDisk persists one idle session and releases its memory, unless it
+// became active (or accepted answers) while we were writing — then it stays
+// live and the next sweep retries.
+func (s *store) evictToDisk(id string, now time.Time) {
+	s.persistOne(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.meta[id]
+	if m == nil || !m.hydrated {
+		return
+	}
+	if now.Sub(m.lastUsed) <= s.ttl {
+		return // touched while persisting
+	}
+	if !m.persisted || m.dirtyGen > m.persistedGen {
+		return // persist failed or raced an answer; keep it live, retry later
+	}
+	m.hydrated = false
+	s.hydrated--
+	_ = s.live.Delete(id)
+	s.evictions.Add(1)
 }

@@ -131,6 +131,43 @@ func (s *Session) Checkpoint(w io.Writer) error {
 	return json.NewEncoder(w).Encode(&env)
 }
 
+// EnvelopeInfo is the cheap header subset of a session checkpoint: the
+// lifecycle position a storage layer needs to index a snapshot (which answer
+// prefix it covers, whether the session is terminal) without restoring it.
+type EnvelopeInfo struct {
+	State State
+	Asked int
+}
+
+// PeekCheckpoint decodes the envelope header from serialized checkpoint
+// bytes, validating kind and schema exactly like Restore, without rebuilding
+// the dataset or the tree. The persistence layer uses it to stamp snapshot
+// metadata right after Checkpoint produced the bytes.
+func PeekCheckpoint(data []byte) (EnvelopeInfo, error) {
+	var head struct {
+		Schema int    `json:"schema"`
+		Kind   string `json:"kind"`
+		State  State  `json:"state"`
+		Asked  int    `json:"asked"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return EnvelopeInfo{}, fmt.Errorf("%w: decoding: %v", ErrInvalidCheckpoint, err)
+	}
+	if head.Kind != envelopeKind {
+		return EnvelopeInfo{}, &MismatchError{Field: "kind", Want: envelopeKind, Got: fmt.Sprintf("%q", head.Kind)}
+	}
+	if head.Schema != Schema {
+		return EnvelopeInfo{}, &MismatchError{Field: "schema", Want: fmt.Sprint(Schema), Got: fmt.Sprint(head.Schema)}
+	}
+	if !head.State.valid() {
+		return EnvelopeInfo{}, fmt.Errorf("%w: unknown state %q", ErrInvalidCheckpoint, head.State)
+	}
+	if head.Asked < 0 {
+		return EnvelopeInfo{}, fmt.Errorf("%w: negative asked %d", ErrInvalidCheckpoint, head.Asked)
+	}
+	return EnvelopeInfo{State: head.State, Asked: head.Asked}, nil
+}
+
 // Restore rebuilds a session from a Checkpoint stream, in this process or
 // any other: the dataset is reconstructed from its wire form and verified
 // against the recorded content digest (and the leaf payload's own digest),

@@ -139,6 +139,8 @@ type Session struct {
 	answers []tpo.Answer   // accepted answers, in submission order
 	asked   int
 	contra  int
+
+	dirtyHook func() // runs (outside the lock) after every accepted answer
 }
 
 // New validates the configuration, builds the initial tree and plans the
@@ -391,7 +393,18 @@ func (s *Session) NextQuestions(n int) ([]tpo.Question, Status, error) {
 // engine.
 func (s *Session) SubmitAnswer(a tpo.Answer) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	err := s.submitLocked(a)
+	hook := s.dirtyHook
+	s.mu.Unlock()
+	// The hook fires outside the lock: a persistence layer reacting to it may
+	// immediately call back into Answers/Checkpoint, which take the lock.
+	if err == nil && hook != nil {
+		hook()
+	}
+	return err
+}
+
+func (s *Session) submitLocked(a tpo.Answer) error {
 	if s.state.Terminal() {
 		return fmt.Errorf("%w (state %s)", ErrDone, s.state)
 	}
@@ -485,6 +498,34 @@ func (s *Session) status() Status {
 		Pending:        len(s.pending),
 		Contradictions: s.contra,
 	}
+}
+
+// SetDirtyHook registers f to run after every accepted answer (nil clears
+// it). The hook is invoked outside the session lock, so it may call back
+// into the session (Answers, Checkpoint, Status) — a persistence layer uses
+// it to learn the session has durable work pending without polling.
+func (s *Session) SetDirtyHook(f func()) {
+	s.mu.Lock()
+	s.dirtyHook = f
+	s.mu.Unlock()
+}
+
+// AnswersSince returns a copy of the accepted answers from index from on
+// (submission order), plus the total accepted count. Persistence layers
+// append exactly this tail to their WAL — copying the whole log on every
+// persisted answer would make a long session's writes O(n²) cumulative —
+// and replaying it through SubmitAnswer on a restored checkpoint reproduces
+// the session state (every transition is deterministic given the
+// checkpointed RNG position). A from outside [0, total] returns a nil tail
+// and the total, signalling the caller's bookkeeping is stale.
+func (s *Session) AnswersSince(from int) ([]tpo.Answer, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.answers)
+	if from < 0 || from > n {
+		return nil, n
+	}
+	return append([]tpo.Answer(nil), s.answers[from:]...), n
 }
 
 // Orderings counts the orderings still possible (without snapshotting them).
