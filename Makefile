@@ -1,8 +1,9 @@
 # Convenience targets for the reproduction. The benchmarks regenerate the
 # paper's figures; `bench` records the selection + Fig-1(b) families (the
-# residual-sweep hot path) and the persist family (WAL append, snapshot
-# compaction, cold recovery) to BENCH_selection.json via cmd/benchreport so
-# before/after numbers live next to the code.
+# residual-sweep hot path), the persist family (WAL append, snapshot
+# compaction, cold recovery) and the incremental family (live-engine
+# per-answer update vs. full rebuild) to BENCH_selection.json via
+# cmd/benchreport so before/after numbers live next to the code.
 
 BENCHTIME ?= 20x
 

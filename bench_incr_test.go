@@ -1,0 +1,133 @@
+// BenchmarkIncremental measures the steady-state per-answer selection cost
+// of the live (incremental) engine against a full rebuild per answer — the
+// serving-path scenario: a long-lived session receives trusted answers one at
+// a time and re-plans after each. The live engine applies each answer as a
+// dynamic update (tombstoned leaves, patched class aggregates) and reuses the
+// arena for the next sweep; the rebuild family reconstructs the flat engine
+// from the leaf set every time, as every selection step paid before the live
+// engine existed.
+package crowdtopk_test
+
+import (
+	"fmt"
+	"testing"
+
+	"crowdtopk/internal/dataset"
+	"crowdtopk/internal/selection"
+	"crowdtopk/internal/tpo"
+	"crowdtopk/internal/uncertainty"
+)
+
+// incrAnswerSeq precomputes a fixed trusted-answer sequence for the workload:
+// at each step the relevant question (and direction) killing the fewest
+// leaves is chosen — the low-information answers a real crowd mostly returns
+// — so tombstones accumulate slowly and the leaf set stays near its initial
+// size for the whole sequence (the steady state the live engine targets).
+// Tree construction is deterministic, so the sequence replays identically on
+// a fresh build.
+func incrAnswerSeq(b *testing.B, tree *tpo.Tree, steps int) []tpo.Answer {
+	b.Helper()
+	seq := make([]tpo.Answer, 0, steps)
+	for len(seq) < steps {
+		ls := tree.LeafSet()
+		qs := ls.RelevantQuestions()
+		if len(qs) == 0 {
+			break
+		}
+		best, bestKill := tpo.Answer{}, -1
+		for _, q := range qs {
+			cons, incons := 0, 0
+			ansYes := tpo.Answer{Q: q, Yes: true}
+			for _, p := range ls.Paths {
+				switch tpo.PathConsistency(p, ansYes) {
+				case tpo.Consistent:
+					cons++
+				case tpo.Inconsistent:
+					incons++
+				}
+			}
+			// Answering Yes kills the inconsistent leaves and vice versa.
+			if bestKill < 0 || incons < bestKill {
+				best, bestKill = ansYes, incons
+			}
+			if cons < bestKill {
+				best, bestKill = tpo.Answer{Q: q, Yes: false}, cons
+			}
+		}
+		if err := tree.Prune(best); err != nil {
+			b.Fatal(err)
+		}
+		seq = append(seq, best)
+	}
+	return seq
+}
+
+func BenchmarkIncremental(b *testing.B) {
+	const k, steps = 5, 8
+	for _, n := range []int{12, 16, 20} {
+		ds, err := dataset.Generate(dataset.Spec{N: n, Width: 3.2, Seed: 2016})
+		if err != nil {
+			b.Fatal(err)
+		}
+		scratch, err := tpo.Build(ds, k, tpo.BuildOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		leaves := scratch.NumLeaves()
+		seq := incrAnswerSeq(b, scratch, steps)
+		if len(seq) < steps {
+			b.Fatalf("N=%d: workload resolved after %d answers", n, len(seq))
+		}
+		for _, mName := range []string{"H", "MPO"} {
+			meas, err := uncertainty.New(mName)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, fam := range []string{"update", "rebuild"} {
+				fam := fam
+				b.Run(fmt.Sprintf("%s/%s/N=%d", fam, mName, n), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						// Per-iteration setup is untimed: the steady state
+						// under measurement starts with a session already
+						// attached, mid-query.
+						b.StopTimer()
+						tree, err := tpo.Build(ds, k, tpo.BuildOptions{})
+						if err != nil {
+							b.Fatal(err)
+						}
+						ctx := &selection.Context{Tree: tree, Measure: meas}
+						if fam == "update" {
+							ctx.Live = selection.NewLiveEngine()
+							if qs, _ := selection.QuestionResiduals(tree.LeafSet(), ctx); len(qs) == 0 {
+								b.Fatal("no questions before the sequence")
+							}
+						}
+						for _, a := range seq {
+							// The tree transition and its snapshot are paid
+							// identically by both families; only the
+							// selection step — bring the engine current and
+							// sweep (update) versus build-and-sweep
+							// (rebuild) — is under the timer.
+							if err := tree.Prune(a); err != nil {
+								b.Fatal(err)
+							}
+							ls := tree.LeafSet()
+							b.StartTimer()
+							ctx.Live.Apply(ls, true)
+							qs, _ := selection.QuestionResiduals(ls, ctx)
+							b.StopTimer()
+							if len(qs) == 0 {
+								b.Fatal("no questions left mid-sequence")
+							}
+						}
+					}
+					// ns/op covers the whole sequence; expose the per-answer
+					// denominator and workload scale alongside it.
+					b.ReportMetric(float64(len(seq)), "answers/op")
+					b.ReportMetric(float64(leaves), "leaves")
+				})
+			}
+		}
+	}
+}

@@ -25,9 +25,10 @@ import (
 )
 
 // defaultBench covers the residual-sweep primitives, the end-to-end figure
-// benchmark they dominate, and the durability family (WAL append, snapshot
-// compaction, cold recovery).
-const defaultBench = "BenchmarkSelectionPrimitives|BenchmarkFig1b|BenchmarkPersist"
+// benchmark they dominate, the durability family (WAL append, snapshot
+// compaction, cold recovery), and the incremental family (live-engine
+// per-answer update vs. full rebuild at several leaf-set sizes).
+const defaultBench = "BenchmarkSelectionPrimitives|BenchmarkFig1b|BenchmarkPersist|BenchmarkIncremental"
 
 // defaultPkgs are the packages holding those families (comma-separated for
 // the -pkg flag; benchmark names are globally unique, so one report file

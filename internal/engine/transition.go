@@ -36,6 +36,19 @@ func ApplyAnswer(t *tpo.Tree, a tpo.Answer, reliability float64) (contradicted b
 	return false, err
 }
 
+// ApplyAnswerLive is ApplyAnswer for callers holding a live selection
+// engine: after the tree is conditioned, the engine is brought in line with
+// an in-place update (tombstoning pruned leaves, reweighting survivors)
+// instead of being rebuilt on the next round. A contradicted answer leaves
+// both the tree and the engine untouched. live may be nil.
+func ApplyAnswerLive(t *tpo.Tree, a tpo.Answer, reliability float64, live *selection.LiveEngine) (contradicted bool, err error) {
+	contradicted, err = ApplyAnswer(t, a, reliability)
+	if err == nil && !contradicted {
+		live.Sync(t, reliability >= 1)
+	}
+	return contradicted, err
+}
+
 // OfflineStrategy instantiates the named batch strategy. The rng drives the
 // random baselines and is unused by the deterministic strategies.
 func OfflineStrategy(name string, rng *rand.Rand) (selection.Offline, error) {
@@ -103,6 +116,9 @@ func PlanIncrRound(t *tpo.Tree, k, roundSize, remaining int, ctx *selection.Cont
 		if err != nil {
 			return nil, buildTime, 0, err
 		}
+		// Extension changes the leaf universe in ways in-place updates do
+		// not model; a held engine is stale from here.
+		ctx.Live.Invalidate()
 		qs = t.LeafSet().RelevantQuestions()
 	}
 	if len(qs) == 0 {

@@ -150,7 +150,10 @@ func Prewarm(dists []dist.Distribution, workers int) (computed int) {
 
 // Snapshot is a point-in-time view of the cache counters. Hits, Misses and
 // Entries count since the last Reset; Resets and the Prewarm counters are
-// process-cumulative. HitRate is Hits/(Hits+Misses), 0 before any lookup.
+// process-cumulative. HitRate is the cumulative Hits/(Hits+Misses) since the
+// last Reset (0 before any lookup) — a lifetime average that stops moving on
+// a long-lived process no matter what the cache is doing now; WindowStats
+// reports the rate over a recent interval instead.
 type Snapshot struct {
 	Hits         int64   `json:"hits"`
 	Misses       int64   `json:"misses"`
@@ -178,4 +181,49 @@ func Stats() Snapshot {
 		s.HitRate = float64(s.Hits) / float64(total)
 	}
 	return s
+}
+
+// Window state: the counter values the previous WindowStats call observed.
+var (
+	windowMu   sync.Mutex
+	lastHits   int64
+	lastMisses int64
+	lastResets int64
+)
+
+// WindowSnapshot reports cache traffic over one observation window: the
+// interval between two consecutive WindowStats calls. HitRate here is the
+// rate for that interval only, 0 when the window saw no lookups.
+type WindowSnapshot struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// WindowStats returns the hit/miss deltas since the previous WindowStats
+// call and starts the next window. Unlike the cumulative Snapshot.HitRate —
+// which a long warm stretch pins near 1 (or a cold rebuild near 0) forever —
+// the windowed rate tracks what the cache is doing now, so a deployment
+// watching /v1/stats sees churn when it happens. The window is process-global
+// (one cursor, like the cache itself): concurrent observers each get the
+// interval since whoever called last. If Reset ran inside the window the
+// cumulative counters restarted, so the window restarts from zero too rather
+// than reporting negative deltas.
+func WindowStats() WindowSnapshot {
+	windowMu.Lock()
+	defer windowMu.Unlock()
+	h, m, r := hits.Load(), misses.Load(), resets.Load()
+	var w WindowSnapshot
+	if r == lastResets && h >= lastHits && m >= lastMisses {
+		w.Hits, w.Misses = h-lastHits, m-lastMisses
+	} else {
+		// A Reset landed inside the window; everything counted since it is
+		// the best available approximation of the window's traffic.
+		w.Hits, w.Misses = h, m
+	}
+	lastHits, lastMisses, lastResets = h, m, r
+	if total := w.Hits + w.Misses; total > 0 {
+		w.HitRate = float64(w.Hits) / float64(total)
+	}
+	return w
 }

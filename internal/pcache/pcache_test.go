@@ -192,3 +192,52 @@ func TestPrewarmSkipsOversizedDatasets(t *testing.T) {
 		t.Fatalf("oversized Prewarm touched the cache: %+v → %+v", before, after)
 	}
 }
+
+// TestWindowStats: the windowed rate reflects only the traffic between two
+// WindowStats calls, where the cumulative Snapshot.HitRate keeps averaging
+// over everything since Reset.
+func TestWindowStats(t *testing.T) {
+	Reset()
+	a, b := mustUniform(t, 0, 1), mustUniform(t, 0.5, 1.5)
+	WindowStats() // close out whatever earlier tests left in the window
+
+	// Window 1: one miss (first lookup) + two hits.
+	ProbGreater(a, b)
+	ProbGreater(a, b)
+	ProbGreater(b, a)
+	w := WindowStats()
+	if w.Misses != 1 || w.Hits != 2 {
+		t.Fatalf("window 1 = %+v, want 2 hits / 1 miss", w)
+	}
+	if want := 2.0 / 3.0; w.HitRate != want {
+		t.Fatalf("window 1 hit rate = %g, want %g", w.HitRate, want)
+	}
+
+	// Window 2: all hits. The cumulative rate still remembers the miss; the
+	// window must not.
+	for i := 0; i < 5; i++ {
+		ProbGreater(a, b)
+	}
+	w = WindowStats()
+	if w.Hits != 5 || w.Misses != 0 || w.HitRate != 1 {
+		t.Fatalf("window 2 = %+v, want 5 hits / 0 misses / rate 1", w)
+	}
+	if cum := Stats().HitRate; cum >= 1 {
+		t.Fatalf("cumulative rate = %g, should still count the window-1 miss", cum)
+	}
+
+	// An empty window reports zeros, not NaN.
+	if w = WindowStats(); w.Hits != 0 || w.Misses != 0 || w.HitRate != 0 {
+		t.Fatalf("empty window = %+v, want zeros", w)
+	}
+
+	// A Reset inside the window restarts the cursor instead of going
+	// negative: only traffic after the Reset is reported.
+	ProbGreater(a, b)
+	Reset()
+	ProbGreater(a, b) // miss again: the cache was cleared
+	w = WindowStats()
+	if w.Hits != 0 || w.Misses != 1 {
+		t.Fatalf("window across Reset = %+v, want 0 hits / 1 miss", w)
+	}
+}

@@ -52,7 +52,7 @@ func (AStarOff) SelectBatch(ls *tpo.LeafSet, budget int, ctx *Context) ([]tpo.Qu
 	if err := validateBudget(budget); err != nil {
 		return nil, err
 	}
-	eng := NewResidualEngine(ls, ctx)
+	eng := engineFor(ls, ctx)
 	qk := eng.Questions()
 	if budget > len(qk) {
 		budget = len(qk)
@@ -168,7 +168,7 @@ func (Exhaustive) SelectBatch(ls *tpo.LeafSet, budget int, ctx *Context) ([]tpo.
 	if err := validateBudget(budget); err != nil {
 		return nil, err
 	}
-	eng := NewResidualEngine(ls, ctx)
+	eng := engineFor(ls, ctx)
 	qk := eng.Questions()
 	if budget > len(qk) {
 		budget = len(qk)

@@ -21,8 +21,13 @@ import (
 // the shared arena, so splitting is a branch-light linear pass with zero
 // path copies.
 
-// Arena is an immutable, cache-friendly snapshot of a leaf set. Partition
-// cells reference leaves by index into it.
+// Arena is a cache-friendly snapshot of a leaf set. Partition cells
+// reference leaves by index into it. Paths, dense ids, prefix groups and
+// distance rows are immutable for the arena's lifetime; the weight vector is
+// not — the live engine (live.go) tombstones pruned leaves by zeroing w[i]
+// and overwrites survivor weights in place, which every consumer treats as
+// equivalent to the leaf being absent (zero weights are skipped by splits,
+// aggregates, argmaxes, and are exact no-ops under compensated summation).
 type Arena struct {
 	k, n  int
 	flat  []int           // n·k tuple ids; leaf i is flat[i*k : (i+1)*k]
@@ -412,6 +417,40 @@ func (a *Arena) DistRow(ref int32, penalty float64) []float64 {
 	a.fillDistRow(row, ref, penalty)
 	a.rows[ref] = row
 	return row
+}
+
+// migrateRowsFrom seeds a compacted arena's distance-row cache from its
+// predecessor. Distances depend only on the immutable leaf orderings, and
+// fillDistRow computes each leaf's entry independently, so a surviving
+// reference's row filtered to surviving slots is float-for-float the row a
+// fresh computation would produce. newSlot maps predecessor slots to
+// compacted slots, -1 for tombstones; rows whose reference died are dropped.
+func (a *Arena) migrateRowsFrom(old *Arena, newSlot []int32) {
+	old.rowMu.Lock()
+	rows, pen := old.rows, old.rowPenalty
+	old.rowMu.Unlock()
+	if len(rows) == 0 {
+		return
+	}
+	migrated := make(map[int32][]float64, len(rows))
+	for ref, row := range rows {
+		nr := newSlot[ref]
+		if nr < 0 {
+			continue
+		}
+		out := make([]float64, a.n)
+		for i, s := range newSlot {
+			if s >= 0 {
+				out[s] = row[i]
+			}
+		}
+		migrated[nr] = out
+	}
+	a.rowMu.Lock()
+	if a.rows == nil {
+		a.rows, a.rowPenalty = migrated, pen
+	}
+	a.rowMu.Unlock()
 }
 
 // fillDistRow computes the normalized generalized Kendall distance of every

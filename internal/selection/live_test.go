@@ -1,0 +1,313 @@
+package selection
+
+import (
+	"math/rand"
+	"testing"
+
+	"crowdtopk/internal/rank"
+	"crowdtopk/internal/tpo"
+	"crowdtopk/internal/uncertainty"
+)
+
+// The live engine applies answers as in-place updates (tombstones + aggregate
+// patches) instead of rebuilding; these tests pin that every strategy selects
+// byte-identical batches through a live context and a from-scratch engine
+// across interleaved answer sequences — trusted prunes, noisy reweights,
+// compactions, and out-of-band tree changes included.
+
+// liveHarness owns one tree and one LiveEngine, mirroring how a session
+// drives them: snapshot per round, Sync after every accepted answer.
+type liveHarness struct {
+	tree *tpo.Tree
+	le   *LiveEngine
+	m    uncertainty.Measure
+}
+
+func newLiveHarness(t *testing.T, seed int64, n, k int, m uncertainty.Measure) *liveHarness {
+	return &liveHarness{tree: buildTestTree(t, seed, n, k), le: NewLiveEngine(), m: m}
+}
+
+// ctxs returns a fresh (stateless) and a live context over the same tree.
+func (h *liveHarness) ctxs() (fresh, live *Context) {
+	fresh = ctxFor(h.tree, h.m)
+	live = ctxFor(h.tree, h.m)
+	live.Live = h.le
+	return fresh, live
+}
+
+// applyTrusted prunes by a relevant answer and syncs the live engine.
+func (h *liveHarness) applyTrusted(t *testing.T, a tpo.Answer) {
+	t.Helper()
+	if err := h.tree.Prune(a); err != nil {
+		t.Fatalf("prune %v: %v", a, err)
+	}
+	h.le.Sync(h.tree, true)
+}
+
+// applyNoisy reweights by an answer with the given accuracy and syncs.
+func (h *liveHarness) applyNoisy(t *testing.T, a tpo.Answer, acc float64) {
+	t.Helper()
+	if err := h.tree.Reweight(a, acc); err != nil {
+		t.Fatalf("reweight %v: %v", a, err)
+	}
+	h.le.Sync(h.tree, false)
+}
+
+// checkStrategies runs the given strategies over the current snapshot through
+// both contexts and requires identical output. astar additionally runs the
+// A*-off / A*-on / exhaustive trio (admissible heuristic permitting).
+func (h *liveHarness) checkStrategies(t *testing.T, label string, astar bool) {
+	t.Helper()
+	ls := h.tree.LeafSet()
+	freshCtx, liveCtx := h.ctxs()
+
+	type offCase struct {
+		name   string
+		run    func(ctx *Context, rng *rand.Rand) ([]tpo.Question, error)
+		budget int
+	}
+	cases := []offCase{
+		{"random", func(ctx *Context, rng *rand.Rand) ([]tpo.Question, error) {
+			return NewRandom(rng).SelectBatch(ls, 3, ctx)
+		}, 3},
+		{"naive", func(ctx *Context, rng *rand.Rand) ([]tpo.Question, error) {
+			return NewNaive(rng).SelectBatch(ls, 3, ctx)
+		}, 3},
+		{"TB-off", func(ctx *Context, _ *rand.Rand) ([]tpo.Question, error) {
+			return (TBOff{}).SelectBatch(ls, 3, ctx)
+		}, 3},
+		{"C-off", func(ctx *Context, _ *rand.Rand) ([]tpo.Question, error) {
+			return (COff{}).SelectBatch(ls, 3, ctx)
+		}, 3},
+	}
+	if astar {
+		cases = append(cases,
+			offCase{"A*-off", func(ctx *Context, _ *rand.Rand) ([]tpo.Question, error) {
+				return (AStarOff{}).SelectBatch(ls, 3, ctx)
+			}, 3},
+			offCase{"exhaustive", func(ctx *Context, _ *rand.Rand) ([]tpo.Question, error) {
+				return (Exhaustive{}).SelectBatch(ls, 2, ctx)
+			}, 2},
+		)
+	}
+	for _, c := range cases {
+		// Identical rng seeds per path: the random baselines must draw the
+		// same sequence, which they do iff the visible tree state matches.
+		fb, err := c.run(freshCtx, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatalf("%s/%s fresh: %v", label, c.name, err)
+		}
+		lb, err := c.run(liveCtx, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatalf("%s/%s live: %v", label, c.name, err)
+		}
+		if !sameBatch(fb, lb) {
+			t.Fatalf("%s/%s: live batch %v differs from fresh %v", label, c.name, lb, fb)
+		}
+	}
+
+	onlines := []Online{T1On{}}
+	if astar {
+		onlines = append(onlines, AStarOn{})
+	}
+	for _, on := range onlines {
+		fq, fok, err := on.NextQuestion(ls, 3, freshCtx)
+		if err != nil {
+			t.Fatalf("%s/%s fresh: %v", label, on.Name(), err)
+		}
+		lq, lok, err := on.NextQuestion(ls, 3, liveCtx)
+		if err != nil {
+			t.Fatalf("%s/%s live: %v", label, on.Name(), err)
+		}
+		if fok != lok || fq != lq {
+			t.Fatalf("%s/%s: live %v/%v differs from fresh %v/%v", label, on.Name(), lq, lok, fq, fok)
+		}
+	}
+}
+
+// pickRelevant deterministically picks a relevant question and an answer side.
+func pickRelevant(ls *tpo.LeafSet, rng *rand.Rand) (tpo.Answer, bool) {
+	qk := ls.RelevantQuestions()
+	if len(qk) == 0 {
+		return tpo.Answer{}, false
+	}
+	q := qk[rng.Intn(len(qk))]
+	return tpo.Answer{Q: q, Yes: rng.Intn(2) == 0}, true
+}
+
+// TestLiveStrategiesMatchFreshAcrossAnswers is the cross-check suite of the
+// incremental engine: all 8 strategies, interleaved trusted answer
+// sequences, live context vs from-scratch engine, byte-identical batches at
+// every step.
+func TestLiveStrategiesMatchFreshAcrossAnswers(t *testing.T) {
+	before := LiveEngineStats()
+	for seed := int64(0); seed < 3; seed++ {
+		for _, m := range []uncertainty.Measure{uncertainty.Entropy{}, uncertainty.MPO{Penalty: rank.DefaultPenalty}} {
+			// The A* trio needs the admissible entropy heuristic to stay
+			// cheap; the other six run under both measures.
+			astar := m.Name() == "H"
+			h := newLiveHarness(t, 700+seed, 7, 3, m)
+			rng := rand.New(rand.NewSource(seed))
+			for round := 0; round < 6; round++ {
+				h.checkStrategies(t, m.Name(), astar)
+				a, ok := pickRelevant(h.tree.LeafSet(), rng)
+				if !ok {
+					break
+				}
+				h.applyTrusted(t, a)
+			}
+		}
+	}
+	after := LiveEngineStats()
+	if after.Patches <= before.Patches {
+		t.Fatal("no in-place patches recorded: the live path never ran")
+	}
+	if after.Reuses <= before.Reuses {
+		t.Fatal("no engine reuses recorded: every round rebuilt from scratch")
+	}
+}
+
+// TestLiveNoisyReweightOnTombstonedArena is the seeded fuzz-style check for
+// noisy reweighting over an arena that already carries tombstones: a couple
+// of trusted prunes first, then noisy answers (accuracy < 1) interleaved
+// with more prunes, comparing strategy output against a from-scratch engine
+// after every update.
+func TestLiveNoisyReweightOnTombstonedArena(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		for _, m := range []uncertainty.Measure{uncertainty.Entropy{}, uncertainty.NewWeightedEntropy(0)} {
+			h := newLiveHarness(t, 900+seed, 7, 3, m)
+			rng := rand.New(rand.NewSource(seed))
+			// Attach the engine, then tombstone some slots.
+			h.checkStrategies(t, m.Name(), false)
+			for i := 0; i < 2; i++ {
+				if a, ok := pickRelevant(h.tree.LeafSet(), rng); ok {
+					h.applyTrusted(t, a)
+				}
+			}
+			h.checkStrategies(t, m.Name(), false)
+			for round := 0; round < 6; round++ {
+				a, ok := pickRelevant(h.tree.LeafSet(), rng)
+				if !ok {
+					break
+				}
+				if round%3 == 2 {
+					// An answer against the heavier branch: the Bayesian
+					// update then *raises* previously down-weighted leaves —
+					// the contradicted-evidence shape.
+					a.Yes = !a.Yes
+					h.applyNoisy(t, a, 0.7)
+				} else if round%2 == 0 {
+					h.applyNoisy(t, a, 0.85)
+				} else {
+					h.applyTrusted(t, a)
+				}
+				h.checkStrategies(t, m.Name(), false)
+			}
+		}
+	}
+}
+
+// TestLiveCompaction drives enough pruning answers through one engine to
+// cross the tombstone-density threshold and verifies the compacted engine
+// still matches a from-scratch build (and that compaction actually ran).
+func TestLiveCompaction(t *testing.T) {
+	before := LiveEngineStats()
+	compacted := false
+	for seed := int64(0); seed < 4 && !compacted; seed++ {
+		h := newLiveHarness(t, 1100+seed, 8, 3, uncertainty.Entropy{})
+		rng := rand.New(rand.NewSource(seed))
+		for round := 0; round < 25; round++ {
+			h.checkStrategies(t, "compact", false)
+			a, ok := pickRelevant(h.tree.LeafSet(), rng)
+			if !ok {
+				break
+			}
+			h.applyTrusted(t, a)
+			if LiveEngineStats().Compactions > before.Compactions {
+				compacted = true
+				h.checkStrategies(t, "post-compact", false)
+				break
+			}
+		}
+	}
+	if !compacted {
+		t.Fatal("no compaction triggered across all seeds")
+	}
+}
+
+// TestLiveEngineRebuildsOnUnsyncedTree pins the safety net: when the tree
+// changes without a Sync (an out-of-band prune), the held engine no longer
+// matches the snapshot and engineFor must rebuild instead of serving stale
+// state.
+func TestLiveEngineRebuildsOnUnsyncedTree(t *testing.T) {
+	h := newLiveHarness(t, 1300, 6, 3, uncertainty.Entropy{})
+	h.checkStrategies(t, "attach", false)
+	if h.le.eng == nil {
+		t.Fatal("engine did not attach")
+	}
+	held := h.le.eng
+	a, ok := pickRelevant(h.tree.LeafSet(), rand.New(rand.NewSource(1)))
+	if !ok {
+		t.Fatal("no relevant question")
+	}
+	if err := h.tree.Prune(a); err != nil { // deliberately no Sync
+		t.Fatal(err)
+	}
+	h.checkStrategies(t, "unsynced", false)
+	if h.le.eng == held {
+		t.Fatal("engineFor reused a stale engine after an unsynced tree change")
+	}
+}
+
+// TestLiveEngineInvalidate pins that Invalidate drops the held engine and
+// the next round re-attaches a fresh one with correct output.
+func TestLiveEngineInvalidate(t *testing.T) {
+	h := newLiveHarness(t, 1400, 6, 3, uncertainty.Entropy{})
+	h.checkStrategies(t, "attach", false)
+	if h.le.eng == nil {
+		t.Fatal("engine did not attach")
+	}
+	h.le.Invalidate()
+	if h.le.eng != nil || h.le.snap != nil {
+		t.Fatal("Invalidate left state behind")
+	}
+	h.checkStrategies(t, "reattached", false)
+	if h.le.eng == nil {
+		t.Fatal("engine did not re-attach after Invalidate")
+	}
+}
+
+// TestLiveEngineORABypass pins the measure gate: ORA's aggregation input is
+// not tombstone-transparent, so a live context under ORA must bypass the
+// held engine (never attach) while still returning correct batches.
+func TestLiveEngineORABypass(t *testing.T) {
+	m := uncertainty.ORA{Penalty: rank.DefaultPenalty, Footrule: true}
+	h := newLiveHarness(t, 1500, 6, 3, m)
+	rng := rand.New(rand.NewSource(2))
+	for round := 0; round < 3; round++ {
+		h.checkStrategies(t, "ORA", false)
+		if h.le.eng != nil {
+			t.Fatal("live engine attached under a tombstone-unsafe measure")
+		}
+		a, ok := pickRelevant(h.tree.LeafSet(), rng)
+		if !ok {
+			break
+		}
+		h.applyTrusted(t, a)
+	}
+}
+
+// TestLiveSyncNoEngineIsNoop pins the steady-state cost contract: Sync on a
+// detached engine does nothing (no snapshot is even taken).
+func TestLiveSyncNoEngineIsNoop(t *testing.T) {
+	h := newLiveHarness(t, 1600, 6, 3, uncertainty.Entropy{})
+	a, ok := pickRelevant(h.tree.LeafSet(), rand.New(rand.NewSource(3)))
+	if !ok {
+		t.Fatal("no relevant question")
+	}
+	h.applyTrusted(t, a) // no engine held yet
+	if h.le.snap != nil {
+		t.Fatal("Sync snapshotted the tree with no engine attached")
+	}
+	h.checkStrategies(t, "post-noop", false)
+}

@@ -1,12 +1,3 @@
-// Package selection implements the paper's question-selection strategies for
-// uncertainty reduction (§III): the offline algorithms TB-off, C-off and
-// A*-off (offline-optimal), the online algorithms T1-on and A*-on, the
-// Random and Naive baselines of §IV, and an exhaustive-search reference used
-// to verify offline optimality on small instances.
-//
-// All strategies evaluate candidate questions through the expected residual
-// uncertainty R_Q(T_K): the expectation, over the possible answers to the
-// question set Q, of the uncertainty of the tree pruned by those answers.
 package selection
 
 import (
@@ -65,6 +56,12 @@ type Context struct {
 	// slots are claimed for a sweep's duration, or the pool's free share
 	// when Workers <= 0.
 	Pool *par.Budget
+	// Live optionally carries a session's live engine: strategies then
+	// reuse the residual engine it holds (kept current across answers by
+	// in-place updates) instead of rebuilding the consistency index from
+	// scratch, and attach fresh builds to it for later rounds. nil keeps
+	// the stateless build-per-call behavior.
+	Live *LiveEngine
 
 	// pim caches the dense pairwise-probability matrix for the tuples in
 	// play (see piMatrix). Lazily built by the residual engine; not for
@@ -224,7 +221,7 @@ func (c *Context) maxExpansions() int {
 // sequences over one leaf set (the search strategies) construct the engine
 // once instead.
 func ExpectedResidual(ls *tpo.LeafSet, qs []tpo.Question, ctx *Context) float64 {
-	return NewResidualEngine(ls, ctx).ExpectedResidual(qs)
+	return engineFor(ls, ctx).ExpectedResidual(qs)
 }
 
 // Partition returns the *active* cells of the leaf-set partition induced by
@@ -302,7 +299,7 @@ func splitResidual(cells []*tpo.LeafSet, q tpo.Question, ctx *Context) float64 {
 // matching order. This is the workhorse of TB-off and T1-on. Candidates are
 // fanned across Context.Workers goroutines (sequential by default).
 func QuestionResiduals(ls *tpo.LeafSet, ctx *Context) ([]tpo.Question, []float64) {
-	return NewResidualEngine(ls, ctx).QuestionResiduals()
+	return engineFor(ls, ctx).QuestionResiduals()
 }
 
 // ResidualEngine evaluates expected residuals over one leaf-set snapshot:

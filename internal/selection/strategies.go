@@ -165,7 +165,7 @@ func (COff) SelectBatch(ls *tpo.LeafSet, budget int, ctx *Context) ([]tpo.Questi
 	if err := validateBudget(budget); err != nil {
 		return nil, err
 	}
-	e := NewResidualEngine(ls, ctx)
+	e := engineFor(ls, ctx)
 	if e.arena == nil {
 		return selectConditionalSlow(ls, budget, ctx)
 	}

@@ -14,7 +14,7 @@
 //	GET    /v1/sessions/{id}/result       current top-K belief
 //	GET    /v1/sessions/{id}/checkpoint   versioned session envelope
 //	DELETE /v1/sessions/{id}              drop the session
-//	GET    /v1/stats                      store + persistence + π-cache counters
+//	GET    /v1/stats                      store + persistence + π-cache + live-engine counters
 //
 // Sessions are held in a concurrency-safe store with TTL eviction and share
 // one process-wide worker budget (internal/par.Budget): concurrent builds
@@ -45,6 +45,7 @@ import (
 	"crowdtopk/internal/par"
 	"crowdtopk/internal/pcache"
 	"crowdtopk/internal/persist"
+	"crowdtopk/internal/selection"
 	"crowdtopk/internal/session"
 	"crowdtopk/internal/tpo"
 )
@@ -211,9 +212,21 @@ type storeStats struct {
 }
 
 type statsResponse struct {
-	Sessions int             `json:"sessions"`
-	Store    storeStats      `json:"store"`
-	PCache   pcache.Snapshot `json:"pcache"`
+	Sessions int        `json:"sessions"`
+	Store    storeStats `json:"store"`
+	// PCache carries the π-cache counters cumulative since the last cache
+	// reset; its hit_rate is the lifetime average, which barely moves on a
+	// long-lived server no matter what the cache is doing right now.
+	PCache pcache.Snapshot `json:"pcache"`
+	// PCacheWindow reports hits/misses/hit_rate over the interval since the
+	// previous /v1/stats call (each call closes the window and opens the
+	// next), so the rate tracks current behavior after churn. The window is
+	// process-global: with several scrapers, each sees the interval since
+	// whoever asked last.
+	PCacheWindow pcache.WindowSnapshot `json:"pcache_window"`
+	// LiveEngine carries the incremental selection-engine counters: arena
+	// reuses vs rebuilds, delta patches, stat resyncs and compactions.
+	LiveEngine selection.LiveCounters `json:"selection_live"`
 }
 
 // listResponse is the GET /v1/sessions page.
@@ -455,8 +468,12 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 			Persisted:   it.persisted,
 			Hydrated:    it.hydrated,
 		}
-		if sess := s.store.peek(it.id); sess != nil {
-			st := sess.Status()
+		// The session object was captured inside the store's listing
+		// snapshot; resolving the id again here would race concurrent
+		// deletes and evictions into rows marked hydrated but carrying no
+		// state.
+		if it.sess != nil {
+			st := it.sess.Status()
 			e.State = st.State
 			e.Asked = st.Asked
 			e.Pending = st.Pending
@@ -484,7 +501,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			st.Persist = &c
 		}
 	}
-	writeJSON(w, statsResponse{Sessions: s.store.len(), Store: st, PCache: pcache.Stats()})
+	writeJSON(w, statsResponse{
+		Sessions:     s.store.len(),
+		Store:        st,
+		PCache:       pcache.Stats(),
+		PCacheWindow: pcache.WindowStats(),
+		LiveEngine:   selection.LiveEngineStats(),
+	})
 }
 
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session.Session, bool) {

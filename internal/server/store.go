@@ -183,11 +183,26 @@ func (s *store) markDirty(id string, sess *session.Session) {
 		return
 	}
 	m.dirtyGen++
-	if !m.hydrated {
-		if err := s.live.Put(id, sess); err == nil {
-			m.hydrated = true
-			s.hydrated++
-			m.lastUsed = time.Now()
+	cur, err := s.live.Get(id)
+	if err != nil || cur != sess {
+		// The handler outlived sess's residency: a TTL eviction released it
+		// (err != nil), or a lazy hydration raced this answer and re-loaded
+		// the older disk copy under the same id (cur != sess) — a fork.
+		// Either way the resident object is missing the answer that was just
+		// acked on sess, and the durable write this call queues would persist
+		// a copy without it. Re-attach sess — unless the resident fork has
+		// itself accepted strictly more answers, in which case the lines
+		// cannot be merged and we keep the one holding more acked progress
+		// (ties favor sess: in the eviction→hydration race the disk copy cur
+		// was loaded from is a prefix of sess's history).
+		if err != nil || sess.Status().Asked >= cur.Status().Asked {
+			if perr := s.live.Put(id, sess); perr == nil {
+				if !m.hydrated {
+					m.hydrated = true
+					s.hydrated++
+				}
+				m.lastUsed = time.Now()
+			}
 		}
 	}
 	s.mu.Unlock()
@@ -371,10 +386,17 @@ type listItem struct {
 	idle      time.Duration
 	hydrated  bool
 	persisted bool
+	// sess is the resident session object, captured under the same lock
+	// hold that read hydrated. Re-resolving the id after list returns would
+	// race deletes and evictions, producing rows that claim a live session
+	// but carry none of its state; nil here means the row is disk-only.
+	sess *session.Session
 }
 
 // list snapshots up to limit known sessions, sorted by id for a stable
-// pagination order.
+// pagination order. Each row is internally consistent: hydrated is true iff
+// sess is the object that was resident at snapshot time (listing must not
+// refresh TTLs, so the capture bypasses get).
 func (s *store) list(limit int) (items []listItem, total int) {
 	now := time.Now()
 	s.mu.Lock()
@@ -390,25 +412,25 @@ func (s *store) list(limit int) (items []listItem, total int) {
 	items = make([]listItem, 0, len(ids))
 	for _, id := range ids {
 		m := s.meta[id]
-		items = append(items, listItem{
+		it := listItem{
 			id:        id,
 			idle:      now.Sub(m.lastUsed),
 			hydrated:  m.hydrated,
 			persisted: m.persisted,
-		})
+		}
+		if it.hydrated {
+			if sess, err := s.live.Get(id); err == nil {
+				it.sess = sess
+			} else {
+				// add registers meta before the memory tier holds the
+				// session; in that window the row is not usefully live yet.
+				it.hydrated = false
+			}
+		}
+		items = append(items, it)
 	}
 	s.mu.Unlock()
 	return items, total
-}
-
-// peek returns the live session without refreshing its TTL (listing a
-// session must not keep it alive).
-func (s *store) peek(id string) *session.Session {
-	sess, err := s.live.Get(id)
-	if err != nil {
-		return nil
-	}
-	return sess
 }
 
 // flush pushes every pending durable write to the backend and syncs it —

@@ -9,6 +9,7 @@ import (
 	"crowdtopk/internal/dataset"
 	"crowdtopk/internal/par"
 	"crowdtopk/internal/pcache"
+	"crowdtopk/internal/selection"
 	"crowdtopk/internal/tpo"
 )
 
@@ -257,6 +258,7 @@ func Restore(r io.Reader, pool *par.Budget) (*Session, error) {
 		measure: m,
 		digest:  digest,
 		tree:    tree,
+		live:    selection.NewLiveEngine(),
 		state:   env.State,
 		asked:   env.Asked,
 		contra:  env.Contradictions,

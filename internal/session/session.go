@@ -131,7 +131,8 @@ type Session struct {
 	digest  string // content hash of cfg.Dists, stamped into checkpoints
 
 	tree    *tpo.Tree
-	online  selection.Online // non-nil for online algorithms
+	live    *selection.LiveEngine // selection engine kept current across answers
+	online  selection.Online      // non-nil for online algorithms
 	src     *countingSource
 	rng     *rand.Rand
 	state   State
@@ -156,7 +157,7 @@ func New(cfg Config) (*Session, error) {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 	}
 
-	s := &Session{cfg: cfg, measure: m, digest: digest, state: Created}
+	s := &Session{cfg: cfg, measure: m, digest: digest, state: Created, live: selection.NewLiveEngine()}
 	s.initRNG(0)
 	if err := s.withWorkers(func(workers int) error {
 		// Bulk-fill the pairwise π cache before building: the build and the
@@ -257,6 +258,7 @@ func (s *Session) context() *selection.Context {
 		Measure: s.measure,
 		Workers: s.cfg.Build.Workers,
 		Pool:    s.cfg.Pool,
+		Live:    s.live,
 	}
 }
 
@@ -316,7 +318,7 @@ func (s *Session) plan() error {
 			// The pool share is already held for this round: the context
 			// reuses it directly rather than re-acquiring (two sessions
 			// nesting pool acquisitions could deadlock each other).
-			ctx := &selection.Context{Tree: s.tree, Measure: s.measure, Workers: workers}
+			ctx := &selection.Context{Tree: s.tree, Measure: s.measure, Workers: workers, Live: s.live}
 			var err error
 			batch, _, _, err = engine.PlanIncrRound(s.tree, s.cfg.K, s.cfg.RoundSize, remaining, ctx)
 			return err
@@ -343,6 +345,10 @@ func (s *Session) finish() error {
 	}); err != nil {
 		return err
 	}
+	// The extension (if any) changed the leaf universe, and a terminal
+	// session selects no further questions either way: drop the held engine
+	// and release the arena/index memory.
+	s.live.Invalidate()
 	s.pending = nil
 	if s.tree.LeafSet().Len() <= 1 {
 		s.state = Converged
@@ -429,7 +435,7 @@ func (s *Session) submitLocked(a tpo.Answer) error {
 	// accepted, so the question stays pending and the answer log (and any
 	// later Checkpoint) never records an answer that did not condition the
 	// tree.
-	contradicted, err := engine.ApplyAnswer(s.tree, a, s.cfg.Reliability)
+	contradicted, err := engine.ApplyAnswerLive(s.tree, a, s.cfg.Reliability, s.live)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,73 @@
+package tpo
+
+import (
+	"testing"
+
+	"crowdtopk/internal/dist"
+)
+
+// overlappingDists builds n overlapping uniforms (the standard shape the
+// selection tests use) so trees carry several leaves per level.
+func overlappingDists(t *testing.T, n int) []dist.Distribution {
+	t.Helper()
+	ds := make([]dist.Distribution, n)
+	for i := range ds {
+		u, err := dist.NewUniformAround(float64(i)*0.5, 1.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds[i] = u
+	}
+	return ds
+}
+
+// TestLeafSetIntoMatchesLeafSet pins that the buffer-reusing snapshot is
+// element-for-element identical to LeafSet (bitwise weights included), stays
+// flat-backed, and actually reuses the backing array across calls.
+func TestLeafSetIntoMatchesLeafSet(t *testing.T) {
+	tree, err := Build(overlappingDists(t, 6), 3, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf *LeafSet
+	for step := 0; step < 4; step++ {
+		want := tree.LeafSet()
+		buf = tree.LeafSetInto(buf)
+		if buf.K != want.K || buf.Len() != want.Len() {
+			t.Fatalf("step %d: shape (%d,%d) != (%d,%d)", step, buf.K, buf.Len(), want.K, want.Len())
+		}
+		if _, ok := buf.Flat(); !ok {
+			t.Fatalf("step %d: LeafSetInto result is not flat-backed", step)
+		}
+		for i := 0; i < want.Len(); i++ {
+			if buf.W[i] != want.W[i] {
+				t.Fatalf("step %d leaf %d: weight %v != %v", step, i, buf.W[i], want.W[i])
+			}
+			if !buf.Paths[i].Equal(want.Paths[i]) {
+				t.Fatalf("step %d leaf %d: path %v != %v", step, i, buf.Paths[i], want.Paths[i])
+			}
+		}
+		// Shrink the tree so the next iteration refills a smaller set into
+		// the same (now oversized) backing.
+		qs := want.RelevantQuestions()
+		if len(qs) == 0 {
+			break
+		}
+		if err := tree.Prune(Answer{Q: qs[0], Yes: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf == nil {
+		t.Fatal("no snapshots taken")
+	}
+	// Reuse check: refilling into a sufficient buffer must keep the backing.
+	flatBefore, _ := buf.Flat()
+	again := tree.LeafSetInto(buf)
+	flatAfter, _ := again.Flat()
+	if again != buf || (len(flatBefore) > 0 && len(flatAfter) > 0 && &flatBefore[0] != &flatAfter[0]) {
+		t.Fatal("LeafSetInto did not reuse the provided buffer")
+	}
+	if got := tree.LeafSetInto(nil); got == nil || got.Len() != buf.Len() {
+		t.Fatal("LeafSetInto(nil) did not fall back to LeafSet")
+	}
+}
