@@ -10,7 +10,7 @@ import (
 	"crowdtopk/internal/crowd"
 	"crowdtopk/internal/dataset"
 	"crowdtopk/internal/engine"
-	"crowdtopk/internal/session"
+	"crowdtopk/internal/service"
 	"crowdtopk/internal/uncertainty"
 )
 
@@ -51,23 +51,34 @@ func cmdDemo(args []string) error {
 	tw.Flush()
 
 	if *interactive {
-		// Interactive mode is a session client: the session plans the
-		// questions and conditions the orderings, the terminal user is the
-		// crowd — the same loop a platform integration runs over HTTP.
-		sess, err := session.New(session.Config{
-			Dists: ds, K: *k, Budget: *budget,
+		// Interactive mode is a service client: the transport-agnostic core
+		// plans the questions and conditions the orderings, the terminal
+		// user is the crowd — the same loop a platform integration runs
+		// over HTTP or the SDK.
+		svc, err := service.New(service.Config{})
+		if err != nil {
+			return err
+		}
+		defer svc.Close()
+		names := make([]string, len(ds))
+		for i, d := range ds {
+			names[i] = fmt.Sprintf("t%d %s", i, d)
+		}
+		info, err := svc.CreateOrRestore(service.CreateRequest{
+			Dists: ds, Names: names, K: *k, Budget: *budget,
 			Algorithm: *alg, Measure: *measure, Seed: *seed,
 		})
 		if err != nil {
 			return err
 		}
-		client := newInteractiveClient(os.Stdin, os.Stdout, func(id int) string {
-			return fmt.Sprintf("t%d %s", id, ds[id])
-		})
-		if err := client.run(sess); err != nil {
+		client := newInteractiveClient(os.Stdin, os.Stdout)
+		if err := client.run(svc, info.ID); err != nil {
 			return err
 		}
-		res := sess.Result()
+		res, err := svc.Result(info.ID)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("\npossible orderings:  %d (asked %d questions, %s)\n", res.Orderings, res.Asked, res.State)
 		fmt.Printf("answer:              %v (resolved=%v, uncertainty %.4f)\n", res.Ranking, res.Resolved, res.Uncertainty)
 		return nil

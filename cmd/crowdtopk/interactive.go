@@ -6,38 +6,38 @@ import (
 	"io"
 	"strings"
 
-	"crowdtopk/internal/session"
-	"crowdtopk/internal/tpo"
+	"crowdtopk/internal/service"
 )
 
-// interactiveClient turns the terminal user into the crowd for an
-// asynchronous query session: it pulls each question the session plans,
-// prompts on stdout and submits the y/n answer. It is just another session
-// client — the same pull/answer loop a crowd-platform integration runs over
-// HTTP, with a crowd of one.
+// interactiveClient turns the terminal user into the crowd for a managed
+// query session: it pulls each question the service plans, prompts on
+// stdout and submits the y/n answer. It is just another service client —
+// the same pull/answer loop a crowd-platform integration runs over HTTP or
+// the SDK, with a crowd of one.
 type interactiveClient struct {
 	in    *bufio.Scanner
 	out   io.Writer
-	names func(int) string
 	asked int
 }
 
-func newInteractiveClient(in io.Reader, out io.Writer, names func(int) string) *interactiveClient {
-	return &interactiveClient{in: bufio.NewScanner(in), out: out, names: names}
+func newInteractiveClient(in io.Reader, out io.Writer) *interactiveClient {
+	return &interactiveClient{in: bufio.NewScanner(in), out: out}
 }
 
-// run drives the session to termination, one question at a time.
-func (c *interactiveClient) run(sess *session.Session) error {
+// run drives the session to termination, one question at a time, through
+// the service's typed operations.
+func (c *interactiveClient) run(svc *service.Service, id string) error {
 	for {
-		qs, _, err := sess.NextQuestions(1)
+		view, err := svc.Questions(id, 1)
 		if err != nil {
 			return err
 		}
-		if len(qs) == 0 {
+		if len(view.Questions) == 0 {
 			return nil // converged or exhausted
 		}
-		yes := c.prompt(qs[0])
-		if err := sess.SubmitAnswer(tpo.Answer{Q: qs[0], Yes: yes}); err != nil {
+		q := view.Questions[0]
+		yes := c.prompt(q.Prompt)
+		if _, err := svc.Answers(id, []service.Answer{{I: q.I, J: q.J, Yes: yes}}); err != nil {
 			return err
 		}
 	}
@@ -46,10 +46,10 @@ func (c *interactiveClient) run(sess *session.Session) error {
 // prompt asks the user one question, re-prompting until it parses. EOF
 // answers arbitrarily but deterministically so a piped session terminates
 // instead of hanging.
-func (c *interactiveClient) prompt(q tpo.Question) bool {
+func (c *interactiveClient) prompt(question string) bool {
 	c.asked++
 	for {
-		fmt.Fprintf(c.out, "Q%d: does %s rank above %s? [y/n] ", c.asked, c.names(q.I), c.names(q.J))
+		fmt.Fprintf(c.out, "Q%d: %s [y/n] ", c.asked, question)
 		if !c.in.Scan() {
 			fmt.Fprintln(c.out, "(eof — assuming yes)")
 			return true

@@ -2,23 +2,20 @@ package main
 
 import (
 	"bytes"
-	"fmt"
 	"strings"
 	"testing"
 
 	"crowdtopk/internal/dataset"
-	"crowdtopk/internal/session"
-	"crowdtopk/internal/tpo"
+	"crowdtopk/internal/service"
 )
 
 func TestInteractiveClientParsesAnswers(t *testing.T) {
 	in := strings.NewReader("y\nn\nYES\nno\n")
 	var out bytes.Buffer
-	c := newInteractiveClient(in, &out, func(id int) string { return fmt.Sprintf("item-%d", id) })
-	q := tpo.NewQuestion(0, 1)
+	c := newInteractiveClient(in, &out)
 	wantYes := []bool{true, false, true, false}
 	for i, want := range wantYes {
-		if got := c.prompt(q); got != want {
+		if got := c.prompt("does item-0 rank above item-1?"); got != want {
 			t.Fatalf("answer %d: got yes=%v, want %v", i, got, want)
 		}
 	}
@@ -30,8 +27,8 @@ func TestInteractiveClientParsesAnswers(t *testing.T) {
 func TestInteractiveClientReprompts(t *testing.T) {
 	in := strings.NewReader("maybe\nwhat\ny\n")
 	var out bytes.Buffer
-	c := newInteractiveClient(in, &out, func(id int) string { return "x" })
-	if !c.prompt(tpo.NewQuestion(2, 3)) {
+	c := newInteractiveClient(in, &out)
+	if !c.prompt("does x rank above x?") {
 		t.Fatal("final answer should be yes")
 	}
 	if n := strings.Count(out.String(), "please answer"); n != 2 {
@@ -40,37 +37,45 @@ func TestInteractiveClientReprompts(t *testing.T) {
 }
 
 func TestInteractiveClientEOFTerminates(t *testing.T) {
-	c := newInteractiveClient(strings.NewReader(""), &bytes.Buffer{}, func(id int) string { return "x" })
+	c := newInteractiveClient(strings.NewReader(""), &bytes.Buffer{})
 	// Deterministic fallback so piped sessions do not hang.
-	if !c.prompt(tpo.NewQuestion(0, 1)) {
+	if !c.prompt("does x rank above y?") {
 		t.Fatal("EOF fallback should answer yes")
 	}
 }
 
-// TestInteractiveClientDrivesSession: the TUI is a session client — it runs
-// a real session to termination, answering every planned question, and the
-// session accounts for each answer.
+// TestInteractiveClientDrivesSession: the TUI is a service client — it runs
+// a real managed session to termination, answering every planned question,
+// and the service accounts for each answer.
 func TestInteractiveClientDrivesSession(t *testing.T) {
 	ds, err := dataset.Generate(dataset.Spec{N: 5, Width: 2.0, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, err := session.New(session.Config{Dists: ds, K: 2, Budget: 6})
+	svc, err := service.New(service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	info, err := svc.CreateOrRestore(service.CreateRequest{Dists: ds, K: 2, Budget: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
 	in := strings.NewReader(strings.Repeat("y\n", 64))
 	var out bytes.Buffer
-	c := newInteractiveClient(in, &out, func(id int) string { return fmt.Sprintf("t%d", id) })
-	if err := c.run(sess); err != nil {
+	c := newInteractiveClient(in, &out)
+	if err := c.run(svc, info.ID); err != nil {
 		t.Fatal(err)
 	}
-	if !sess.State().Terminal() {
-		t.Fatalf("session not terminal after interactive run: %s", sess.State())
+	res, err := svc.Result(info.ID)
+	if err != nil {
+		t.Fatal(err)
 	}
-	res := sess.Result()
+	if res.State != "converged" && res.State != "exhausted" {
+		t.Fatalf("session not terminal after interactive run: %s", res.State)
+	}
 	if res.Asked == 0 || res.Asked != c.asked {
-		t.Fatalf("asked mismatch: session %d, client %d", res.Asked, c.asked)
+		t.Fatalf("asked mismatch: service %d, client %d", res.Asked, c.asked)
 	}
 	if !strings.Contains(out.String(), "rank above") {
 		t.Fatalf("no prompts rendered: %q", out.String())

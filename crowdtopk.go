@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"crowdtopk/internal/bridge"
 	"crowdtopk/internal/crowd"
 	"crowdtopk/internal/dist"
 	"crowdtopk/internal/engine"
@@ -12,6 +13,24 @@ import (
 	"crowdtopk/internal/tpo"
 	"crowdtopk/internal/uncertainty"
 )
+
+// init wires the bridge hooks that let the sibling public package
+// crowdtopk/sdk unwrap a Dataset without this package exporting its
+// internals.
+func init() {
+	bridge.DatasetDists = func(ds any) []dist.Distribution {
+		if d, ok := ds.(*Dataset); ok && d != nil {
+			return d.dists
+		}
+		return nil
+	}
+	bridge.DatasetNames = func(ds any) []string {
+		if d, ok := ds.(*Dataset); ok && d != nil {
+			return d.names
+		}
+		return nil
+	}
+}
 
 // Uncertain is an uncertain tuple score: a bounded continuous distribution.
 // Construct one with UniformScore, GaussianScore, TriangularScore,

@@ -37,14 +37,14 @@
 // the callback into a pull/push state machine that holds the query open for
 // as long as the crowd needs:
 //
-//	                NextQuestions            SubmitAnswer
-//	  ┌─────────┐  (deliver work)  ┌──────────────────┐ ──┐
-//	  │ Created ├─────────────────▶│ AwaitingAnswers  │   │ answers condition
-//	  └────┬────┘                  └───────┬──────────┘ ◀─┘ the orderings
-//	       │                               │
-//	       │ nothing to ask                │ single ordering left ──▶ Converged
-//	       │ (budget 0)                    │ questions spent,
-//	       └──────────────▶ terminal ◀─────┘ uncertainty remains ──▶ Exhausted
+//	              NextQuestions            SubmitAnswer
+//	┌─────────┐  (deliver work)  ┌──────────────────┐ ──┐
+//	│ Created ├─────────────────▶│ AwaitingAnswers  │   │ answers condition
+//	└────┬────┘                  └───────┬──────────┘ ◀─┘ the orderings
+//	     │                               │
+//	     │ nothing to ask                │ single ordering left ──▶ Converged
+//	     │ (budget 0)                    │ questions spent,
+//	     └──────────────▶ terminal ◀─────┘ uncertainty remains ──▶ Exhausted
 //
 // NextQuestions returns the strategy's currently best pending questions
 // (idempotently — a crashed client pulls the same work again), SubmitAnswer
@@ -62,6 +62,37 @@
 // GET result / GET checkpoint / DELETE drive the lifecycle, GET /v1/sessions
 // lists known sessions, and GET /v1/stats exposes store, persistence and
 // π-cache counters. See the README for curl exchanges.
+//
+// # Service core, codecs and the SDK
+//
+// Everything between the wire and the session state machine lives in a
+// transport-agnostic core, internal/service: typed requests and views for
+// every operation, typed errors (ErrNotFound, ErrFull, ErrBadInput,
+// BatchError with its partial-accept count, StorageError for durable-tier
+// failures), the two-tier session store, the shared worker budget,
+// reservation-based load shedding, TTL eviction and graceful close. The
+// layers above it are deliberately thin:
+//
+//	          ┌──────────────────────────────┐
+//	HTTP ───▶ │ internal/server (codec)      │──┐   decode → call → encode;
+//	          │  JSON in/out, statusFor      │  │   the ONE error→HTTP map
+//	          └──────────────────────────────┘  ▼
+//	                                     ┌────────────────────┐     ┌──────────────────┐
+//	                                     │ internal/service   │────▶│ internal/session │
+//	                                     │  typed ops, store, │     │  + persist, par  │
+//	Go   ───▶ ┌────────────────────┐     │  typed errors      │     └──────────────────┘
+//	embedders │ crowdtopk/sdk      │──┘  └────────────────────┘
+//	          │  same ops, no HTTP │
+//	          └────────────────────┘
+//
+// internal/server only translates: decode the request, call the service,
+// encode the view (whose json tags are the canonical wire shape) or map the
+// typed error to a status — handlers hold no orchestration logic. The public
+// crowdtopk/sdk package is the second front door: the same lifecycle —
+// persistence, hydration, eviction, stats included — as direct Go calls with
+// no net/http anywhere in its API. A parity suite drives the e2e scenarios
+// (including kill-hot crash recovery) through both doors and requires
+// identical outcomes, so the transports cannot drift.
 //
 // With `crowdtopk serve -data-dir`, sessions also survive server crashes:
 // the in-memory table becomes a cache over a durable file store

@@ -1,0 +1,140 @@
+// Embedded: run the full crowdtopk serving stack in-process with the sdk
+// package — no HTTP server, no sockets — including durable file-backed
+// session storage, checkpoint export and restore.
+//
+// The program plays both sides of a crowd-powered top-K query: it creates a
+// managed session, pulls the planned comparison questions the way a crowd
+// platform integration would, answers them with a simulated crowd, then
+// checkpoints the session, deletes it, restores it from the checkpoint and
+// drives it to termination — proving the restored session picks up exactly
+// where the original left off.
+//
+// Run with:
+//
+//	go run ./examples/embedded
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+
+	crowdtopk "crowdtopk"
+	"crowdtopk/sdk"
+)
+
+func main() {
+	// Same product workload as the quickstart, but served through the
+	// embeddable client instead of a one-shot Process call.
+	scores := []crowdtopk.Uncertain{
+		crowdtopk.UniformScore(4.1, 0.6), // espresso-one: many reviews
+		crowdtopk.UniformScore(4.3, 1.4), // brewmaster:   few reviews
+		crowdtopk.UniformScore(3.9, 1.0), // kettle-pro
+		crowdtopk.UniformScore(4.4, 1.2), // moka-classic
+		crowdtopk.UniformScore(3.2, 0.8), // drip-basic
+	}
+	ds, err := crowdtopk.NewDataset(scores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ds.SetNames([]string{"espresso-one", "brewmaster", "kettle-pro", "moka-classic", "drip-basic"}); err != nil {
+		log.Fatal(err)
+	}
+
+	// A file-backed client: every accepted answer is write-ahead logged, so
+	// a process that dies here resumes from the same directory.
+	dir, err := os.MkdirTemp("", "crowdtopk-embedded-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	client, err := sdk.New(sdk.Options{Storage: &sdk.Storage{Dir: dir}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	info, err := client.CreateSession(sdk.SessionConfig{
+		Dataset: ds,
+		Query:   crowdtopk.Query{K: 3, Budget: 8, Seed: 42},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session %s created: %d tuples, budget %d, %d possible top-3 orderings\n",
+		info.ID, info.Tuples, info.Budget, info.Orderings)
+
+	// The crowd. Real applications route prompts to human judges; the
+	// simulated crowd answers from a fixed "true" quality draw.
+	cr, realRanking, err := crowdtopk.SimulatedCrowd(ds, 1.0, 1, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Answer the first few questions, then checkpoint mid-query.
+	answered := 0
+	if _, err := drive(client, info.ID, cr, &answered, 3); err != nil {
+		log.Fatal(err)
+	}
+
+	var checkpoint bytes.Buffer
+	if err := client.Checkpoint(info.ID, &checkpoint); err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Delete(info.ID); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpointed after %d answers (%d bytes), session deleted\n",
+		answered, checkpoint.Len())
+
+	// Restore under a fresh id — on this client, another process, or the
+	// HTTP API: the envelope is self-contained — and finish the query.
+	restored, err := client.RestoreSession(checkpoint.Bytes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored as %s (asked %d of %d)\n", restored.ID, restored.Asked, restored.Budget)
+	res, err := drive(client, restored.ID, cr, &answered, -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nafter %d crowd questions (%s):\n", res.Asked, res.State)
+	for i, name := range res.Names {
+		fmt.Printf("  %d. %s\n", i+1, name)
+	}
+	fmt.Printf("resolved to a single ordering: %v (%d still possible)\n", res.Resolved, res.Orderings)
+	fmt.Printf("true top-3 was %v; distance of our answer: %.3f\n",
+		realRanking[:3], crowdtopk.RankDistance(res.Ranking, realRanking[:3]))
+
+	client.Flush() // drain the async persister so the counters below are settled
+	stats := client.Stats()
+	if stats.Store.Persist != nil {
+		fmt.Printf("\ndurability: %d WAL appends, %d snapshots, %d fsyncs in %s\n",
+			stats.Store.Persist.WALAppends, stats.Store.Persist.Snapshots,
+			stats.Store.Persist.Fsyncs, dir)
+	}
+}
+
+// drive pulls and answers questions until the session terminates or limit
+// answers have been submitted (limit < 0 means run to termination), then
+// returns the session's current result.
+func drive(client *sdk.Client, id string, cr crowdtopk.Crowd, answered *int, limit int) (sdk.Result, error) {
+	for limit < 0 || *answered < limit {
+		qs, err := client.Questions(id, 1)
+		if err != nil {
+			return sdk.Result{}, err
+		}
+		if len(qs.Questions) == 0 {
+			break // converged or exhausted
+		}
+		q := qs.Questions[0]
+		ans := cr.Ask(crowdtopk.Question{I: q.I, J: q.J})
+		if _, err := client.SubmitAnswers(id, ans); err != nil {
+			return sdk.Result{}, err
+		}
+		*answered++
+	}
+	return client.Result(id)
+}

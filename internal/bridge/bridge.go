@@ -1,0 +1,18 @@
+// Package bridge hands selected unexported internals of the root crowdtopk
+// package to its sibling public packages (crowdtopk/sdk) without exporting
+// them to the world: the root package assigns these hooks in an init, and
+// the siblings call them. Internal packages cannot import the root package
+// (it imports them), so a function-variable seam is the only cycle-free
+// direction.
+package bridge
+
+import "crowdtopk/internal/dist"
+
+// DatasetDists unwraps a *crowdtopk.Dataset (passed as any to avoid the
+// import cycle) into its score distributions. Set by package crowdtopk's
+// init; nil until that package is linked in.
+var DatasetDists func(ds any) []dist.Distribution
+
+// DatasetNames unwraps a *crowdtopk.Dataset's tuple names (nil when
+// unnamed). Set by package crowdtopk's init.
+var DatasetNames func(ds any) []string

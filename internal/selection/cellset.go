@@ -365,9 +365,9 @@ type cellView struct {
 	inv float64
 }
 
-func (v *cellView) K() int                  { return v.a.k }
-func (v *cellView) Len() int                { return len(v.idx) }
-func (v *cellView) Weight(i int) float64    { return v.w[i] * v.inv }
+func (v *cellView) K() int               { return v.a.k }
+func (v *cellView) Len() int             { return len(v.idx) }
+func (v *cellView) Weight(i int) float64 { return v.w[i] * v.inv }
 func (v *cellView) Path(i int) rank.Ordering {
 	return v.a.paths[v.idx[i]]
 }

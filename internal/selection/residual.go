@@ -561,7 +561,6 @@ func (e *ResidualEngine) mpoRootResidual(r int, st *classStats, pi, penalty, eps
 	return dotY.Sum() + dotN.Sum()
 }
 
-
 // rootIndices returns the shared identity index vector [0, n) for the arena.
 func rootIndices(a *Arena, s *evalScratch) []int32 {
 	if cap(s.rootIdx) < a.n {

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// jsonMuxErrors wraps the API mux so its built-in error responses — 404 for
+// unmatched routes, 405 for a known path with the wrong method — use the
+// same JSON error envelope as every handler-written response, instead of
+// http.ServeMux's text/plain defaults. Handler responses pass through
+// untouched: they set Content-Type: application/json before writing their
+// status, which is the discriminator.
+func jsonMuxErrors(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&jsonErrorWriter{ResponseWriter: w}, r)
+	})
+}
+
+// jsonErrorWriter intercepts text/plain 404/405s at WriteHeader time,
+// substituting the JSON envelope and swallowing the original body.
+type jsonErrorWriter struct {
+	http.ResponseWriter
+	wroteHeader bool
+	intercepted bool
+}
+
+func (w *jsonErrorWriter) WriteHeader(status int) {
+	if w.wroteHeader {
+		w.ResponseWriter.WriteHeader(status)
+		return
+	}
+	w.wroteHeader = true
+	if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
+		!strings.HasPrefix(w.Header().Get("Content-Type"), "application/json") {
+		w.intercepted = true
+		msg := "not found"
+		if status == http.StatusMethodNotAllowed {
+			msg = "method not allowed" // the mux's Allow header rides along
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Del("Content-Length") // the substituted body differs
+		w.ResponseWriter.WriteHeader(status)
+		_ = json.NewEncoder(w.ResponseWriter).Encode(map[string]any{"error": msg})
+		return
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *jsonErrorWriter) Write(b []byte) (int, error) {
+	if w.intercepted {
+		// Drop the mux's plain-text body; the JSON envelope already went out.
+		return len(b), nil
+	}
+	if !w.wroteHeader {
+		w.wroteHeader = true // implicit 200: nothing to intercept
+	}
+	return w.ResponseWriter.Write(b)
+}

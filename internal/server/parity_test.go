@@ -1,0 +1,440 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	crowdtopk "crowdtopk"
+	"crowdtopk/internal/persist"
+	"crowdtopk/internal/server"
+	"crowdtopk/sdk"
+)
+
+// transport abstracts the two front doors — the HTTP codec and the embedded
+// SDK — behind the operations the e2e scenarios exercise, so the exact same
+// scenario drives both and their outcomes can be compared field for field.
+// Both implementations normalize into the wire-shaped test structs
+// (questionsResponse, resultResponse) the HTTP assertions already use.
+type transport interface {
+	create(t *testing.T, k, budget int, seed int64) string
+	restore(t *testing.T, checkpoint []byte) string
+	questions(t *testing.T, id string) questionsResponse
+	answer(t *testing.T, id string, i, j int, yes bool)
+	result(t *testing.T, id string) resultResponse
+	checkpoint(t *testing.T, id string) []byte
+	remove(t *testing.T, id string)
+	waitDurable(t *testing.T)
+	kill()     // abandon hot: no Shutdown, no Flush, no Close — like SIGKILL
+	shutdown() // graceful close
+}
+
+// httpTransport serves the uniform workload through the full HTTP stack.
+type httpTransport struct {
+	specs []map[string]any
+	srv   *server.Server
+	ts    *httptest.Server
+}
+
+func newHTTPTransport(t *testing.T, store persist.Store) *httpTransport {
+	t.Helper()
+	specs, _ := uniformWorkload()
+	srv := newServer(t, server.Config{Persist: store})
+	ts := httptest.NewServer(srv.Handler())
+	return &httpTransport{specs: specs, srv: srv, ts: ts}
+}
+
+func (h *httpTransport) create(t *testing.T, k, budget int, seed int64) string {
+	t.Helper()
+	var info sessionInfo
+	if code := doJSON(t, h.ts.Client(), "POST", h.ts.URL+"/v1/sessions", map[string]any{
+		"tuples": h.specs, "k": k, "budget": budget, "seed": seed,
+	}, &info); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	return info.ID
+}
+
+func (h *httpTransport) restore(t *testing.T, checkpoint []byte) string {
+	t.Helper()
+	var info sessionInfo
+	if code := doJSON(t, h.ts.Client(), "POST", h.ts.URL+"/v1/sessions",
+		map[string]any{"checkpoint": json.RawMessage(checkpoint)}, &info); code != http.StatusCreated {
+		t.Fatalf("restore: status %d", code)
+	}
+	return info.ID
+}
+
+func (h *httpTransport) questions(t *testing.T, id string) questionsResponse {
+	t.Helper()
+	var qs questionsResponse
+	if code := doJSON(t, h.ts.Client(), "GET", h.ts.URL+"/v1/sessions/"+id+"/questions", nil, &qs); code != http.StatusOK {
+		t.Fatalf("questions: status %d", code)
+	}
+	return qs
+}
+
+func (h *httpTransport) answer(t *testing.T, id string, i, j int, yes bool) {
+	t.Helper()
+	payload := map[string]any{"answers": []map[string]any{{"i": i, "j": j, "yes": yes}}}
+	if code := doJSON(t, h.ts.Client(), "POST", h.ts.URL+"/v1/sessions/"+id+"/answers", payload, nil); code != http.StatusOK {
+		t.Fatalf("answers: status %d", code)
+	}
+}
+
+func (h *httpTransport) result(t *testing.T, id string) resultResponse {
+	t.Helper()
+	var res resultResponse
+	if code := doJSON(t, h.ts.Client(), "GET", h.ts.URL+"/v1/sessions/"+id+"/result", nil, &res); code != http.StatusOK {
+		t.Fatalf("result: status %d", code)
+	}
+	return res
+}
+
+func (h *httpTransport) checkpoint(t *testing.T, id string) []byte {
+	t.Helper()
+	resp, err := h.ts.Client().Get(h.ts.URL + "/v1/sessions/" + id + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: status %d err %v", resp.StatusCode, err)
+	}
+	return raw
+}
+
+func (h *httpTransport) remove(t *testing.T, id string) {
+	t.Helper()
+	req, err := http.NewRequest("DELETE", h.ts.URL+"/v1/sessions/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := h.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+}
+
+func (h *httpTransport) waitDurable(t *testing.T) { waitDurable(t, h.ts) }
+
+func (h *httpTransport) kill() { h.ts.Close() } // srv abandoned, never closed
+
+func (h *httpTransport) shutdown() {
+	h.ts.Close()
+	h.srv.Close()
+}
+
+// sdkTransport runs the identical scenario through the embedded SDK —
+// direct Go calls, no sockets — normalizing its typed views into the same
+// wire-shaped structs for comparison.
+type sdkTransport struct {
+	ds     *crowdtopk.Dataset
+	client *sdk.Client
+}
+
+func newSDKTransport(t *testing.T, storage *sdk.Storage) *sdkTransport {
+	t.Helper()
+	_, scores := uniformWorkload()
+	ds, err := crowdtopk.NewDataset(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sdk.New(sdk.Options{Storage: storage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &sdkTransport{ds: ds, client: client}
+}
+
+func (s *sdkTransport) create(t *testing.T, k, budget int, seed int64) string {
+	t.Helper()
+	info, err := s.client.CreateSession(sdk.SessionConfig{
+		Dataset: s.ds,
+		Query:   crowdtopk.Query{K: k, Budget: budget, Seed: seed},
+	})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	return info.ID
+}
+
+func (s *sdkTransport) restore(t *testing.T, checkpoint []byte) string {
+	t.Helper()
+	info, err := s.client.RestoreSession(checkpoint)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	return info.ID
+}
+
+func (s *sdkTransport) questions(t *testing.T, id string) questionsResponse {
+	t.Helper()
+	view, err := s.client.Questions(id, 0)
+	if err != nil {
+		t.Fatalf("questions: %v", err)
+	}
+	out := questionsResponse{State: string(view.State), Asked: view.Asked, Budget: view.Budget}
+	for _, q := range view.Questions {
+		out.Questions = append(out.Questions, questionJSON{I: q.I, J: q.J, Prompt: q.Prompt})
+	}
+	return out
+}
+
+func (s *sdkTransport) answer(t *testing.T, id string, i, j int, yes bool) {
+	t.Helper()
+	ans := crowdtopk.Answer{Q: crowdtopk.Question{I: i, J: j}, Yes: yes}
+	if _, err := s.client.SubmitAnswers(id, ans); err != nil {
+		t.Fatalf("answers: %v", err)
+	}
+}
+
+func (s *sdkTransport) result(t *testing.T, id string) resultResponse {
+	t.Helper()
+	res, err := s.client.Result(id)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	return resultResponse{
+		State:       string(res.State),
+		Ranking:     res.Ranking,
+		Names:       res.Names,
+		Resolved:    res.Resolved,
+		Orderings:   res.Orderings,
+		Uncertainty: res.Uncertainty,
+		Asked:       res.Asked,
+	}
+}
+
+func (s *sdkTransport) checkpoint(t *testing.T, id string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.client.Checkpoint(id, &buf); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func (s *sdkTransport) remove(t *testing.T, id string) {
+	t.Helper()
+	if err := s.client.Delete(id); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+}
+
+func (s *sdkTransport) waitDurable(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if s.client.Stats().Store.DirtySessions == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("persister did not drain")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (s *sdkTransport) kill() {} // abandon the client without Close
+
+func (s *sdkTransport) shutdown() { s.client.Close() }
+
+// driveTransport answers every pending question with cr until the session
+// terminates. checkpointAt >= 0 injects a checkpoint → delete → restore
+// cycle once that many answers are in, continuing under the new id.
+func driveTransport(t *testing.T, tr transport, id string, cr crowdtopk.Crowd, checkpointAt int) (resultResponse, string) {
+	t.Helper()
+	answered := 0
+	for round := 0; round < 1000; round++ {
+		qs := tr.questions(t, id)
+		if len(qs.Questions) == 0 {
+			if !terminal(qs.State) {
+				t.Fatalf("no questions but state %q not terminal", qs.State)
+			}
+			break
+		}
+		for _, q := range qs.Questions {
+			a := cr.Ask(crowdtopk.Question{I: q.I, J: q.J})
+			tr.answer(t, id, q.I, q.J, a.Yes)
+			answered++
+			if checkpointAt >= 0 && answered == checkpointAt {
+				cp := tr.checkpoint(t, id)
+				tr.remove(t, id)
+				id = tr.restore(t, cp)
+				checkpointAt = -1
+				break // the restored session may plan fresh questions; re-pull
+			}
+		}
+	}
+	return tr.result(t, id), id
+}
+
+// answerTransportUpTo submits answers until n are in (or the session
+// terminates), returning how many were submitted.
+func answerTransportUpTo(t *testing.T, tr transport, id string, cr crowdtopk.Crowd, n int) int {
+	t.Helper()
+	answered := 0
+	for answered < n {
+		qs := tr.questions(t, id)
+		if len(qs.Questions) == 0 {
+			return answered
+		}
+		for _, q := range qs.Questions {
+			a := cr.Ask(crowdtopk.Question{I: q.I, J: q.J})
+			tr.answer(t, id, q.I, q.J, a.Yes)
+			answered++
+			if answered >= n {
+				break
+			}
+		}
+	}
+	return answered
+}
+
+// TestTransportParity is the anti-drift acceptance test for the layering:
+// the same top-K query — straight through, and with a checkpoint → delete →
+// restore cycle injected mid-query — must produce identical outcomes through
+// the HTTP codec and the embedded SDK, both matching the synchronous
+// Process() call on the same workload and seed.
+func TestTransportParity(t *testing.T) {
+	_, scores := uniformWorkload()
+	ds, err := crowdtopk.NewDataset(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k, budget, seed = 3, 30, 42
+	cr, _, err := crowdtopk.SimulatedCrowd(ds, 1, 1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := crowdtopk.Process(ds, crowdtopk.Query{K: k, Budget: budget, Seed: seed}, cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name         string
+		checkpointAt int
+	}{
+		{"straight", -1},
+		{"checkpoint-midway", 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			transports := []struct {
+				name string
+				open func(t *testing.T) transport
+			}{
+				{"http", func(t *testing.T) transport { return newHTTPTransport(t, nil) }},
+				{"sdk", func(t *testing.T) transport { return newSDKTransport(t, nil) }},
+			}
+			results := make([]resultResponse, len(transports))
+			for i, tp := range transports {
+				tr := tp.open(t)
+				id := tr.create(t, k, budget, seed)
+				crowd, _, err := crowdtopk.SimulatedCrowd(ds, 1, 1, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, _ := driveTransport(t, tr, id, crowd, tc.checkpointAt)
+				tr.shutdown()
+
+				if res.Asked != want.QuestionsAsked {
+					t.Errorf("%s: asked = %d, want %d", tp.name, res.Asked, want.QuestionsAsked)
+				}
+				if res.Resolved != want.Resolved || res.Orderings != want.Orderings {
+					t.Errorf("%s: resolved/orderings = %v/%d, want %v/%d",
+						tp.name, res.Resolved, res.Orderings, want.Resolved, want.Orderings)
+				}
+				if len(res.Ranking) != len(want.Ranking) {
+					t.Fatalf("%s: ranking %v, want %v", tp.name, res.Ranking, want.Ranking)
+				}
+				for j := range res.Ranking {
+					if res.Ranking[j] != want.Ranking[j] {
+						t.Fatalf("%s: ranking %v, want %v", tp.name, res.Ranking, want.Ranking)
+					}
+				}
+				results[i] = res
+			}
+			// SDK ≡ HTTP, field for field — state, asked, resolved,
+			// orderings, uncertainty and the full ranking.
+			sameAPIResult(t, results[1], results[0])
+		})
+	}
+}
+
+// TestTransportParityCrashRecovery runs the kill-hot durability scenario
+// through both front doors: a client killed mid-query (no Close, no Flush —
+// abandoned, like SIGKILL) reopens on the same data directory, recovers the
+// session from snapshot + WAL, and finishes identically to an uninterrupted
+// run. The HTTP and SDK recoveries must also agree with each other.
+func TestTransportParityCrashRecovery(t *testing.T) {
+	_, scores := uniformWorkload()
+	ds, err := crowdtopk.NewDataset(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k, budget, seed = 3, 30, 42
+	const snapshotEvery, killAfter = 4, 7
+
+	factories := []struct {
+		name string
+		open func(t *testing.T, dir string) transport
+	}{
+		{"http", func(t *testing.T, dir string) transport {
+			return newHTTPTransport(t, mustFile(t, dir, snapshotEvery))
+		}},
+		{"sdk", func(t *testing.T, dir string) transport {
+			return newSDKTransport(t, &sdk.Storage{Dir: dir, SnapshotEvery: snapshotEvery})
+		}},
+	}
+
+	finals := make(map[string]resultResponse)
+	for _, f := range factories {
+		t.Run(f.name, func(t *testing.T) {
+			// The uninterrupted reference, persisted identically so the only
+			// variable in the crash run is the kill itself.
+			ref := f.open(t, t.TempDir())
+			refID := ref.create(t, k, budget, seed)
+			refCrowd, _, err := crowdtopk.SimulatedCrowd(ds, 1, 1, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := driveTransport(t, ref, refID, refCrowd, -1)
+			ref.shutdown()
+
+			dir := t.TempDir()
+			tr1 := f.open(t, dir)
+			id := tr1.create(t, k, budget, seed)
+			cr, _, err := crowdtopk.SimulatedCrowd(ds, 1, 1, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := answerTransportUpTo(t, tr1, id, cr, killAfter); n != killAfter {
+				t.Fatalf("only %d answers in before the kill point %d", n, killAfter)
+			}
+			tr1.waitDurable(t)
+			tr1.kill()
+
+			tr2 := f.open(t, dir)
+			defer tr2.shutdown()
+			// The same crowd continues where it left off (reliability-1
+			// simulated crowds are stateless oracles).
+			got, _ := driveTransport(t, tr2, id, cr, -1)
+			sameAPIResult(t, got, want)
+			finals[f.name] = got
+		})
+	}
+	if len(finals) == 2 {
+		sameAPIResult(t, finals["sdk"], finals["http"])
+	}
+}

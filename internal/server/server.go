@@ -1,5 +1,5 @@
-// Package server exposes the asynchronous query sessions of
-// internal/session over a JSON HTTP API, turning the library into a
+// Package server exposes the transport-agnostic session core
+// (internal/service) over a JSON HTTP API, turning the library into a
 // long-running service a real crowd platform can integrate with: create a
 // session for a dataset, pull the currently best questions, push answers
 // whenever workers return them, poll the result, and checkpoint/restore
@@ -16,18 +16,14 @@
 //	DELETE /v1/sessions/{id}              drop the session
 //	GET    /v1/stats                      store + persistence + π-cache + live-engine counters
 //
-// Sessions are held in a concurrency-safe store with TTL eviction and share
-// one process-wide worker budget (internal/par.Budget): concurrent builds
-// degrade to fewer workers each instead of oversubscribing the host, which
-// never changes results.
-//
-// With a durable backend (Config.Persist, internal/persist), the in-memory
-// table becomes a cache: every accepted answer is asynchronously appended to
-// the backend's write-ahead log, idle sessions are evicted to disk instead
-// of dropped, misses hydrate lazily from disk, and a restarted server
-// recovers every persisted session — crowd answers that trickled in over
-// hours survive a crash. Without a backend, behavior is unchanged: sessions
-// die with the process (clients can still pull checkpoints themselves).
+// This package is deliberately a codec: every handler decodes the request,
+// calls the service, and encodes the result. All session orchestration —
+// the store's two persistence tiers, the shared worker budget, load
+// shedding, TTL eviction, graceful close — lives in internal/service, where
+// the in-process SDK (crowdtopk/sdk) consumes it identically; statusFor is
+// the one place the service's typed errors become HTTP statuses, and every
+// response (including 404/405 for routes the mux does not know) uses the
+// JSON error envelope.
 package server
 
 import (
@@ -38,61 +34,37 @@ import (
 	"io"
 	"net/http"
 	"strconv"
-	"time"
 
 	"crowdtopk/internal/dataset"
 	"crowdtopk/internal/engine"
-	"crowdtopk/internal/par"
-	"crowdtopk/internal/pcache"
-	"crowdtopk/internal/persist"
-	"crowdtopk/internal/selection"
+	"crowdtopk/internal/service"
 	"crowdtopk/internal/session"
 	"crowdtopk/internal/tpo"
 )
 
-// Config tunes the server.
-type Config struct {
-	// Workers is the process-wide worker budget shared by every session's
-	// tree builds and extensions (0 = GOMAXPROCS).
-	Workers int
-	// TTL evicts sessions idle longer than this (0 = never evict). With a
-	// durable backend eviction moves the session to disk; without one it
-	// drops the session for good.
-	TTL time.Duration
-	// MaxSessions bounds live in-memory sessions; creates beyond it fail
-	// with 503 (0 = unbounded). Lazy hydration of persisted sessions is
-	// exempt: a session returning from disk is served, not shed.
-	MaxSessions int
-	// Persist optionally attaches a durable session store. The server owns
-	// it from then on: Close flushes and closes it.
-	Persist persist.Store
-}
+// Config tunes the server; it is the service core's configuration verbatim.
+type Config = service.Config
 
 // DefaultTTL is the idle eviction default used by the serve subcommand.
-const DefaultTTL = 30 * time.Minute
+const DefaultTTL = service.DefaultTTL
 
 // Server routes the v1 API. Create with New, expose via Handler, and Close
 // when done to stop the eviction janitor.
 type Server struct {
-	store *store
-	pool  *par.Budget
-	mux   *http.ServeMux
+	svc *service.Service
+	mux *http.ServeMux
 }
 
-// New builds a server with its own session store and worker budget. With
-// cfg.Persist set it also scans the backend so every persisted session is
-// immediately addressable (sessions hydrate lazily on first access), and
-// takes ownership of the backend.
+// New builds a server over its own service core (session store + worker
+// budget). With cfg.Persist set the core also scans the backend so every
+// persisted session is immediately addressable (sessions hydrate lazily on
+// first access), and takes ownership of the backend.
 func New(cfg Config) (*Server, error) {
-	st, err := newStore(cfg.TTL, cfg.MaxSessions, cfg.Persist)
+	svc, err := service.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{
-		store: st,
-		pool:  par.NewBudget(cfg.Workers),
-		mux:   http.NewServeMux(),
-	}
+	s := &Server{svc: svc, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/questions", s.handleQuestions)
@@ -104,22 +76,24 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the HTTP handler for the v1 API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler for the v1 API. Unmatched routes and
+// wrong methods answer with the JSON error envelope instead of the mux's
+// text/plain defaults.
+func (s *Server) Handler() http.Handler { return jsonMuxErrors(s.mux) }
 
 // Close stops background eviction, flushes every dirty session to the
 // durable backend (when one is configured) and closes it, then drops all
 // live sessions. Idempotent.
-func (s *Server) Close() { s.store.close() }
+func (s *Server) Close() { s.svc.Close() }
 
 // Flush synchronously pushes every pending durable write to the backend and
 // syncs it. A no-op without a backend.
-func (s *Server) Flush() { s.store.flush() }
+func (s *Server) Flush() { s.svc.Flush() }
 
 // Sessions reports the number of live sessions (for stats and tests).
-func (s *Server) Sessions() int { return s.store.len() }
+func (s *Server) Sessions() int { return s.svc.SessionCount() }
 
-// ---- wire types ----
+// ---- wire types (request side; responses are the service views) ----
 
 // createRequest creates a session from a dataset, or — when Checkpoint is
 // set — restores one from a session envelope (the other fields are then
@@ -139,29 +113,6 @@ type createRequest struct {
 	Checkpoint   json.RawMessage    `json:"checkpoint,omitempty"`
 }
 
-type sessionInfo struct {
-	ID        string        `json:"id"`
-	State     session.State `json:"state"`
-	Tuples    int           `json:"tuples"`
-	Asked     int           `json:"asked"`
-	Budget    int           `json:"budget"`
-	Pending   int           `json:"pending"`
-	Orderings int           `json:"orderings"`
-}
-
-type questionJSON struct {
-	I      int    `json:"i"`
-	J      int    `json:"j"`
-	Prompt string `json:"prompt"`
-}
-
-type questionsResponse struct {
-	State     session.State  `json:"state"`
-	Questions []questionJSON `json:"questions"`
-	Asked     int            `json:"asked"`
-	Budget    int            `json:"budget"`
-}
-
 type answerRequest struct {
 	Answers []struct {
 		I   int  `json:"i"`
@@ -170,86 +121,7 @@ type answerRequest struct {
 	} `json:"answers"`
 }
 
-type answersResponse struct {
-	State          session.State `json:"state"`
-	Accepted       int           `json:"accepted"`
-	Asked          int           `json:"asked"`
-	Pending        int           `json:"pending"`
-	Contradictions int           `json:"contradictions"`
-}
-
-type resultResponse struct {
-	State          session.State `json:"state"`
-	Ranking        []int         `json:"ranking"`
-	Names          []string      `json:"names"`
-	Resolved       bool          `json:"resolved"`
-	Orderings      int           `json:"orderings"`
-	Uncertainty    float64       `json:"uncertainty"`
-	Asked          int           `json:"asked"`
-	Budget         int           `json:"budget"`
-	Pending        int           `json:"pending"`
-	Contradictions int           `json:"contradictions"`
-}
-
-// storeStats is the /v1/stats view of the session store's two tiers.
-type storeStats struct {
-	// Backend names the durable tier: "memory" (none) or "file".
-	Backend string `json:"backend"`
-	// LiveSessions counts hydrated in-memory sessions; KnownSessions adds
-	// the ones resident only in the durable backend.
-	LiveSessions  int `json:"live_sessions"`
-	KnownSessions int `json:"known_sessions"`
-	// DirtySessions counts sessions with accepted answers awaiting their
-	// asynchronous durable write (0 means everything acked is on disk).
-	DirtySessions   int    `json:"dirty_sessions"`
-	EvictionsToDisk uint64 `json:"evictions_to_disk"`
-	HydrationHits   uint64 `json:"hydration_hits"`
-	HydrationMisses uint64 `json:"hydration_misses"`
-	PersistErrors   uint64 `json:"persist_errors"`
-	// Persist carries the backend's own counters (snapshots, wal_appends,
-	// replays, recovered_sessions, fsyncs) when it exposes them.
-	Persist *persist.CounterSnapshot `json:"persist,omitempty"`
-}
-
-type statsResponse struct {
-	Sessions int        `json:"sessions"`
-	Store    storeStats `json:"store"`
-	// PCache carries the π-cache counters cumulative since the last cache
-	// reset; its hit_rate is the lifetime average, which barely moves on a
-	// long-lived server no matter what the cache is doing right now.
-	PCache pcache.Snapshot `json:"pcache"`
-	// PCacheWindow reports hits/misses/hit_rate over the interval since the
-	// previous /v1/stats call (each call closes the window and opens the
-	// next), so the rate tracks current behavior after churn. The window is
-	// process-global: with several scrapers, each sees the interval since
-	// whoever asked last.
-	PCacheWindow pcache.WindowSnapshot `json:"pcache_window"`
-	// LiveEngine carries the incremental selection-engine counters: arena
-	// reuses vs rebuilds, delta patches, stat resyncs and compactions.
-	LiveEngine selection.LiveCounters `json:"selection_live"`
-}
-
-// listResponse is the GET /v1/sessions page.
-type listResponse struct {
-	Sessions []listEntryJSON `json:"sessions"`
-	// Total is the number of known sessions, which may exceed the page.
-	Total int `json:"total"`
-}
-
-type listEntryJSON struct {
-	ID string `json:"id"`
-	// State and Asked/Pending are reported for live sessions only: reading
-	// them off a disk-resident session would force the hydration the
-	// listing exists to avoid.
-	State       session.State `json:"state,omitempty"`
-	Asked       int           `json:"asked,omitempty"`
-	Pending     int           `json:"pending,omitempty"`
-	IdleSeconds float64       `json:"idle_seconds"`
-	Persisted   bool          `json:"persisted"`
-	Hydrated    bool          `json:"hydrated"`
-}
-
-// ---- handlers ----
+// ---- handlers: decode → service call → encode ----
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req createRequest
@@ -257,73 +129,28 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	// Claim store capacity before the build: shedding load after paying for
-	// tree construction would defend nothing.
-	if err := s.store.reserve(); err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	var sess *session.Session
-	var err error
-	if len(req.Checkpoint) > 0 {
-		sess, err = session.Restore(bytes.NewReader(req.Checkpoint), s.pool)
-	} else {
-		sess, err = s.createFromSpecs(&req)
-	}
-	if err != nil {
-		s.store.unreserve()
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	id, err := s.store.add(sess)
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	// Content-Type must be set before WriteHeader or it is ignored.
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusCreated)
-	writeJSON(w, s.info(id, sess))
-}
-
-func (s *Server) createFromSpecs(req *createRequest) (*session.Session, error) {
-	dists, err := dataset.FromSpecs(req.Tuples)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", session.ErrInvalidConfig, err)
-	}
-	return session.New(session.Config{
-		Dists:       dists,
-		Names:       req.Names,
-		K:           req.K,
-		Budget:      req.Budget,
-		Algorithm:   req.Algorithm,
-		Measure:     req.Measure,
-		Reliability: req.Reliability,
-		RoundSize:   req.RoundSize,
-		Seed:        req.Seed,
-		Build:       tpo.BuildOptions{GridSize: req.GridSize, MaxLeaves: req.MaxOrderings},
-		Pool:        s.pool,
+	info, err := s.svc.CreateOrRestore(service.CreateRequest{
+		Tuples:       req.Tuples,
+		Names:        req.Names,
+		K:            req.K,
+		Budget:       req.Budget,
+		Algorithm:    req.Algorithm,
+		Measure:      req.Measure,
+		Reliability:  req.Reliability,
+		RoundSize:    req.RoundSize,
+		Seed:         req.Seed,
+		GridSize:     req.GridSize,
+		MaxOrderings: req.MaxOrderings,
+		Checkpoint:   req.Checkpoint,
 	})
-}
-
-func (s *Server) info(id string, sess *session.Session) sessionInfo {
-	st := sess.Status()
-	return sessionInfo{
-		ID:        id,
-		State:     st.State,
-		Tuples:    sess.Len(),
-		Asked:     st.Asked,
-		Budget:    st.Budget,
-		Pending:   st.Pending,
-		Orderings: sess.Orderings(),
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
 	}
+	writeJSONStatus(w, http.StatusCreated, info)
 }
 
 func (s *Server) handleQuestions(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.lookup(w, r)
-	if !ok {
-		return
-	}
 	n := 0
 	if raw := r.URL.Query().Get("n"); raw != "" {
 		v, err := strconv.Atoi(raw)
@@ -333,103 +160,55 @@ func (s *Server) handleQuestions(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
-	// Questions and status come from one locked snapshot, so a concurrent
-	// answer cannot make this response pair fresh questions with a terminal
-	// state.
-	qs, st, err := sess.NextQuestions(n)
+	out, err := s.svc.Questions(r.PathValue("id"), n)
 	if err != nil {
 		writeErr(w, statusFor(err), err)
 		return
-	}
-	out := questionsResponse{State: st.State, Asked: st.Asked, Budget: st.Budget, Questions: []questionJSON{}}
-	for _, q := range qs {
-		out.Questions = append(out.Questions, questionJSON{
-			I:      q.I,
-			J:      q.J,
-			Prompt: fmt.Sprintf("does %s rank above %s?", sess.Name(q.I), sess.Name(q.J)),
-		})
 	}
 	writeJSON(w, out)
 }
 
 func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.lookup(w, r)
-	if !ok {
-		return
-	}
 	var req answerRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	if len(req.Answers) == 0 {
-		writeErr(w, http.StatusBadRequest, errors.New("no answers in request"))
+	answers := make([]service.Answer, len(req.Answers))
+	for i, a := range req.Answers {
+		answers[i] = service.Answer{I: a.I, J: a.J, Yes: a.Yes}
+	}
+	out, err := s.svc.Answers(r.PathValue("id"), answers)
+	if err != nil {
+		// A batch that failed partway reports what was applied before the
+		// failure so the client can reconcile.
+		var batch *service.BatchError
+		if errors.As(err, &batch) {
+			writeErrWith(w, statusFor(err), err, map[string]any{"accepted": batch.Accepted})
+			return
+		}
+		writeErr(w, statusFor(err), err)
 		return
 	}
-	accepted := 0
-	for _, a := range req.Answers {
-		if a.I == a.J {
-			// Like any other mid-batch failure, report what was applied
-			// before it so the client can reconcile.
-			writeErrWith(w, http.StatusBadRequest,
-				fmt.Errorf("answer %d compares tuple %d with itself", accepted, a.I),
-				map[string]any{"accepted": accepted})
-			return
-		}
-		err := sess.SubmitAnswer(tpo.Answer{Q: tpo.Question{I: a.I, J: a.J}, Yes: a.Yes})
-		if err != nil {
-			// Report what was applied before the failure so the client can
-			// reconcile.
-			writeErrWith(w, statusFor(err), err, map[string]any{"accepted": accepted})
-			return
-		}
-		accepted++
-	}
-	st := sess.Status()
-	writeJSON(w, answersResponse{
-		State:          st.State,
-		Accepted:       accepted,
-		Asked:          st.Asked,
-		Pending:        st.Pending,
-		Contradictions: st.Contradictions,
-	})
+	writeJSON(w, out)
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.lookup(w, r)
-	if !ok {
+	out, err := s.svc.Result(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
 		return
 	}
-	res := sess.Result()
-	names := make([]string, len(res.Ranking))
-	for i, id := range res.Ranking {
-		names[i] = sess.Name(id)
-	}
-	writeJSON(w, resultResponse{
-		State:          res.State,
-		Ranking:        append([]int{}, res.Ranking...),
-		Names:          names,
-		Resolved:       res.Resolved,
-		Orderings:      res.Orderings,
-		Uncertainty:    res.Uncertainty,
-		Asked:          res.Asked,
-		Budget:         res.Budget,
-		Pending:        res.Pending,
-		Contradictions: res.Contradictions,
-	})
+	writeJSON(w, out)
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.lookup(w, r)
-	if !ok {
-		return
-	}
 	// Serialize into memory first: Checkpoint holds the session lock, and
 	// streaming straight to a slow client would pin that lock (and stall
 	// the session's other requests) on TCP backpressure.
 	var buf bytes.Buffer
-	if err := sess.Checkpoint(&buf); err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+	if err := s.svc.Checkpoint(r.PathValue("id"), &buf); err != nil {
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -437,20 +216,15 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.store.remove(r.PathValue("id")) {
-		writeErr(w, http.StatusNotFound, ErrNotFound)
+	if err := s.svc.Delete(r.PathValue("id")); err != nil {
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// defaultListLimit bounds GET /v1/sessions pages unless the client asks for
-// more; against a store with millions of persisted sessions an unbounded
-// listing would be an accidental denial of service.
-const defaultListLimit = 100
-
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	limit := defaultListLimit
+	limit := 0 // service default
 	if raw := r.URL.Query().Get("limit"); raw != "" {
 		v, err := strconv.Atoi(raw)
 		if err != nil || v < 1 {
@@ -459,78 +233,25 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = v
 	}
-	items, total := s.store.list(limit)
-	out := listResponse{Sessions: []listEntryJSON{}, Total: total}
-	for _, it := range items {
-		e := listEntryJSON{
-			ID:          it.id,
-			IdleSeconds: it.idle.Seconds(),
-			Persisted:   it.persisted,
-			Hydrated:    it.hydrated,
-		}
-		// The session object was captured inside the store's listing
-		// snapshot; resolving the id again here would race concurrent
-		// deletes and evictions into rows marked hydrated but carrying no
-		// state.
-		if it.sess != nil {
-			st := it.sess.Status()
-			e.State = st.State
-			e.Asked = st.Asked
-			e.Pending = st.Pending
-		}
-		out.Sessions = append(out.Sessions, e)
-	}
-	writeJSON(w, out)
+	writeJSON(w, s.svc.List(limit))
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	st := storeStats{
-		Backend:         "memory",
-		LiveSessions:    s.store.len(),
-		KnownSessions:   s.store.known(),
-		EvictionsToDisk: s.store.evictions.Load(),
-		HydrationHits:   s.store.hydraHits.Load(),
-		HydrationMisses: s.store.hydraMisses.Load(),
-		PersistErrors:   s.store.persistErrors.Load(),
-	}
-	if s.store.disk != nil {
-		st.Backend = "file"
-		st.DirtySessions = s.store.bg.pending()
-		if cs, ok := s.store.disk.(persist.CounterSource); ok {
-			c := cs.Counters()
-			st.Persist = &c
-		}
-	}
-	writeJSON(w, statsResponse{
-		Sessions:     s.store.len(),
-		Store:        st,
-		PCache:       pcache.Stats(),
-		PCacheWindow: pcache.WindowStats(),
-		LiveEngine:   selection.LiveEngineStats(),
-	})
-}
-
-func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session.Session, bool) {
-	sess, err := s.store.get(r.PathValue("id"))
-	if err != nil {
-		// Only a genuine miss is a 404: a hydration failure (I/O error,
-		// corrupt on-disk state) must surface as a server error, not
-		// convince the client the session never existed.
-		status := http.StatusInternalServerError
-		if errors.Is(err, ErrNotFound) {
-			status = http.StatusNotFound
-		}
-		writeErr(w, status, err)
-		return nil, false
-	}
-	return sess, true
+	writeJSON(w, s.svc.Stats())
 }
 
 // ---- plumbing ----
 
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSONStatus is the one place response status, Content-Type and body
+// encoding meet: every JSON response (success or error) goes through it.
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
@@ -538,26 +259,32 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 }
 
 func writeErrWith(w http.ResponseWriter, status int, err error, extra map[string]any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
 	body := map[string]any{"error": err.Error()}
 	for k, v := range extra {
 		body[k] = v
 	}
-	_ = json.NewEncoder(w).Encode(body)
+	writeJSONStatus(w, status, body)
 }
 
-// statusFor maps the session subsystem's typed errors to HTTP statuses.
+// statusFor maps the service core's typed errors to HTTP statuses — the one
+// place wire status semantics are decided.
 func statusFor(err error) int {
+	var storage *service.StorageError
 	var mismatch *tpo.MismatchError // session.MismatchError is the same type
 	switch {
-	case errors.Is(err, ErrNotFound):
+	// A durable-tier failure is a server fault regardless of its cause:
+	// check it before the client-error classes its wrapped cause could
+	// match (a corrupted snapshot surfaces a digest MismatchError).
+	case errors.As(err, &storage):
+		return http.StatusInternalServerError
+	case errors.Is(err, service.ErrNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, ErrFull):
+	case errors.Is(err, service.ErrFull):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, session.ErrDone), errors.Is(err, session.ErrUnknownQuestion):
 		return http.StatusConflict
-	case errors.Is(err, session.ErrInvalidConfig),
+	case errors.Is(err, service.ErrBadInput),
+		errors.Is(err, session.ErrInvalidConfig),
 		errors.Is(err, session.ErrInvalidCheckpoint),
 		errors.Is(err, engine.ErrUnknownAlgorithm),
 		errors.As(err, &mismatch),
@@ -568,4 +295,3 @@ func statusFor(err error) int {
 		return http.StatusInternalServerError
 	}
 }
-

@@ -88,15 +88,17 @@ type sessionInfo struct {
 	Orderings int    `json:"orderings"`
 }
 
+type questionJSON struct {
+	I      int    `json:"i"`
+	J      int    `json:"j"`
+	Prompt string `json:"prompt"`
+}
+
 type questionsResponse struct {
-	State     string `json:"state"`
-	Questions []struct {
-		I      int    `json:"i"`
-		J      int    `json:"j"`
-		Prompt string `json:"prompt"`
-	} `json:"questions"`
-	Asked  int `json:"asked"`
-	Budget int `json:"budget"`
+	State     string         `json:"state"`
+	Questions []questionJSON `json:"questions"`
+	Asked     int            `json:"asked"`
+	Budget    int            `json:"budget"`
 }
 
 type resultResponse struct {

@@ -1,0 +1,501 @@
+// Package service is the transport-agnostic core of the crowdtopk serving
+// stack: every session operation the system offers — create or restore,
+// question delivery, answer intake with partial-batch accounting, result and
+// checkpoint retrieval, deletion, listing, stats — as typed Go calls over
+// typed request/response structs and typed errors, with no notion of HTTP.
+//
+// The Service owns everything a long-running deployment needs regardless of
+// how requests arrive: the two-tier session store (live in-memory cache over
+// an optional durable persist.Store, with asynchronous write-behind, lazy
+// hydration and TTL eviction-to-disk), the process-wide par.Budget worker
+// pool shared by all sessions' tree builds, reservation-before-build load
+// shedding, and graceful close (drain the persister, flush, release).
+//
+// Transports are thin codecs over this core: internal/server decodes HTTP
+// requests into these calls and encodes the results (mapping the typed
+// errors to statuses in exactly one place), and the public crowdtopk/sdk
+// package exposes the same lifecycle to in-process embedders with no server
+// at all. Both speak to the same Service, so behavior cannot drift between
+// them — the parity suite in internal/server pins that.
+package service
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"crowdtopk/internal/dataset"
+	"crowdtopk/internal/dist"
+	"crowdtopk/internal/par"
+	"crowdtopk/internal/pcache"
+	"crowdtopk/internal/persist"
+	"crowdtopk/internal/selection"
+	"crowdtopk/internal/session"
+	"crowdtopk/internal/tpo"
+)
+
+// Config tunes the service core.
+type Config struct {
+	// Workers is the process-wide worker budget shared by every session's
+	// tree builds and extensions (0 = GOMAXPROCS).
+	Workers int
+	// TTL evicts sessions idle longer than this (0 = never evict). With a
+	// durable backend eviction moves the session to disk; without one it
+	// drops the session for good.
+	TTL time.Duration
+	// MaxSessions bounds live in-memory sessions; creates beyond it fail
+	// with ErrFull (0 = unbounded). Lazy hydration of persisted sessions is
+	// exempt: a session returning from disk is served, not shed.
+	MaxSessions int
+	// Persist optionally attaches a durable session store. The service owns
+	// it from then on: Close flushes and closes it.
+	Persist persist.Store
+}
+
+// DefaultTTL is the idle eviction default used by the serve subcommand and
+// the SDK.
+const DefaultTTL = 30 * time.Minute
+
+// ErrBadInput reports a request the service cannot act on: a malformed
+// answer batch, an out-of-range argument. Transports map it to their
+// invalid-argument failure (HTTP 400).
+var ErrBadInput = errors.New("service: invalid argument")
+
+// BatchError reports an answer batch that failed partway: Accepted answers
+// were applied (and stay applied) before Err stopped the batch. Unwrap
+// exposes Err so errors.Is/As classify the batch by its cause.
+type BatchError struct {
+	Accepted int
+	Err      error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("%v (after %d accepted answers)", e.Err, e.Accepted)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// StorageError reports a durable-tier failure (hydration I/O, on-disk
+// corruption). It is typed so transports can report a server-side fault even
+// when the wrapped cause would otherwise classify as client input — a
+// corrupted snapshot must not convince anyone the request was wrong.
+type StorageError struct {
+	Op  string
+	Err error
+}
+
+func (e *StorageError) Error() string { return fmt.Sprintf("service: %s: %v", e.Op, e.Err) }
+
+func (e *StorageError) Unwrap() error { return e.Err }
+
+// Service is the engine-facing session core. Create one with New and Close
+// it when done; all methods are safe for concurrent use.
+type Service struct {
+	store *store
+	pool  *par.Budget
+}
+
+// New builds a service with its own session store and worker budget. With
+// cfg.Persist set it also scans the backend so every persisted session is
+// immediately addressable (sessions hydrate lazily on first access), and
+// takes ownership of the backend.
+func New(cfg Config) (*Service, error) {
+	st, err := newStore(cfg.TTL, cfg.MaxSessions, cfg.Persist)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{store: st, pool: par.NewBudget(cfg.Workers)}, nil
+}
+
+// Close stops background eviction, flushes every dirty session to the
+// durable backend (when one is configured) and closes it, then drops all
+// live sessions. Idempotent.
+func (s *Service) Close() { s.store.close() }
+
+// Flush synchronously pushes every pending durable write to the backend and
+// syncs it. A no-op without a backend.
+func (s *Service) Flush() { s.store.flush() }
+
+// SessionCount reports the number of live (in-memory) sessions.
+func (s *Service) SessionCount() int { return s.store.len() }
+
+// ---- typed requests and views ----
+//
+// The view structs carry the canonical wire field names in their JSON tags:
+// the HTTP codec encodes them directly, so the public API surface is defined
+// here once and pinned by internal/server's wire golden test.
+
+// CreateRequest creates a session from a dataset — given either as wire
+// specs (Tuples, the HTTP path) or as kernel distributions (Dists, the
+// in-process path; used when Tuples is empty) — or, when Checkpoint is set,
+// restores one from a session envelope (the other fields are then ignored:
+// the envelope carries its own configuration).
+type CreateRequest struct {
+	Tuples       []dataset.DistSpec
+	Dists        []dist.Distribution
+	Names        []string
+	K            int
+	Budget       int
+	Algorithm    string
+	Measure      string
+	Reliability  float64
+	RoundSize    int
+	Seed         int64
+	GridSize     int
+	MaxOrderings int
+	Checkpoint   []byte
+}
+
+// SessionInfo describes a session right after creation.
+type SessionInfo struct {
+	ID        string        `json:"id"`
+	State     session.State `json:"state"`
+	Tuples    int           `json:"tuples"`
+	Asked     int           `json:"asked"`
+	Budget    int           `json:"budget"`
+	Pending   int           `json:"pending"`
+	Orderings int           `json:"orderings"`
+}
+
+// Question is one pending crowd task, with a rendered prompt.
+type Question struct {
+	I      int    `json:"i"`
+	J      int    `json:"j"`
+	Prompt string `json:"prompt"`
+}
+
+// QuestionsView is the question-delivery response: the pending questions
+// plus the lifecycle snapshot they were captured under.
+type QuestionsView struct {
+	State     session.State `json:"state"`
+	Questions []Question    `json:"questions"`
+	Asked     int           `json:"asked"`
+	Budget    int           `json:"budget"`
+}
+
+// Answer is one crowd answer to an issued question: Yes means I ranks
+// above J.
+type Answer struct {
+	I, J int
+	Yes  bool
+}
+
+// AnswersView acknowledges a fully accepted answer batch.
+type AnswersView struct {
+	State          session.State `json:"state"`
+	Accepted       int           `json:"accepted"`
+	Asked          int           `json:"asked"`
+	Pending        int           `json:"pending"`
+	Contradictions int           `json:"contradictions"`
+}
+
+// ResultView is the current top-K belief.
+type ResultView struct {
+	State          session.State `json:"state"`
+	Ranking        []int         `json:"ranking"`
+	Names          []string      `json:"names"`
+	Resolved       bool          `json:"resolved"`
+	Orderings      int           `json:"orderings"`
+	Uncertainty    float64       `json:"uncertainty"`
+	Asked          int           `json:"asked"`
+	Budget         int           `json:"budget"`
+	Pending        int           `json:"pending"`
+	Contradictions int           `json:"contradictions"`
+}
+
+// ListView is one page of the session listing.
+type ListView struct {
+	Sessions []ListEntry `json:"sessions"`
+	// Total is the number of known sessions, which may exceed the page.
+	Total int `json:"total"`
+}
+
+// ListEntry is one row of the session listing.
+type ListEntry struct {
+	ID string `json:"id"`
+	// State and Asked/Pending are reported for live sessions only: reading
+	// them off a disk-resident session would force the hydration the
+	// listing exists to avoid.
+	State       session.State `json:"state,omitempty"`
+	Asked       int           `json:"asked,omitempty"`
+	Pending     int           `json:"pending,omitempty"`
+	IdleSeconds float64       `json:"idle_seconds"`
+	Persisted   bool          `json:"persisted"`
+	Hydrated    bool          `json:"hydrated"`
+}
+
+// StoreStats is the stats view of the session store's two tiers.
+type StoreStats struct {
+	// Backend names the durable tier: "memory" (none) or "file".
+	Backend string `json:"backend"`
+	// LiveSessions counts hydrated in-memory sessions; KnownSessions adds
+	// the ones resident only in the durable backend.
+	LiveSessions  int `json:"live_sessions"`
+	KnownSessions int `json:"known_sessions"`
+	// DirtySessions counts sessions with accepted answers awaiting their
+	// asynchronous durable write (0 means everything acked is on disk).
+	DirtySessions   int    `json:"dirty_sessions"`
+	EvictionsToDisk uint64 `json:"evictions_to_disk"`
+	HydrationHits   uint64 `json:"hydration_hits"`
+	HydrationMisses uint64 `json:"hydration_misses"`
+	PersistErrors   uint64 `json:"persist_errors"`
+	// Persist carries the backend's own counters (snapshots, wal_appends,
+	// replays, recovered_sessions, fsyncs) when it exposes them.
+	Persist *persist.CounterSnapshot `json:"persist,omitempty"`
+}
+
+// Stats is the full operational snapshot.
+type Stats struct {
+	Sessions int        `json:"sessions"`
+	Store    StoreStats `json:"store"`
+	// PCache carries the π-cache counters cumulative since the last cache
+	// reset; its hit_rate is the lifetime average, which barely moves on a
+	// long-lived server no matter what the cache is doing right now.
+	PCache pcache.Snapshot `json:"pcache"`
+	// PCacheWindow reports hits/misses/hit_rate over the interval since the
+	// previous Stats call (each call closes the window and opens the next),
+	// so the rate tracks current behavior after churn. The window is
+	// process-global: with several scrapers, each sees the interval since
+	// whoever asked last.
+	PCacheWindow pcache.WindowSnapshot `json:"pcache_window"`
+	// LiveEngine carries the incremental selection-engine counters: arena
+	// reuses vs rebuilds, delta patches, stat resyncs and compactions.
+	LiveEngine selection.LiveCounters `json:"selection_live"`
+}
+
+// ---- operations ----
+
+// CreateOrRestore builds a session from the request's dataset, or restores
+// one from its checkpoint envelope, registers it under a fresh id and
+// returns its initial state. Store capacity is claimed before the build so
+// load shedding (ErrFull) happens before the expensive tree construction
+// rather than after it.
+func (s *Service) CreateOrRestore(req CreateRequest) (SessionInfo, error) {
+	if err := s.store.reserve(); err != nil {
+		return SessionInfo{}, err
+	}
+	var sess *session.Session
+	var err error
+	if len(req.Checkpoint) > 0 {
+		sess, err = session.Restore(bytes.NewReader(req.Checkpoint), s.pool)
+	} else {
+		sess, err = s.createSession(&req)
+	}
+	if err != nil {
+		s.store.unreserve()
+		return SessionInfo{}, err
+	}
+	id, err := s.store.add(sess)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	return s.info(id, sess), nil
+}
+
+// createSession builds a fresh session from the request's dataset fields.
+func (s *Service) createSession(req *CreateRequest) (*session.Session, error) {
+	dists := req.Dists
+	if len(dists) == 0 {
+		var err error
+		dists, err = dataset.FromSpecs(req.Tuples)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", session.ErrInvalidConfig, err)
+		}
+	}
+	return session.New(session.Config{
+		Dists:       dists,
+		Names:       req.Names,
+		K:           req.K,
+		Budget:      req.Budget,
+		Algorithm:   req.Algorithm,
+		Measure:     req.Measure,
+		Reliability: req.Reliability,
+		RoundSize:   req.RoundSize,
+		Seed:        req.Seed,
+		Build:       tpo.BuildOptions{GridSize: req.GridSize, MaxLeaves: req.MaxOrderings},
+		Pool:        s.pool,
+	})
+}
+
+func (s *Service) info(id string, sess *session.Session) SessionInfo {
+	st := sess.Status()
+	return SessionInfo{
+		ID:        id,
+		State:     st.State,
+		Tuples:    sess.Len(),
+		Asked:     st.Asked,
+		Budget:    st.Budget,
+		Pending:   st.Pending,
+		Orderings: sess.Orderings(),
+	}
+}
+
+// Questions returns up to n pending questions (n < 1 returns all) with
+// rendered prompts. Questions and lifecycle state come from one locked
+// snapshot, so a concurrent answer cannot pair fresh questions with a
+// terminal state.
+func (s *Service) Questions(id string, n int) (QuestionsView, error) {
+	sess, err := s.store.get(id)
+	if err != nil {
+		return QuestionsView{}, err
+	}
+	qs, st, err := sess.NextQuestions(n)
+	if err != nil {
+		return QuestionsView{}, err
+	}
+	out := QuestionsView{State: st.State, Asked: st.Asked, Budget: st.Budget, Questions: []Question{}}
+	for _, q := range qs {
+		out.Questions = append(out.Questions, Question{
+			I:      q.I,
+			J:      q.J,
+			Prompt: fmt.Sprintf("does %s rank above %s?", sess.Name(q.I), sess.Name(q.J)),
+		})
+	}
+	return out, nil
+}
+
+// Answers applies a batch of crowd answers in order. A batch that fails
+// partway returns a *BatchError carrying how many answers were applied
+// before the failure, so the caller can reconcile; the applied answers stay
+// applied.
+func (s *Service) Answers(id string, answers []Answer) (AnswersView, error) {
+	sess, err := s.store.get(id)
+	if err != nil {
+		return AnswersView{}, err
+	}
+	if len(answers) == 0 {
+		return AnswersView{}, fmt.Errorf("%w: no answers in request", ErrBadInput)
+	}
+	accepted := 0
+	for _, a := range answers {
+		if a.I == a.J {
+			return AnswersView{}, &BatchError{Accepted: accepted,
+				Err: fmt.Errorf("%w: answer %d compares tuple %d with itself", ErrBadInput, accepted, a.I)}
+		}
+		if err := sess.SubmitAnswer(tpo.Answer{Q: tpo.Question{I: a.I, J: a.J}, Yes: a.Yes}); err != nil {
+			return AnswersView{}, &BatchError{Accepted: accepted, Err: err}
+		}
+		accepted++
+	}
+	st := sess.Status()
+	return AnswersView{
+		State:          st.State,
+		Accepted:       accepted,
+		Asked:          st.Asked,
+		Pending:        st.Pending,
+		Contradictions: st.Contradictions,
+	}, nil
+}
+
+// Result reports the session's current top-K belief (valid in every state).
+func (s *Service) Result(id string) (ResultView, error) {
+	sess, err := s.store.get(id)
+	if err != nil {
+		return ResultView{}, err
+	}
+	res := sess.Result()
+	names := make([]string, len(res.Ranking))
+	for i, tid := range res.Ranking {
+		names[i] = sess.Name(tid)
+	}
+	return ResultView{
+		State:          res.State,
+		Ranking:        append([]int{}, res.Ranking...),
+		Names:          names,
+		Resolved:       res.Resolved,
+		Orderings:      res.Orderings,
+		Uncertainty:    res.Uncertainty,
+		Asked:          res.Asked,
+		Budget:         res.Budget,
+		Pending:        res.Pending,
+		Contradictions: res.Contradictions,
+	}, nil
+}
+
+// Checkpoint writes the session's versioned JSON envelope to w. Callers
+// serving slow sinks should buffer: the write happens under the session
+// lock, and backpressure would pin it.
+func (s *Service) Checkpoint(id string, w io.Writer) error {
+	sess, err := s.store.get(id)
+	if err != nil {
+		return err
+	}
+	return sess.Checkpoint(w)
+}
+
+// Delete drops the session from every tier. Deleting an unknown id returns
+// ErrNotFound.
+func (s *Service) Delete(id string) error {
+	if !s.store.remove(id) {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// DefaultListLimit bounds List pages when the caller does not choose a
+// limit; against a store with millions of persisted sessions an unbounded
+// listing would be an accidental denial of service.
+const DefaultListLimit = 100
+
+// List snapshots up to limit known sessions (limit < 1 applies
+// DefaultListLimit), sorted by id for stable pagination. Live sessions
+// carry their lifecycle counters; disk-resident ones are listed without
+// forcing the hydration the listing exists to avoid.
+func (s *Service) List(limit int) ListView {
+	if limit < 1 {
+		limit = DefaultListLimit
+	}
+	items, total := s.store.list(limit)
+	out := ListView{Sessions: []ListEntry{}, Total: total}
+	for _, it := range items {
+		e := ListEntry{
+			ID:          it.id,
+			IdleSeconds: it.idle.Seconds(),
+			Persisted:   it.persisted,
+			Hydrated:    it.hydrated,
+		}
+		// The session object was captured inside the store's listing
+		// snapshot; resolving the id again here would race concurrent
+		// deletes and evictions into rows marked hydrated but carrying no
+		// state.
+		if it.sess != nil {
+			st := it.sess.Status()
+			e.State = st.State
+			e.Asked = st.Asked
+			e.Pending = st.Pending
+		}
+		out.Sessions = append(out.Sessions, e)
+	}
+	return out
+}
+
+// Stats assembles the operational snapshot: store tiers, persistence
+// counters, π-cache lifetime and window rates, live-engine counters.
+func (s *Service) Stats() Stats {
+	st := StoreStats{
+		Backend:         "memory",
+		LiveSessions:    s.store.len(),
+		KnownSessions:   s.store.known(),
+		EvictionsToDisk: s.store.evictions.Load(),
+		HydrationHits:   s.store.hydraHits.Load(),
+		HydrationMisses: s.store.hydraMisses.Load(),
+		PersistErrors:   s.store.persistErrors.Load(),
+	}
+	if s.store.disk != nil {
+		st.Backend = "file"
+		st.DirtySessions = s.store.bg.pending()
+		if cs, ok := s.store.disk.(persist.CounterSource); ok {
+			c := cs.Counters()
+			st.Persist = &c
+		}
+	}
+	return Stats{
+		Sessions:     s.store.len(),
+		Store:        st,
+		PCache:       pcache.Stats(),
+		PCacheWindow: pcache.WindowStats(),
+		LiveEngine:   selection.LiveEngineStats(),
+	}
+}

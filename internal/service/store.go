@@ -1,4 +1,4 @@
-package server
+package service
 
 import (
 	"crypto/rand"
@@ -16,10 +16,10 @@ import (
 
 // ErrNotFound reports a session id the store does not hold (never created,
 // deleted, or — in memory-only mode — evicted after its TTL).
-var ErrNotFound = errors.New("server: no such session")
+var ErrNotFound = errors.New("service: no such session")
 
 // ErrFull reports that the store is at its session capacity.
-var ErrFull = errors.New("server: session limit reached")
+var ErrFull = errors.New("service: session limit reached")
 
 // meta is the store's bookkeeping for one known session — live or resident
 // only in the durable backend. All fields are guarded by store.mu; the
@@ -85,7 +85,7 @@ func newStore(ttl time.Duration, max int, disk persist.Store) (*store, error) {
 	if disk != nil {
 		ids, err := disk.List()
 		if err != nil {
-			return nil, fmt.Errorf("server: scanning persisted sessions: %w", err)
+			return nil, fmt.Errorf("service: scanning persisted sessions: %w", err)
 		}
 		now := time.Now()
 		for _, id := range ids {
@@ -308,7 +308,11 @@ func (s *store) hydrate(id string) (*session.Session, error) {
 		return nil, ErrNotFound
 	}
 	if err != nil {
-		return nil, fmt.Errorf("server: hydrating session %s: %w", id, err)
+		// A durable-tier failure, not a client mistake: wrap it so transports
+		// report a server-side error even when the underlying cause (say, a
+		// digest mismatch from a corrupted snapshot) would otherwise read as
+		// invalid client input.
+		return nil, &StorageError{Op: "hydrating session " + id, Err: err}
 	}
 	s.mu.Lock()
 	m := s.meta[id]
