@@ -11,6 +11,7 @@ import (
 	"syscall"
 	"time"
 
+	"crowdtopk/internal/obs"
 	"crowdtopk/internal/persist"
 	"crowdtopk/internal/server"
 )
@@ -24,14 +25,29 @@ func cmdServe(args []string) error {
 	dataDir := fs.String("data-dir", "", "durable session store directory; empty serves memory-only (sessions die with the process)")
 	fsync := fs.String("fsync", string(persist.SyncAlways), "wal fsync policy with -data-dir: always (each answer batch durable) or none (page cache + flush on shutdown)")
 	snapshotEvery := fs.Int("snapshot-every", persist.DefaultSnapshotEvery, "with -data-dir, compact a session's wal into a fresh snapshot after this many appended answers")
+	logFormat := fs.String("log-format", "text", "structured log format on stderr: text or json")
+	auditPath := fs.String("audit-log", "", "append-only NDJSON audit log of accepted answer batches; empty disables auditing")
+	rateLimit := fs.Float64("rate-limit", 0, "per-client sustained requests per second, excess gets 429 with Retry-After (0 = unlimited)")
+	rateBurst := fs.Int("rate-burst", 0, "per-client burst on top of -rate-limit (0 = one second's worth, at least 1)")
+	maxInflight := fs.Int("max-inflight", 0, "cap on concurrently executing requests, excess gets 503 (0 = uncapped)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	switch *logFormat {
+	case "text", "json":
+	default:
+		return fmt.Errorf("serve: unknown -log-format %q (want text or json)", *logFormat)
+	}
+	log := obs.NewLogger(os.Stderr, *logFormat)
 
 	cfg := server.Config{
 		Workers:     *workers,
 		TTL:         *ttl,
 		MaxSessions: *maxSessions,
+		Logger:      log,
+		RateLimit:   *rateLimit,
+		RateBurst:   *rateBurst,
+		MaxInflight: *maxInflight,
 	}
 	if *dataDir != "" {
 		policy, err := persist.ParseSyncPolicy(*fsync)
@@ -48,17 +64,29 @@ func cmdServe(args []string) error {
 		}
 		cfg.Persist = store
 	}
+	if *auditPath != "" {
+		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("serve: opening audit log: %w", err)
+		}
+		defer f.Close()
+		cfg.Audit = obs.NewAuditLog(obs.AuditConfig{W: f})
+	}
 	srv, err := server.New(cfg) // recovers all persisted sessions on boot
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
-	if *dataDir != "" {
-		fmt.Fprintf(os.Stderr, "crowdtopk serve: listening on %s (workers=%d ttl=%s data-dir=%s fsync=%s snapshot-every=%d)\n",
-			*addr, *workers, *ttl, *dataDir, *fsync, *snapshotEvery)
-	} else {
-		fmt.Fprintf(os.Stderr, "crowdtopk serve: listening on %s (workers=%d ttl=%s, memory-only)\n", *addr, *workers, *ttl)
-	}
+	log.Info("crowdtopk serve: listening",
+		"addr", *addr,
+		"workers", *workers,
+		"ttl", ttl.String(),
+		"data_dir", *dataDir,
+		"fsync", *fsync,
+		"audit_log", *auditPath,
+		"rate_limit", *rateLimit,
+		"max_inflight", *maxInflight,
+	)
 
 	// Header and idle timeouts so slow clients cannot pin connections
 	// forever (slowloris); read/write timeouts stay unset because large
@@ -85,13 +113,13 @@ func cmdServe(args []string) error {
 		return err
 	case <-ctx.Done():
 		stop() // a second signal kills hot instead of waiting for the drain
-		fmt.Fprintln(os.Stderr, "crowdtopk serve: shutting down (draining requests, flushing sessions)")
+		log.Info("crowdtopk serve: shutting down", "drain_timeout", "15s")
 		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(sctx); err != nil {
-			fmt.Fprintf(os.Stderr, "crowdtopk serve: shutdown: %v\n", err)
+			log.Warn("crowdtopk serve: shutdown", "err", err)
 		}
-		srv.Close() // flush dirty sessions to disk, then close the store
+		srv.Close() // flush dirty sessions to disk, drain the audit log, close the store
 		return nil
 	}
 }

@@ -157,4 +157,24 @@
 // trial order, making their statistics independent of scheduling. Crowd
 // questions are always asked one at a time, in order — parallelism never
 // changes what the crowd sees.
+//
+// # Observability
+//
+// The serving stack (crowdtopk serve and the sdk package) is instrumented
+// end to end through internal/obs, a dependency-free metrics core: atomic
+// counters, gauges and fixed-bucket latency histograms collected in one
+// process-wide registry and rendered in Prometheus text exposition format.
+// The HTTP server exposes the scrape on GET /metrics alongside GET /health
+// (liveness) and GET /ready (readiness: boot scan finished, session pool
+// has capacity, durable writes succeeding); embedders reach the same data
+// via sdk.Client.Metrics and sdk.Client.Health. Every layer reports in:
+// HTTP request latency by route, WAL append/fsync latency, snapshot and
+// recovery durations, session lifecycle transitions, pool saturation, and
+// the π-cache hit rate. Accepted answer batches can additionally be traced
+// through an asynchronous NDJSON audit log (internal/obs.AuditLog) that
+// never blocks the answer path — a wedged sink drops events and counts the
+// drops instead. Admission control (per-client token-bucket rate limiting
+// plus a global max-inflight cap) lives in the service core, so abusive
+// clients shed with 429/Retry-After while everyone else keeps flowing. See
+// the README's Operations section for flags and a scrape config.
 package crowdtopk

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Audit metrics, registered on the Default registry so every audit log in
+// the process reports through /metrics. Enqueued/dropped are producer-side;
+// flushes and write errors are sink-side.
+var (
+	auditEvents = Default.Counter("crowdtopk_audit_events_total",
+		"Audit events accepted into the queue.")
+	auditDropped = Default.Counter("crowdtopk_audit_dropped_total",
+		"Audit events dropped because the queue was full.")
+	auditFlushes = Default.Counter("crowdtopk_audit_flushes_total",
+		"Audit batches flushed to the sink.")
+	auditFlushErrors = Default.Counter("crowdtopk_audit_flush_errors_total",
+		"Audit batch writes that returned an error.")
+)
+
+// AuditConfig tunes an AuditLog.
+type AuditConfig struct {
+	// W receives flushed batches as NDJSON (one event per line). Required.
+	W io.Writer
+	// Queue bounds the number of events buffered between the producers and
+	// the flusher (0 = 1024). When the queue is full events are dropped and
+	// counted, never blocking the producer.
+	Queue int
+	// BatchSize caps how many events one Write to W carries (0 = 64).
+	BatchSize int
+	// FlushInterval flushes a non-empty partial batch at least this often
+	// (0 = 1s).
+	FlushInterval time.Duration
+}
+
+// AuditLog is a buffered asynchronous event sink modeled on OPA's
+// decision-log plugin: producers enqueue without ever blocking (events are
+// dropped and counted when the queue is full), and one background goroutine
+// drains the queue in batches, writing each batch to the sink with a single
+// Write. A stalled sink therefore stalls only the audit trail: answer
+// handling keeps its latency and the drop counter records the loss.
+type AuditLog struct {
+	cfg AuditConfig
+
+	mu     sync.RWMutex // excludes Log against Close's channel close
+	closed bool
+	q      chan []byte
+
+	dropped Counter // also mirrored into the process counters above
+	done    chan struct{}
+}
+
+// NewAuditLog starts the background flusher. Close the log to drain it.
+func NewAuditLog(cfg AuditConfig) *AuditLog {
+	if cfg.Queue <= 0 {
+		cfg.Queue = 1024
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = time.Second
+	}
+	a := &AuditLog{
+		cfg:  cfg,
+		q:    make(chan []byte, cfg.Queue),
+		done: make(chan struct{}),
+	}
+	go a.loop()
+	return a
+}
+
+// Log marshals the event and enqueues it. It never blocks: when the queue is
+// full (the sink is slow or stalled) the event is dropped and counted. Events
+// that cannot be marshaled are dropped the same way — an audit trail must not
+// be able to fail the operation it audits.
+func (a *AuditLog) Log(event any) {
+	b, err := json.Marshal(event)
+	if err != nil {
+		a.drop()
+		return
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.closed {
+		a.drop()
+		return
+	}
+	select {
+	case a.q <- b:
+		auditEvents.Inc()
+	default:
+		a.drop()
+	}
+}
+
+func (a *AuditLog) drop() {
+	a.dropped.Inc()
+	auditDropped.Inc()
+}
+
+// Dropped reports how many events this log has dropped (queue full, closed,
+// or unmarshalable).
+func (a *AuditLog) Dropped() uint64 { return a.dropped.Value() }
+
+// Pending reports how many events sit in the queue right now.
+func (a *AuditLog) Pending() int { return len(a.q) }
+
+// Close stops intake, drains everything already queued to the sink, and
+// stops the flusher. Idempotent.
+func (a *AuditLog) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		<-a.done
+		return
+	}
+	a.closed = true
+	close(a.q)
+	a.mu.Unlock()
+	<-a.done
+}
+
+// loop drains the queue: it blocks for the first event, then
+// opportunistically gathers up to BatchSize more (waiting at most
+// FlushInterval for stragglers) and writes the batch in one call.
+func (a *AuditLog) loop() {
+	defer close(a.done)
+	var batch bytes.Buffer
+	for {
+		b, ok := <-a.q
+		if !ok {
+			return
+		}
+		batch.Reset()
+		batch.Write(b)
+		batch.WriteByte('\n')
+		n := 1
+		timer := time.NewTimer(a.cfg.FlushInterval)
+	gather:
+		for n < a.cfg.BatchSize {
+			select {
+			case b, ok := <-a.q:
+				if !ok {
+					break gather
+				}
+				batch.Write(b)
+				batch.WriteByte('\n')
+				n++
+			case <-timer.C:
+				break gather
+			}
+		}
+		timer.Stop()
+		if _, err := a.cfg.W.Write(batch.Bytes()); err != nil {
+			auditFlushErrors.Inc()
+		}
+		auditFlushes.Inc()
+	}
+}

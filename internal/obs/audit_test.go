@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chanWriter gates every Write on an explicit release, simulating a stalled
+// audit sink.
+type chanWriter struct {
+	mu      sync.Mutex
+	buf     strings.Builder
+	release chan struct{}
+}
+
+func (w *chanWriter) Write(p []byte) (int, error) {
+	<-w.release
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.WriteString(string(p))
+}
+
+func (w *chanWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+type event struct {
+	Kind string `json:"kind"`
+	N    int    `json:"n"`
+}
+
+func TestAuditFlushesNDJSON(t *testing.T) {
+	w := &chanWriter{release: make(chan struct{})}
+	close(w.release) // never stall
+	a := NewAuditLog(AuditConfig{W: w, Queue: 16, BatchSize: 4, FlushInterval: time.Millisecond})
+	for i := 0; i < 10; i++ {
+		a.Log(event{Kind: "answers", N: i})
+	}
+	a.Close()
+	sc := bufio.NewScanner(strings.NewReader(w.String()))
+	seen := 0
+	for sc.Scan() {
+		var e event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d not JSON: %q: %v", seen, sc.Text(), err)
+		}
+		if e.N != seen {
+			t.Fatalf("events out of order: got n=%d at line %d", e.N, seen)
+		}
+		seen++
+	}
+	if seen != 10 {
+		t.Fatalf("flushed %d events, want 10", seen)
+	}
+	if a.Dropped() != 0 {
+		t.Fatalf("dropped %d events on an unstalled sink", a.Dropped())
+	}
+}
+
+func TestAuditStalledSinkNeverBlocksProducers(t *testing.T) {
+	w := &chanWriter{release: make(chan struct{})} // every Write blocks
+	a := NewAuditLog(AuditConfig{W: w, Queue: 4, BatchSize: 1, FlushInterval: time.Millisecond})
+
+	// Far more events than queue+inflight can hold. Log must return promptly
+	// for every one of them even though the sink never completes a write.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			a.Log(event{Kind: "answers", N: i})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Log blocked on a stalled sink")
+	}
+	if a.Dropped() == 0 {
+		t.Fatal("expected drops with a stalled sink and a full queue")
+	}
+	if a.Dropped() >= 100 {
+		t.Fatalf("dropped all %d events; queue absorbed none", a.Dropped())
+	}
+
+	// Unstall and close: everything still queued must reach the sink.
+	close(w.release)
+	a.Close()
+	kept := uint64(100) - a.Dropped()
+	lines := strings.Count(w.String(), "\n")
+	if uint64(lines) != kept {
+		t.Fatalf("sink got %d events, want %d (100 logged - %d dropped)", lines, kept, a.Dropped())
+	}
+}
+
+func TestAuditLogAfterCloseDrops(t *testing.T) {
+	w := &chanWriter{release: make(chan struct{})}
+	close(w.release)
+	a := NewAuditLog(AuditConfig{W: w})
+	a.Close()
+	a.Log(event{Kind: "late"}) // must not panic on the closed channel
+	if a.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", a.Dropped())
+	}
+}

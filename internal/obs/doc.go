@@ -1,0 +1,29 @@
+// Package obs is the dependency-free observability core of the crowdtopk
+// serving stack: a metrics registry (atomic counters, gauges and fixed-bucket
+// histograms, plus scrape-time func collectors over counters other packages
+// already keep) with a hand-rolled Prometheus text exposition writer, and a
+// buffered asynchronous audit-log sink with a bounded queue, batch flushing
+// and dropped-event accounting.
+//
+// Every layer of the stack instruments itself through the package-level
+// Default registry: the HTTP codec (internal/server) records request latency
+// by route and status class, the service core (internal/service) records
+// session lifecycle transitions, store tiers, pool saturation and admission
+// decisions, and the persistence layer (internal/persist) records WAL append,
+// fsync and snapshot latencies. One registry means one exposition: the HTTP
+// GET /metrics endpoint and the SDK's Client.Metrics() render the identical
+// byte stream, so dashboards built against either front door agree.
+//
+// The registry is deliberately tiny rather than a client_golang clone: fixed
+// label sets per family, cumulative histogram buckets recomputed at scrape
+// time (so le="+Inf" always equals _count even under concurrent observation),
+// and idempotent registration so independent subsystems — and repeated
+// service constructions in tests — can claim the same family without
+// coordinating. Func collectors re-register by replacement, which lets each
+// new Service instance point the gauges at its own store.
+//
+// The audit log follows OPA's decision-log plugin discipline: producers never
+// block — an event that cannot be queued is dropped and counted — and a
+// single background goroutine batches queued events into NDJSON writes, so a
+// stalled sink slows nothing but the audit trail itself.
+package obs

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// NopLogger returns a logger whose handler reports every level disabled —
+// the default for embedders that configured no logging. Call sites can log
+// unconditionally; records cost one Enabled check.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// NewLogger builds a structured logger in the named format: "json" selects
+// NDJSON records, anything else the logfmt-style text handler. This is the
+// -log-format flag's one interpretation point.
+func NewLogger(w io.Writer, format string) *slog.Logger {
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(w, nil))
+	}
+	return slog.New(slog.NewTextHandler(w, nil))
+}

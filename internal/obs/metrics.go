@@ -1,0 +1,416 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Default is the process-wide registry every subsystem instruments itself
+// through. Transports render it verbatim: the HTTP /metrics endpoint and the
+// SDK's Metrics() are both WritePrometheus over this registry.
+var Default = NewRegistry()
+
+// DefBuckets are the default latency histogram bounds, in seconds. They span
+// sub-millisecond WAL appends to multi-second cold tree builds.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Registration is idempotent per (name, kind, labels):
+// asking for an existing family returns it, so independent packages — and
+// repeated service constructions in tests — can claim the same family
+// without coordinating. A kind or label-shape mismatch panics: that is a
+// programming error, not an operational condition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// family is one named metric family: fixed kind, help and label names, and
+// either a set of registered series or a scrape-time collect func.
+type family struct {
+	name    string
+	help    string
+	kind    string
+	labels  []string
+	buckets []float64 // histogram families only
+
+	mu      sync.Mutex
+	series  map[string]any // label-values key -> *Counter/*Gauge/*Histogram
+	order   []string       // insertion order of series keys
+	collect func() []Sample
+}
+
+// Sample is one scrape-time reading from a func collector: the label values
+// (matching the family's label names positionally) and the current value.
+type Sample struct {
+	Labels []string
+	Value  float64
+}
+
+// lookup returns (creating if needed) the family, enforcing shape.
+func (r *Registry) lookup(name, help, kind string, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s%v, was %s%v",
+				name, kind, labels, f.kind, f.labels))
+		}
+		return f
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		kind:    kind,
+		labels:  append([]string(nil), labels...),
+		buckets: buckets,
+		series:  make(map[string]any),
+	}
+	r.families[name] = f
+	return f
+}
+
+// seriesFor returns (creating via mk if needed) the series for the label
+// values.
+func (f *family) seriesFor(values []string, mk func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = mk()
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// ---- counters ----
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.lookup(name, help, kindCounter, nil, nil)
+	return f.seriesFor(nil, func() any { return &Counter{} }).(*Counter)
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.lookup(name, help, kindCounter, labels, nil)}
+}
+
+// With returns the counter for the label values, creating it on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.seriesFor(values, func() any { return &Counter{} }).(*Counter)
+}
+
+// ---- gauges ----
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (CAS loop; safe for concurrent use).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.lookup(name, help, kindGauge, nil, nil)
+	return f.seriesFor(nil, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.lookup(name, help, kindGauge, labels, nil)}
+}
+
+// With returns the gauge for the label values, creating it on first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.seriesFor(values, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// ---- histograms ----
+
+// Histogram counts observations into fixed buckets. Bucket counts are
+// per-bound (not cumulative) internally; the exposition writer accumulates
+// them at scrape time, which keeps le="+Inf" exactly equal to _count even
+// while observations race the scrape.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last = overflow
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count reads the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Histogram registers (or returns) an unlabeled histogram with the given
+// bucket upper bounds (must be sorted ascending; nil selects DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.lookup(name, help, kindHistogram, nil, buckets)
+	return f.seriesFor(nil, func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or returns) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{f: r.lookup(name, help, kindHistogram, labels, buckets)}
+}
+
+// With returns the histogram for the label values, creating it on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.seriesFor(values, func() any { return newHistogram(v.f.buckets) }).(*Histogram)
+}
+
+// ---- func collectors ----
+
+// RegisterFunc registers a scrape-time collector: collect runs on every
+// exposition and its samples are rendered under the family. Re-registering
+// the same name replaces the collector — each new Service instance points
+// the family at its own store — so the shape (kind, labels) must match.
+func (r *Registry) RegisterFunc(name, help, kind string, labels []string, collect func() []Sample) {
+	f := r.lookup(name, help, kind, labels, nil)
+	f.mu.Lock()
+	f.collect = collect
+	f.mu.Unlock()
+}
+
+// GaugeFunc registers an unlabeled gauge read at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.RegisterFunc(name, help, kindGauge, nil, func() []Sample {
+		return []Sample{{Value: fn()}}
+	})
+}
+
+// CounterFunc registers an unlabeled counter read at scrape time (the
+// underlying value must be monotonic; the registry only renders it).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.RegisterFunc(name, help, kindCounter, nil, func() []Sample {
+		return []Sample{{Value: fn()}}
+	})
+}
+
+// Names returns the sorted registered family names (for parity tests).
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ---- exposition ----
+
+// WritePrometheus renders the registry in Prometheus text exposition format
+// (version 0.0.4): families sorted by name, each with # HELP and # TYPE
+// headers, histogram series expanded into cumulative _bucket/_sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	families := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		families = append(families, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(families, func(i, j int) bool { return families[i].name < families[j].name })
+
+	var b strings.Builder
+	for _, f := range families {
+		f.render(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) render(b *strings.Builder) {
+	b.WriteString("# HELP ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(escapeHelp(f.help))
+	b.WriteString("\n# TYPE ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(f.kind)
+	b.WriteByte('\n')
+
+	f.mu.Lock()
+	if f.collect != nil {
+		samples := f.collect
+		f.mu.Unlock()
+		for _, s := range samples() {
+			writeSample(b, f.name, f.labels, s.Labels, s.Value)
+		}
+		return
+	}
+	keys := append([]string(nil), f.order...)
+	series := make([]any, len(keys))
+	for i, k := range keys {
+		series[i] = f.series[k]
+	}
+	f.mu.Unlock()
+
+	// Stable output: series sorted by label values.
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return keys[idx[i]] < keys[idx[j]] })
+	for _, i := range idx {
+		values := splitKey(keys[i], len(f.labels))
+		switch s := series[i].(type) {
+		case *Counter:
+			writeSample(b, f.name, f.labels, values, float64(s.Value()))
+		case *Gauge:
+			writeSample(b, f.name, f.labels, values, s.Value())
+		case *Histogram:
+			var cum uint64
+			for bi, bound := range s.bounds {
+				cum += s.counts[bi].Load()
+				writeSample(b, f.name+"_bucket", append(f.labels, "le"),
+					append(append([]string(nil), values...), formatFloat(bound)), float64(cum))
+			}
+			cum += s.counts[len(s.bounds)].Load()
+			writeSample(b, f.name+"_bucket", append(f.labels, "le"),
+				append(append([]string(nil), values...), "+Inf"), float64(cum))
+			writeSample(b, f.name+"_sum", f.labels, values, math.Float64frombits(s.sumBits.Load()))
+			writeSample(b, f.name+"_count", f.labels, values, float64(cum))
+		}
+	}
+}
+
+func splitKey(key string, n int) []string {
+	if n == 0 {
+		return nil
+	}
+	return strings.Split(key, "\xff")
+}
+
+func writeSample(b *strings.Builder, name string, labels, values []string, v float64) {
+	b.WriteString(name)
+	if len(labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(values[i]))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseExposition is a line-by-line parser of the Prometheus text format:
+// enough of the real scrape grammar (HELP/TYPE headers, sample lines with
+// optional label sets) to round-trip what the writer produces. It fails the
+// test on any line that matches neither form.
+type parsedMetric struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+type parsedFamily struct {
+	name, typ, help string
+	samples         []parsedMetric
+}
+
+func parseExposition(t *testing.T, text string) map[string]*parsedFamily {
+	t.Helper()
+	fams := make(map[string]*parsedFamily)
+	var cur *parsedFamily
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			cur = &parsedFamily{name: name, help: help}
+			fams[name] = cur
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || (typ != "counter" && typ != "gauge" && typ != "histogram") {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			if cur == nil || cur.name != name {
+				t.Fatalf("line %d: TYPE %s without preceding HELP", ln+1, name)
+			}
+			cur.typ = typ
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unknown comment form: %q", ln+1, line)
+		default:
+			m := parseSample(t, ln+1, line)
+			if cur == nil {
+				t.Fatalf("line %d: sample %q before any family header", ln+1, line)
+			}
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(m.name,
+				"_bucket"), "_sum"), "_count")
+			if base != cur.name && m.name != cur.name {
+				t.Fatalf("line %d: sample %q outside its family (%s)", ln+1, m.name, cur.name)
+			}
+			cur.samples = append(cur.samples, m)
+		}
+	}
+	return fams
+}
+
+func parseSample(t *testing.T, ln int, line string) parsedMetric {
+	t.Helper()
+	m := parsedMetric{labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		m.name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			t.Fatalf("line %d: unterminated label set: %q", ln, line)
+		}
+		for _, pair := range splitLabels(rest[i+1 : end]) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				t.Fatalf("line %d: malformed label %q", ln, pair)
+			}
+			m.labels[k] = unescape(v[1 : len(v)-1])
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		var ok bool
+		m.name, rest, ok = strings.Cut(rest, " ")
+		if !ok {
+			t.Fatalf("line %d: no value: %q", ln, line)
+		}
+	}
+	for _, r := range m.name {
+		if !(r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+			t.Fatalf("line %d: invalid metric name %q", ln, m.name)
+		}
+	}
+	val := strings.TrimSpace(rest)
+	switch val {
+	case "+Inf":
+		m.value = math.Inf(1)
+	case "-Inf":
+		m.value = math.Inf(-1)
+	default:
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln, val, err)
+		}
+		m.value = v
+	}
+	return m
+}
+
+// splitLabels splits a{...} label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func unescape(s string) string {
+	r := strings.NewReplacer(`\\`, `\`, `\"`, `"`, `\n`, "\n")
+	return r.Replace(s)
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_ops_total", "Operations.").Add(7)
+	r.CounterVec("test_requests_total", "Requests.", "route", "status").
+		With(`/v1/sessions/{id}`, "200").Add(3)
+	r.Gauge("test_temp", "Temp.").Set(-1.5)
+	r.GaugeFunc("test_live", "Live.", func() float64 { return 42 })
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	hv := r.HistogramVec("test_route_seconds", "Route latency.", []float64{0.1}, "route")
+	hv.With("a").Observe(0.01)
+	hv.With("b").Observe(3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams := parseExposition(t, b.String())
+
+	if f := fams["test_ops_total"]; f == nil || f.typ != "counter" || f.samples[0].value != 7 {
+		t.Fatalf("test_ops_total = %+v", f)
+	}
+	if f := fams["test_requests_total"]; f == nil ||
+		f.samples[0].labels["route"] != "/v1/sessions/{id}" || f.samples[0].labels["status"] != "200" {
+		t.Fatalf("test_requests_total = %+v", f)
+	}
+	if f := fams["test_temp"]; f == nil || f.typ != "gauge" || f.samples[0].value != -1.5 {
+		t.Fatalf("test_temp = %+v", f)
+	}
+	if f := fams["test_live"]; f == nil || f.samples[0].value != 42 {
+		t.Fatalf("test_live = %+v", f)
+	}
+
+	// Histogram semantics: buckets cumulative and monotone, le="+Inf" equals
+	// _count, _sum is the observation total.
+	f := fams["test_latency_seconds"]
+	if f == nil || f.typ != "histogram" {
+		t.Fatalf("test_latency_seconds = %+v", f)
+	}
+	checkHistogram(t, f.samples, map[string]float64{"0.01": 1, "0.1": 3, "1": 4, "+Inf": 5}, 5, 5.605)
+
+	// Families must be sorted by name for a stable scrape diff.
+	var names []string
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			names = append(names, strings.Fields(line)[2])
+		}
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("families not sorted: %v", names)
+	}
+}
+
+// checkHistogram asserts the scraped bucket/sum/count invariants.
+func checkHistogram(t *testing.T, samples []parsedMetric, buckets map[string]float64, count uint64, sum float64) {
+	t.Helper()
+	var gotCount, inf float64
+	gotSum := math.NaN()
+	prev := -1.0
+	for _, s := range samples {
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			le := s.labels["le"]
+			if want, ok := buckets[le]; ok && s.value != want {
+				t.Errorf("bucket le=%s = %v, want %v", le, s.value, want)
+			}
+			if s.value < prev {
+				t.Errorf("bucket le=%s = %v not monotone (prev %v)", le, s.value, prev)
+			}
+			prev = s.value
+			if le == "+Inf" {
+				inf = s.value
+			}
+		case strings.HasSuffix(s.name, "_sum"):
+			gotSum = s.value
+		case strings.HasSuffix(s.name, "_count"):
+			gotCount = s.value
+		}
+	}
+	if gotCount != float64(count) {
+		t.Errorf("_count = %v, want %d", gotCount, count)
+	}
+	if inf != gotCount {
+		t.Errorf(`le="+Inf" bucket %v != _count %v`, inf, gotCount)
+	}
+	if math.Abs(gotSum-sum) > 1e-9 {
+		t.Errorf("_sum = %v, want %v", gotSum, sum)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_x_total", "X.")
+	b := r.Counter("test_x_total", "X.")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("counters not shared")
+	}
+
+	// Func collectors replace on re-registration (a new Service instance
+	// re-points the family at its own store).
+	r.GaugeFunc("test_y", "Y.", func() float64 { return 1 })
+	r.GaugeFunc("test_y", "Y.", func() float64 { return 2 })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "test_y 2") {
+		t.Fatalf("replaced collector not used:\n%s", sb.String())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("test_x_total", "X.")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("test_esc_total", "Esc.", "v").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams := parseExposition(t, b.String())
+	got := fams["test_esc_total"].samples[0].labels["v"]
+	if got != "a\"b\\c\nd" {
+		t.Fatalf("escaped label round-trip = %q", got)
+	}
+}

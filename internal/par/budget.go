@@ -25,6 +25,10 @@ func NewBudget(n int) *Budget {
 // Cap returns the total number of slots.
 func (b *Budget) Cap() int { return cap(b.slots) }
 
+// InUse returns the number of slots currently granted. InUse/Cap is the
+// pool-saturation signal the serving layer exports as a gauge.
+func (b *Budget) InUse() int { return len(b.slots) }
+
 // Acquire claims between 1 and want slots: it blocks until the first slot is
 // free, then opportunistically takes more up to want without waiting.
 // want < 1 (or beyond the budget) asks for as much as possible, which on a

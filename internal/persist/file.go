@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"crowdtopk/internal/par"
 	"crowdtopk/internal/session"
@@ -169,13 +170,17 @@ func (f *File) Put(id string, sess *session.Session) error {
 			}
 			st.wal = w
 		}
+		start := time.Now()
 		if err := appendWAL(st.wal, uint64(st.persisted), delta); err != nil {
 			return fmt.Errorf("persist: appending wal for %s: %w", id, err)
 		}
+		observeSince(walAppendSeconds, start)
 		if f.sync == SyncAlways {
+			start = time.Now()
 			if err := st.wal.Sync(); err != nil {
 				return fmt.Errorf("persist: syncing wal for %s: %w", id, err)
 			}
+			observeSince(walFsyncSeconds, start)
 			f.c.fsyncs.Add(1)
 		}
 		f.c.walAppends.Add(uint64(len(delta)))
@@ -193,6 +198,7 @@ func (f *File) Put(id string, sess *session.Session) error {
 // order is crash-safe: a crash between the two leaves low-seq WAL records
 // that recovery skips by sequence number.
 func (f *File) writeSnapshot(id string, st *fileSession, sess *session.Session) error {
+	defer observeSince(snapshotSeconds, time.Now())
 	var buf bytes.Buffer
 	if err := sess.Checkpoint(&buf); err != nil {
 		return fmt.Errorf("persist: checkpointing %s: %w", id, err)
@@ -273,6 +279,7 @@ func (f *File) Get(id string) (*session.Session, error) {
 	if st.deleted {
 		return nil, ErrNotFound
 	}
+	defer observeSince(recoverSeconds, time.Now())
 	snap, err := os.ReadFile(f.snapPath(id))
 	if errors.Is(err, fs.ErrNotExist) {
 		if _, derr := os.Stat(f.sessionDir(id)); derr == nil {
@@ -402,9 +409,11 @@ func (f *File) Flush() error {
 	for _, st := range states {
 		st.mu.Lock()
 		if st.wal != nil {
+			start := time.Now()
 			if err := st.wal.Sync(); err != nil && first == nil {
 				first = fmt.Errorf("persist: flush: %w", err)
 			} else if err == nil {
+				observeSince(walFsyncSeconds, start)
 				f.c.fsyncs.Add(1)
 			}
 		}

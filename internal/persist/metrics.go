@@ -1,0 +1,27 @@
+package persist
+
+import (
+	"time"
+
+	"crowdtopk/internal/obs"
+)
+
+// Durability latency histograms, on the process-wide registry. These are the
+// numbers persister tuning is blind without: how long an answer-batch WAL
+// append takes, how much of that is the fsync, and how long snapshot
+// compactions stall a session's persistence pipeline.
+var (
+	walAppendSeconds = obs.Default.Histogram("crowdtopk_wal_append_seconds",
+		"WAL answer-batch append latency in seconds (framing + write, excluding fsync).", nil)
+	walFsyncSeconds = obs.Default.Histogram("crowdtopk_wal_fsync_seconds",
+		"WAL fsync latency in seconds (SyncAlways appends, flushes).", nil)
+	snapshotSeconds = obs.Default.Histogram("crowdtopk_snapshot_write_seconds",
+		"Full snapshot write latency in seconds (checkpoint + fsync + rename).", nil)
+	recoverSeconds = obs.Default.Histogram("crowdtopk_recover_seconds",
+		"Session recovery latency in seconds (snapshot restore + WAL replay).", nil)
+)
+
+// observeSince records time since start into h.
+func observeSince(h *obs.Histogram, start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"errors"
+	"log/slog"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"crowdtopk/internal/obs"
+	"crowdtopk/internal/service"
+)
+
+// HTTP-layer metric families. Labels stay low-cardinality: the route label is
+// the normalized route template (see routeLabel), never the raw path, so a
+// scanner probing random URLs cannot mint unbounded series.
+var (
+	mHTTPDuration = obs.Default.HistogramVec("crowdtopk_http_request_duration_seconds",
+		"HTTP request latency in seconds, by route.", obs.DefBuckets, "route")
+	mHTTPRequests = obs.Default.CounterVec("crowdtopk_http_requests_total",
+		"HTTP requests, by method, route, and status class.", "method", "route", "status")
+)
+
+// routeLabel maps a request path onto its route template. Hand-rolled rather
+// than read off the mux because http.Request.Pattern needs go1.23 and this
+// module pins go1.22; the v1 surface is small enough that the mapping is a
+// switch on path shape.
+func routeLabel(path string) string {
+	switch path {
+	case "/metrics", "/health", "/ready", "/v1/stats", "/v1/sessions":
+		return path
+	}
+	rest, ok := strings.CutPrefix(path, "/v1/sessions/")
+	if !ok || rest == "" {
+		return "other"
+	}
+	id, sub, nested := strings.Cut(rest, "/")
+	if id == "" {
+		return "other"
+	}
+	if !nested {
+		return "/v1/sessions/{id}"
+	}
+	switch sub {
+	case "questions", "answers", "result", "checkpoint":
+		return "/v1/sessions/{id}/" + sub
+	}
+	return "other"
+}
+
+// statusRecorder captures the response status for the metrics and access-log
+// middleware; an implicit 200 (body written without WriteHeader) counts too.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument is the observability middleware: every request is timed into the
+// route-labeled latency histogram, counted by method/route/status, and logged
+// as one structured access line.
+func instrument(next http.Handler, log *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		route := routeLabel(r.URL.Path)
+		elapsed := time.Since(start)
+		mHTTPDuration.With(route).Observe(elapsed.Seconds())
+		mHTTPRequests.With(r.Method, route, strconv.Itoa(rec.status)).Inc()
+		log.Info("http request",
+			"method", r.Method,
+			"route", route,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"duration_ms", float64(elapsed.Microseconds())/1000,
+			"client", clientKey(r),
+		)
+	})
+}
+
+// clientKey identifies the caller for admission control: the first
+// X-Forwarded-For hop when a proxy fronted the request, else the bare host of
+// the remote address. Deployments that cannot trust XFF should strip it at
+// the edge.
+func clientKey(r *http.Request) string {
+	if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+		first, _, _ := strings.Cut(xff, ",")
+		if c := strings.TrimSpace(first); c != "" {
+			return c
+		}
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// admission gates API traffic through the service core's admission
+// controller. Operational probes (/metrics, /health, /ready) bypass it: a
+// monitoring stack must be able to see an overloaded server being overloaded.
+func admission(next http.Handler, svc *service.Service) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/metrics", "/health", "/ready":
+			next.ServeHTTP(w, r)
+			return
+		}
+		release, err := svc.Admit(clientKey(r))
+		if err != nil {
+			status := http.StatusServiceUnavailable
+			retryAfter := 1.0 // seconds; overload clears as soon as a slot frees
+			var rl *service.RateLimitError
+			if errors.As(err, &rl) {
+				status = http.StatusTooManyRequests
+				retryAfter = rl.RetryAfter.Seconds()
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(math.Max(retryAfter, 1)))))
+			writeErr(w, status, err)
+			return
+		}
+		defer release()
+		next.ServeHTTP(w, r)
+	})
+}

@@ -15,6 +15,9 @@
 //	GET    /v1/sessions/{id}/checkpoint   versioned session envelope
 //	DELETE /v1/sessions/{id}              drop the session
 //	GET    /v1/stats                      store + persistence + π-cache + live-engine counters
+//	GET    /metrics                       Prometheus text exposition (process-wide registry)
+//	GET    /health                        liveness: always 200 while serving, body has detail
+//	GET    /ready                         readiness: 200 when traffic-ready, else 503
 //
 // This package is deliberately a codec: every handler decodes the request,
 // calls the service, and encodes the result. All session orchestration —
@@ -32,11 +35,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 
 	"crowdtopk/internal/dataset"
 	"crowdtopk/internal/engine"
+	"crowdtopk/internal/obs"
 	"crowdtopk/internal/service"
 	"crowdtopk/internal/session"
 	"crowdtopk/internal/tpo"
@@ -53,6 +58,7 @@ const DefaultTTL = service.DefaultTTL
 type Server struct {
 	svc *service.Service
 	mux *http.ServeMux
+	log *slog.Logger
 }
 
 // New builds a server over its own service core (session store + worker
@@ -64,7 +70,11 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{svc: svc, mux: http.NewServeMux()}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	s := &Server{svc: svc, mux: http.NewServeMux(), log: log}
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/questions", s.handleQuestions)
@@ -73,13 +83,22 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/sessions/{id}/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /health", s.handleHealth)
+	s.mux.HandleFunc("GET /ready", s.handleReady)
 	return s, nil
 }
 
-// Handler returns the HTTP handler for the v1 API. Unmatched routes and
-// wrong methods answer with the JSON error envelope instead of the mux's
-// text/plain defaults.
-func (s *Server) Handler() http.Handler { return jsonMuxErrors(s.mux) }
+// Handler returns the HTTP handler for the full surface: the v1 API plus the
+// operational endpoints (/metrics, /health, /ready). The instrumentation
+// middleware (latency histogram, request counter, structured access log)
+// wraps admission control (429/503 with Retry-After when configured; probes
+// are exempt) so shed requests are observed too. Unmatched routes and wrong
+// methods answer with the JSON error envelope instead of the mux's text/plain
+// defaults.
+func (s *Server) Handler() http.Handler {
+	return instrument(admission(jsonMuxErrors(s.mux), s.svc), s.log)
+}
 
 // Close stops background eviction, flushes every dirty session to the
 // durable backend (when one is configured) and closes it, then drops all
@@ -240,6 +259,36 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.svc.Stats())
 }
 
+// handleMetrics serves the Prometheus text exposition. Rendered into memory
+// first so a failed render cannot leave a half-written scrape on the wire.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var buf bytes.Buffer
+	if err := s.svc.WriteMetrics(&buf); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleHealth is the liveness probe: the process is up and serving, so it
+// always answers 200 — the body carries the readiness detail for humans.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.svc.Health())
+}
+
+// handleReady is the readiness probe: 200 only when the service can take
+// traffic (boot scan done, pool has room, durable writes succeeding); 503
+// with the same body otherwise so balancers drain without killing the pod.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	h := s.svc.Health()
+	status := http.StatusOK
+	if !h.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSONStatus(w, status, h)
+}
+
 // ---- plumbing ----
 
 // writeJSONStatus is the one place response status, Content-Type and body
@@ -279,7 +328,9 @@ func statusFor(err error) int {
 		return http.StatusInternalServerError
 	case errors.Is(err, service.ErrNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, service.ErrFull):
+	case errors.Is(err, service.ErrRateLimited):
+		return http.StatusTooManyRequests
+	case errors.Is(err, service.ErrFull), errors.Is(err, service.ErrOverloaded):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, session.ErrDone), errors.Is(err, session.ErrUnknownQuestion):
 		return http.StatusConflict

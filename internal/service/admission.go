@@ -1,0 +1,139 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// ErrRateLimited is the errors.Is target for per-client rate limiting; the
+// concrete error is a *RateLimitError carrying the suggested retry delay.
+// Transports map it to HTTP 429 with a Retry-After header.
+var ErrRateLimited = errors.New("service: client rate limit exceeded")
+
+// ErrOverloaded reports that the service is at its max-inflight request
+// capacity. Transports map it to HTTP 503 with a short Retry-After: unlike a
+// rate-limit verdict it is not the caller's fault, just bad timing.
+var ErrOverloaded = errors.New("service: too many requests in flight")
+
+// RateLimitError is the concrete rate-limit verdict: which client was over
+// its token bucket and how long until a token is available.
+type RateLimitError struct {
+	Client     string
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("service: client %q over rate limit (retry in %s)", e.Client, e.RetryAfter.Round(time.Millisecond))
+}
+
+// Is makes errors.Is(err, ErrRateLimited) true for every RateLimitError.
+func (e *RateLimitError) Is(target error) bool { return target == ErrRateLimited }
+
+// maxTrackedClients bounds the per-client bucket map; beyond it, buckets idle
+// long enough to have fully refilled are pruned (they carry no state a fresh
+// bucket wouldn't).
+const maxTrackedClients = 16384
+
+// gate is the admission controller: a token bucket per client (sustained
+// rate + burst) in front of a global max-inflight cap. One abusive client
+// drains only its own bucket — everyone else's requests, and the shared
+// worker pool behind them, keep flowing.
+type gate struct {
+	rate        float64 // tokens per second per client; <= 0 disables
+	burst       float64 // bucket depth
+	maxInflight int     // <= 0 disables
+	now         func() time.Time
+
+	mu       sync.Mutex
+	clients  map[string]*tokenBucket
+	inflight int
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newGate builds the controller; returns nil when both mechanisms are off so
+// the Admit fast path is one nil check.
+func newGate(rate float64, burst, maxInflight int) *gate {
+	if rate <= 0 && maxInflight <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b <= 0 {
+		// Default burst: a second's worth of tokens, at least 1 — small
+		// enough that a runaway loop trips quickly, large enough that an
+		// honest client's batch of follow-up calls is not punished.
+		b = math.Max(1, rate)
+	}
+	return &gate{
+		rate:        rate,
+		burst:       b,
+		maxInflight: maxInflight,
+		now:         time.Now,
+		clients:     make(map[string]*tokenBucket),
+	}
+}
+
+// admit charges one request to client's bucket and claims an inflight slot.
+// On success the returned release must be called when the request finishes;
+// on failure release is nil and the error is a *RateLimitError or
+// ErrOverloaded.
+func (g *gate) admit(client string) (release func(), err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// Inflight first: an overloaded server sheds without charging anyone's
+	// bucket, so clients retrying after a 503 are not also rate-limited.
+	if g.maxInflight > 0 && g.inflight >= g.maxInflight {
+		return nil, ErrOverloaded
+	}
+	if g.rate > 0 {
+		now := g.now()
+		tb, ok := g.clients[client]
+		if !ok {
+			if len(g.clients) >= maxTrackedClients {
+				g.pruneLocked(now)
+			}
+			tb = &tokenBucket{tokens: g.burst, last: now}
+			g.clients[client] = tb
+		}
+		tb.tokens = math.Min(g.burst, tb.tokens+now.Sub(tb.last).Seconds()*g.rate)
+		tb.last = now
+		if tb.tokens < 1 {
+			wait := time.Duration((1 - tb.tokens) / g.rate * float64(time.Second))
+			return nil, &RateLimitError{Client: client, RetryAfter: wait}
+		}
+		tb.tokens--
+	}
+	if g.maxInflight > 0 {
+		g.inflight++
+		return func() {
+			g.mu.Lock()
+			g.inflight--
+			g.mu.Unlock()
+		}, nil
+	}
+	return func() {}, nil
+}
+
+// pruneLocked drops buckets that have fully refilled: a client absent long
+// enough to be back at full burst is indistinguishable from a new one.
+func (g *gate) pruneLocked(now time.Time) {
+	refill := time.Duration(g.burst / g.rate * float64(time.Second))
+	for id, tb := range g.clients {
+		if now.Sub(tb.last) > refill {
+			delete(g.clients, id)
+		}
+	}
+}
+
+// inflightNow reports the current inflight count (for the gauge).
+func (g *gate) inflightNow() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inflight
+}

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the gate's token refill deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testGate(rate float64, burst, maxInflight int) (*gate, *fakeClock) {
+	g := newGate(rate, burst, maxInflight)
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	if g != nil {
+		g.now = clk.now
+	}
+	return g, clk
+}
+
+// TestGateDisabled pins the zero-config fast path: no gate at all.
+func TestGateDisabled(t *testing.T) {
+	if g := newGate(0, 0, 0); g != nil {
+		t.Fatal("disabled gate should be nil")
+	}
+}
+
+// TestGateRateLimitIsolatesClients pins the core admission property: one
+// client exhausting its bucket gets 429-shaped errors with a usable
+// Retry-After, while a different client keeps being admitted.
+func TestGateRateLimitIsolatesClients(t *testing.T) {
+	g, clk := testGate(1, 2, 0) // 1 token/s, burst 2
+	for i := 0; i < 2; i++ {
+		if _, err := g.admit("abuser"); err != nil {
+			t.Fatalf("admit %d within burst: %v", i, err)
+		}
+	}
+	_, err := g.admit("abuser")
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("over-burst admit: got %v, want ErrRateLimited", err)
+	}
+	var rl *RateLimitError
+	if !errors.As(err, &rl) || rl.RetryAfter <= 0 || rl.RetryAfter > time.Second {
+		t.Fatalf("RetryAfter out of range: %+v", rl)
+	}
+	// Another client is unaffected by the abuser's empty bucket.
+	if _, err := g.admit("polite"); err != nil {
+		t.Fatalf("independent client blocked: %v", err)
+	}
+	// After the advertised wait the abuser has a token again.
+	clk.advance(rl.RetryAfter + time.Millisecond)
+	if _, err := g.admit("abuser"); err != nil {
+		t.Fatalf("admit after refill: %v", err)
+	}
+}
+
+// TestGateInflightCap pins the global shed path: at capacity every client is
+// told ErrOverloaded without its bucket being charged, and releasing a slot
+// readmits immediately.
+func TestGateInflightCap(t *testing.T) {
+	g, _ := testGate(100, 100, 2)
+	rel1, err := g.admit("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.admit("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.admit("c"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("at cap: got %v, want ErrOverloaded", err)
+	}
+	// The shed must not have charged c's bucket: after release, c is
+	// admitted with its full burst intact.
+	rel1()
+	if got := g.inflightNow(); got != 1 {
+		t.Fatalf("inflight after release: %d, want 1", got)
+	}
+	if _, err := g.admit("c"); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+}
+
+// TestGatePrune pins the bounded-memory property: fully-refilled buckets are
+// reclaimable, so idle clients do not grow the map forever.
+func TestGatePrune(t *testing.T) {
+	g, clk := testGate(10, 10, 0)
+	if _, err := g.admit("old"); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(10 * time.Second) // far past full refill
+	g.mu.Lock()
+	g.pruneLocked(clk.now())
+	_, kept := g.clients["old"]
+	g.mu.Unlock()
+	if kept {
+		t.Fatal("fully-refilled bucket not pruned")
+	}
+}

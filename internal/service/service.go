@@ -24,10 +24,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"time"
 
 	"crowdtopk/internal/dataset"
 	"crowdtopk/internal/dist"
+	"crowdtopk/internal/obs"
 	"crowdtopk/internal/par"
 	"crowdtopk/internal/pcache"
 	"crowdtopk/internal/persist"
@@ -52,6 +54,23 @@ type Config struct {
 	// Persist optionally attaches a durable session store. The service owns
 	// it from then on: Close flushes and closes it.
 	Persist persist.Store
+	// Logger receives structured operational logs: boot scan, recovery,
+	// hydration, persist failures, evictions. nil disables logging.
+	Logger *slog.Logger
+	// Audit optionally attaches an answer audit log: the service emits one
+	// event per accepted answer batch and owns the log from then on (Close
+	// drains it).
+	Audit *obs.AuditLog
+	// RateLimit admits at most this many requests per second per client
+	// through Admit, sustained, with RateBurst headroom (0 = unlimited).
+	RateLimit float64
+	// RateBurst is the per-client token-bucket depth (0 = one second's worth
+	// of RateLimit, at least 1).
+	RateBurst int
+	// MaxInflight caps concurrently admitted requests across all clients;
+	// excess requests fail fast with ErrOverloaded instead of queueing into
+	// the shared worker pool (0 = uncapped).
+	MaxInflight int
 }
 
 // DefaultTTL is the idle eviction default used by the serve subcommand and
@@ -95,24 +114,45 @@ func (e *StorageError) Unwrap() error { return e.Err }
 type Service struct {
 	store *store
 	pool  *par.Budget
+	gate  *gate
+	audit *obs.AuditLog
+	log   *slog.Logger
 }
 
 // New builds a service with its own session store and worker budget. With
 // cfg.Persist set it also scans the backend so every persisted session is
 // immediately addressable (sessions hydrate lazily on first access), and
-// takes ownership of the backend.
+// takes ownership of the backend. The new service also claims the
+// process-wide metric collectors (sessions, pool, π-cache, persistence).
 func New(cfg Config) (*Service, error) {
-	st, err := newStore(cfg.TTL, cfg.MaxSessions, cfg.Persist)
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
+	st, err := newStore(cfg.TTL, cfg.MaxSessions, cfg.Persist, logger)
 	if err != nil {
 		return nil, err
 	}
-	return &Service{store: st, pool: par.NewBudget(cfg.Workers)}, nil
+	s := &Service{
+		store: st,
+		pool:  par.NewBudget(cfg.Workers),
+		gate:  newGate(cfg.RateLimit, cfg.RateBurst, cfg.MaxInflight),
+		audit: cfg.Audit,
+		log:   logger,
+	}
+	s.registerCollectors()
+	return s, nil
 }
 
 // Close stops background eviction, flushes every dirty session to the
-// durable backend (when one is configured) and closes it, then drops all
-// live sessions. Idempotent.
-func (s *Service) Close() { s.store.close() }
+// durable backend (when one is configured) and closes it, drops all live
+// sessions, then drains the audit log. Idempotent.
+func (s *Service) Close() {
+	s.store.close()
+	if s.audit != nil {
+		s.audit.Close()
+	}
+}
 
 // Flush synchronously pushes every pending durable write to the backend and
 // syncs it. A no-op without a backend.
@@ -120,6 +160,67 @@ func (s *Service) Flush() { s.store.flush() }
 
 // SessionCount reports the number of live (in-memory) sessions.
 func (s *Service) SessionCount() int { return s.store.len() }
+
+// Admit runs the admission decision for one request from client: the
+// per-client token bucket first, then the global max-inflight cap. On
+// success the returned release must be called when the request finishes; on
+// failure release is nil and the error is a *RateLimitError (client over its
+// sustained rate; carries RetryAfter) or ErrOverloaded (server at capacity).
+// With neither mechanism configured every request is admitted for free.
+func (s *Service) Admit(client string) (release func(), err error) {
+	if s.gate == nil {
+		return func() {}, nil
+	}
+	release, err = s.gate.admit(client)
+	if err != nil {
+		reason := "inflight"
+		if errors.Is(err, ErrRateLimited) {
+			reason = "rate"
+		}
+		mAdmissionRejected.With(reason).Inc()
+	}
+	return release, err
+}
+
+// HealthView is the health/readiness snapshot. Ready is the conjunction the
+// serving layer reports on GET /ready: the durable backend's boot scan
+// completed, the session pool has capacity for another create, and the most
+// recent durable write did not fail.
+type HealthView struct {
+	Ready           bool     `json:"ready"`
+	BootScanDone    bool     `json:"boot_scan_done"`
+	PoolSaturated   bool     `json:"pool_saturated"`
+	PersistErroring bool     `json:"persist_erroring"`
+	Reasons         []string `json:"reasons,omitempty"`
+}
+
+// Health reports liveness-adjacent readiness state. It is cheap enough to
+// probe every second.
+func (s *Service) Health() HealthView {
+	h := HealthView{
+		BootScanDone:    s.store.bootScanned.Load(),
+		PoolSaturated:   s.store.saturated(),
+		PersistErroring: s.store.persistFailing.Load(),
+	}
+	if !h.BootScanDone {
+		h.Reasons = append(h.Reasons, "store boot scan in progress")
+	}
+	if h.PoolSaturated {
+		h.Reasons = append(h.Reasons, "session pool saturated")
+	}
+	if h.PersistErroring {
+		h.Reasons = append(h.Reasons, "durable writes failing")
+	}
+	h.Ready = len(h.Reasons) == 0
+	return h
+}
+
+// WriteMetrics renders the process-wide metrics registry in Prometheus text
+// exposition format — the one body both GET /metrics and the SDK's
+// Client.Metrics() serve.
+func (s *Service) WriteMetrics(w io.Writer) error {
+	return obs.Default.WritePrometheus(w)
+}
 
 // ---- typed requests and views ----
 //
@@ -224,6 +325,10 @@ type ListEntry struct {
 	IdleSeconds float64       `json:"idle_seconds"`
 	Persisted   bool          `json:"persisted"`
 	Hydrated    bool          `json:"hydrated"`
+	// PersistError is the session's most recent durable-write failure, empty
+	// after a successful persist — the signal that finds stuck-dirty
+	// sessions without grepping logs.
+	PersistError string `json:"persist_error,omitempty"`
 }
 
 // StoreStats is the stats view of the session store's two tiers.
@@ -291,7 +396,16 @@ func (s *Service) CreateOrRestore(req CreateRequest) (SessionInfo, error) {
 	if err != nil {
 		return SessionInfo{}, err
 	}
-	return s.info(id, sess), nil
+	origin := "fresh"
+	if len(req.Checkpoint) > 0 {
+		origin = "restore"
+	}
+	mSessionsCreated.With(origin).Inc()
+	info := s.info(id, sess)
+	mTransitions.With(string(info.State)).Inc()
+	s.log.Info("session created", "session", id, "origin", origin,
+		"tuples", info.Tuples, "state", string(info.State))
+	return info, nil
 }
 
 // createSession builds a fresh session from the request's dataset fields.
@@ -353,13 +467,16 @@ func (s *Service) Questions(id string, n int) (QuestionsView, error) {
 			Prompt: fmt.Sprintf("does %s rank above %s?", sess.Name(q.I), sess.Name(q.J)),
 		})
 	}
+	mQuestionsServed.Add(uint64(len(out.Questions)))
 	return out, nil
 }
 
 // Answers applies a batch of crowd answers in order. A batch that fails
 // partway returns a *BatchError carrying how many answers were applied
 // before the failure, so the caller can reconcile; the applied answers stay
-// applied.
+// applied. Every batch with at least one accepted answer also emits one
+// asynchronous audit event (session, answers, outcome, residual delta) when
+// an audit log is attached — auditing never blocks the answer path.
 func (s *Service) Answers(id string, answers []Answer) (AnswersView, error) {
 	sess, err := s.store.get(id)
 	if err != nil {
@@ -368,18 +485,36 @@ func (s *Service) Answers(id string, answers []Answer) (AnswersView, error) {
 	if len(answers) == 0 {
 		return AnswersView{}, fmt.Errorf("%w: no answers in request", ErrBadInput)
 	}
+	before := sess.Status()
+	orderingsBefore := sess.Orderings()
 	accepted := 0
+	var batchErr error
 	for _, a := range answers {
 		if a.I == a.J {
-			return AnswersView{}, &BatchError{Accepted: accepted,
+			batchErr = &BatchError{Accepted: accepted,
 				Err: fmt.Errorf("%w: answer %d compares tuple %d with itself", ErrBadInput, accepted, a.I)}
+			break
 		}
 		if err := sess.SubmitAnswer(tpo.Answer{Q: tpo.Question{I: a.I, J: a.J}, Yes: a.Yes}); err != nil {
-			return AnswersView{}, &BatchError{Accepted: accepted, Err: err}
+			batchErr = &BatchError{Accepted: accepted, Err: err}
+			break
 		}
 		accepted++
 	}
 	st := sess.Status()
+	if accepted > 0 {
+		mAnswersAccepted.Add(uint64(accepted))
+		if d := st.Contradictions - before.Contradictions; d > 0 {
+			mContradictions.Add(uint64(d))
+		}
+		if st.State != before.State {
+			mTransitions.With(string(st.State)).Inc()
+		}
+	}
+	s.auditAnswers(id, answers, accepted, before, st, orderingsBefore, sess.Orderings(), batchErr)
+	if batchErr != nil {
+		return AnswersView{}, batchErr
+	}
 	return AnswersView{
 		State:          st.State,
 		Accepted:       accepted,
@@ -387,6 +522,57 @@ func (s *Service) Answers(id string, answers []Answer) (AnswersView, error) {
 		Pending:        st.Pending,
 		Contradictions: st.Contradictions,
 	}, nil
+}
+
+// auditAnswerEvent is the audit-log record for one answer batch: the spend
+// event of the crowd budget. OrderingsBefore/After is the residual delta —
+// how much of the candidate-ordering space this batch eliminated.
+type auditAnswerEvent struct {
+	Time            string        `json:"time"`
+	Kind            string        `json:"kind"`
+	Session         string        `json:"session"`
+	Answers         []auditAnswer `json:"answers"`
+	Accepted        int           `json:"accepted"`
+	State           string        `json:"state"`
+	Asked           int           `json:"asked"`
+	Contradictions  int           `json:"contradictions"`
+	OrderingsBefore int           `json:"orderings_before"`
+	OrderingsAfter  int           `json:"orderings_after"`
+	Error           string        `json:"error,omitempty"`
+}
+
+type auditAnswer struct {
+	I   int  `json:"i"`
+	J   int  `json:"j"`
+	Yes bool `json:"yes"`
+}
+
+// auditAnswers emits the batch's audit event. Enqueueing never blocks; a
+// stalled sink drops events and counts the loss.
+func (s *Service) auditAnswers(id string, answers []Answer, accepted int,
+	before, after session.Status, ordBefore, ordAfter int, batchErr error) {
+	if s.audit == nil || accepted == 0 {
+		return
+	}
+	ev := auditAnswerEvent{
+		Time:            time.Now().UTC().Format(time.RFC3339Nano),
+		Kind:            "answers",
+		Session:         id,
+		Answers:         make([]auditAnswer, 0, len(answers)),
+		Accepted:        accepted,
+		State:           string(after.State),
+		Asked:           after.Asked,
+		Contradictions:  after.Contradictions - before.Contradictions,
+		OrderingsBefore: ordBefore,
+		OrderingsAfter:  ordAfter,
+	}
+	for _, a := range answers {
+		ev.Answers = append(ev.Answers, auditAnswer{I: a.I, J: a.J, Yes: a.Yes})
+	}
+	if batchErr != nil {
+		ev.Error = batchErr.Error()
+	}
+	s.audit.Log(ev)
 }
 
 // Result reports the session's current top-K belief (valid in every state).
@@ -451,10 +637,11 @@ func (s *Service) List(limit int) ListView {
 	out := ListView{Sessions: []ListEntry{}, Total: total}
 	for _, it := range items {
 		e := ListEntry{
-			ID:          it.id,
-			IdleSeconds: it.idle.Seconds(),
-			Persisted:   it.persisted,
-			Hydrated:    it.hydrated,
+			ID:           it.id,
+			IdleSeconds:  it.idle.Seconds(),
+			Persisted:    it.persisted,
+			Hydrated:     it.hydrated,
+			PersistError: it.persistErr,
 		}
 		// The session object was captured inside the store's listing
 		// snapshot; resolving the id again here would race concurrent

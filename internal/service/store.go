@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,10 @@ type meta struct {
 	// persistedGen is the dirtyGen value the last successful persist
 	// covered. dirtyGen > persistedGen means durable work is pending.
 	dirtyGen, persistedGen uint64
+	// lastErr is the most recent durable-write failure for this session
+	// (empty after a successful persist). Surfaced in the session listing so
+	// operators can find stuck-dirty sessions without grepping logs.
+	lastErr string
 }
 
 // store layers the server's session registry over the persist subsystem:
@@ -46,10 +51,17 @@ type meta struct {
 type store struct {
 	ttl time.Duration
 	max int
+	log *slog.Logger
 
 	live *persist.Memory // hydrated sessions (the cache tier)
 	disk persist.Store   // nil in memory-only mode
 	bg   *persister      // nil in memory-only mode
+
+	// bootScanned flips once the durable backend's id scan completed (true
+	// from construction in memory-only mode); persistFailing tracks whether
+	// the most recent durable write failed. Both feed readiness.
+	bootScanned    atomic.Bool
+	persistFailing atomic.Bool
 
 	mu        sync.Mutex
 	meta      map[string]*meta
@@ -71,10 +83,11 @@ type store struct {
 // once so every persisted session is addressable immediately after a
 // restart (the scan reads ids only; sessions hydrate lazily on first
 // access).
-func newStore(ttl time.Duration, max int, disk persist.Store) (*store, error) {
+func newStore(ttl time.Duration, max int, disk persist.Store, log *slog.Logger) (*store, error) {
 	s := &store{
 		ttl:       ttl,
 		max:       max,
+		log:       log,
 		live:      persist.NewMemory(),
 		disk:      disk,
 		meta:      make(map[string]*meta),
@@ -83,6 +96,7 @@ func newStore(ttl time.Duration, max int, disk persist.Store) (*store, error) {
 		done:      make(chan struct{}),
 	}
 	if disk != nil {
+		start := time.Now()
 		ids, err := disk.List()
 		if err != nil {
 			return nil, fmt.Errorf("service: scanning persisted sessions: %w", err)
@@ -92,7 +106,10 @@ func newStore(ttl time.Duration, max int, disk persist.Store) (*store, error) {
 			s.meta[id] = &meta{lastUsed: now, persisted: true}
 		}
 		s.bg = newPersister(s.persistOne)
+		s.log.Info("store: boot scan complete", "persisted_sessions", len(ids),
+			"duration", time.Since(start))
 	}
+	s.bootScanned.Store(true)
 	go s.janitor()
 	return s, nil
 }
@@ -233,11 +250,20 @@ func (s *store) persistOne(id string) {
 		// The answers are still live in memory; the next accepted answer
 		// re-queues the session, so a transient disk error heals itself.
 		s.persistErrors.Add(1)
+		s.persistFailing.Store(true)
+		s.log.Warn("store: durable write failed", "session", id, "error", err)
+		s.mu.Lock()
+		if m2 := s.meta[id]; m2 != nil {
+			m2.lastErr = err.Error()
+		}
+		s.mu.Unlock()
 		return
 	}
+	s.persistFailing.Store(false)
 	s.mu.Lock()
 	if m2 := s.meta[id]; m2 != nil {
 		m2.persisted = true
+		m2.lastErr = ""
 		if m2.persistedGen < gen {
 			m2.persistedGen = gen
 		}
@@ -345,6 +371,7 @@ func (s *store) hydrate(id string) (*session.Session, error) {
 	s.mu.Unlock()
 	s.watch(id, sess)
 	s.hydraHits.Add(1)
+	s.log.Info("store: session hydrated from durable backend", "session", id)
 	return sess, nil
 }
 
@@ -384,12 +411,50 @@ func (s *store) known() int {
 	return len(s.meta)
 }
 
+// saturated reports whether the store is at its live-session capacity —
+// every further create would shed with ErrFull.
+func (s *store) saturated() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.max > 0 && s.hydrated+s.reserved >= s.max
+}
+
+// stateCounts tallies live sessions by lifecycle state (plus "disk" for
+// sessions resident only in the durable backend) for the session-state
+// gauges. It snapshots the live set under s.mu, then reads each session's
+// state outside it: Status takes the session's own lock, and a session
+// mid-answer would otherwise stall every scrape.
+func (s *store) stateCounts() map[string]int {
+	s.mu.Lock()
+	sessions := make([]*session.Session, 0, s.hydrated)
+	disk := 0
+	for id, m := range s.meta {
+		if !m.hydrated {
+			disk++
+			continue
+		}
+		if sess, err := s.live.Get(id); err == nil {
+			sessions = append(sessions, sess)
+		}
+	}
+	s.mu.Unlock()
+	counts := make(map[string]int)
+	if disk > 0 {
+		counts["disk"] = disk
+	}
+	for _, sess := range sessions {
+		counts[string(sess.State())]++
+	}
+	return counts
+}
+
 // listItem is one row of the store's session listing.
 type listItem struct {
-	id        string
-	idle      time.Duration
-	hydrated  bool
-	persisted bool
+	id         string
+	idle       time.Duration
+	hydrated   bool
+	persisted  bool
+	persistErr string
 	// sess is the resident session object, captured under the same lock
 	// hold that read hydrated. Re-resolving the id after list returns would
 	// race deletes and evictions, producing rows that claim a live session
@@ -417,10 +482,11 @@ func (s *store) list(limit int) (items []listItem, total int) {
 	for _, id := range ids {
 		m := s.meta[id]
 		it := listItem{
-			id:        id,
-			idle:      now.Sub(m.lastUsed),
-			hydrated:  m.hydrated,
-			persisted: m.persisted,
+			id:         id,
+			idle:       now.Sub(m.lastUsed),
+			hydrated:   m.hydrated,
+			persisted:  m.persisted,
+			persistErr: m.lastErr,
 		}
 		if it.hydrated {
 			if sess, err := s.live.Get(id); err == nil {
@@ -472,6 +538,7 @@ func (s *store) close() {
 			s.bg.stopAndDrain()
 			s.flush()
 			_ = s.disk.Close()
+			s.log.Info("store: drained and closed durable backend")
 		}
 		s.mu.Lock()
 		s.meta = make(map[string]*meta)
@@ -559,4 +626,5 @@ func (s *store) evictToDisk(id string, now time.Time) {
 	s.hydrated--
 	_ = s.live.Delete(id)
 	s.evictions.Add(1)
+	s.log.Debug("store: idle session evicted to disk", "session", id)
 }

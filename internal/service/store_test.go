@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"crowdtopk/internal/dist"
+	"crowdtopk/internal/obs"
 	"crowdtopk/internal/persist"
 	"crowdtopk/internal/session"
 	"crowdtopk/internal/tpo"
@@ -37,7 +38,7 @@ func newDiskStore(t *testing.T) *store {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := newStore(time.Minute, 0, disk)
+	st, err := newStore(time.Minute, 0, disk, obs.NopLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestMarkDirtyResolvesHydrationFork(t *testing.T) {
 // (meta present, memory tier empty) nor lose an already-captured one to a
 // concurrent delete.
 func TestListRowsInternallyConsistent(t *testing.T) {
-	st, err := newStore(time.Minute, 0, nil)
+	st, err := newStore(time.Minute, 0, nil, obs.NopLogger())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -37,9 +37,11 @@
 package sdk
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"time"
 
 	crowdtopk "crowdtopk"
@@ -62,6 +64,10 @@ type Options struct {
 	MaxSessions int
 	// Storage optionally makes sessions durable on the local filesystem.
 	Storage *Storage
+	// Logger receives the core's structured operational logs (boot scan,
+	// recovery, hydration, persist failures, evictions). nil disables
+	// logging.
+	Logger *slog.Logger
 }
 
 // Storage configures the durable file-backed session store: one directory
@@ -120,6 +126,7 @@ func New(opts Options) (*Client, error) {
 		Workers:     opts.Workers,
 		TTL:         opts.TTL,
 		MaxSessions: opts.MaxSessions,
+		Logger:      opts.Logger,
 	}
 	if opts.Storage != nil {
 		policy := persist.SyncAlways
@@ -363,6 +370,10 @@ type ListEntry struct {
 	IdleSeconds float64
 	Persisted   bool
 	Hydrated    bool
+	// PersistError is the session's most recent durable-write failure, empty
+	// once a write succeeds again — the per-session view of the store-wide
+	// PersistErrors counter.
+	PersistError string
 }
 
 // List is one page of the session listing.
@@ -379,13 +390,14 @@ func (c *Client) List(limit int) List {
 	out := List{Sessions: make([]ListEntry, len(view.Sessions)), Total: view.Total}
 	for i, e := range view.Sessions {
 		out.Sessions[i] = ListEntry{
-			ID:          e.ID,
-			State:       crowdtopk.SessionState(e.State),
-			Asked:       e.Asked,
-			Pending:     e.Pending,
-			IdleSeconds: e.IdleSeconds,
-			Persisted:   e.Persisted,
-			Hydrated:    e.Hydrated,
+			ID:           e.ID,
+			State:        crowdtopk.SessionState(e.State),
+			Asked:        e.Asked,
+			Pending:      e.Pending,
+			IdleSeconds:  e.IdleSeconds,
+			Persisted:    e.Persisted,
+			Hydrated:     e.Hydrated,
+			PersistError: e.PersistError,
 		}
 	}
 	return out
@@ -428,6 +440,43 @@ type Stats struct {
 	// PCacheHitRate is the process-wide pairwise-probability cache's
 	// lifetime hit rate in [0, 1].
 	PCacheHitRate float64
+}
+
+// Metrics renders the process-wide metrics registry in Prometheus text
+// exposition format — byte-for-byte the body the HTTP server serves on
+// GET /metrics, so embedders can wire it to their own /metrics route or
+// push gateway without running the server.
+func (c *Client) Metrics() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := c.svc.WriteMetrics(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Health is the readiness snapshot: Ready is the conjunction the HTTP
+// server's GET /ready reports (boot scan done, pool has capacity, durable
+// writes succeeding); the flags break down why, and Reasons repeats the
+// failing conditions in words.
+type Health struct {
+	Ready           bool
+	BootScanDone    bool
+	PoolSaturated   bool
+	PersistErroring bool
+	Reasons         []string
+}
+
+// Health reports the client's readiness state — the same decision the HTTP
+// server's /ready endpoint makes. Cheap enough to probe every second.
+func (c *Client) Health() Health {
+	h := c.svc.Health()
+	return Health{
+		Ready:           h.Ready,
+		BootScanDone:    h.BootScanDone,
+		PoolSaturated:   h.PoolSaturated,
+		PersistErroring: h.PersistErroring,
+		Reasons:         h.Reasons,
+	}
 }
 
 // Stats reports the client's operational counters.

@@ -194,3 +194,42 @@ func TestNoNetHTTPInAPI(t *testing.T) {
 		}
 	}
 }
+
+// TestMetricsAndHealth pins the embedded observability surface: Metrics()
+// returns a well-formed Prometheus exposition reflecting this client's
+// sessions, and Health() reports readiness with reasons when unready.
+func TestMetricsAndHealth(t *testing.T) {
+	client, err := sdk.New(sdk.Options{MaxSessions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if h := client.Health(); !h.Ready || !h.BootScanDone || len(h.Reasons) != 0 {
+		t.Fatalf("fresh client not ready: %+v", h)
+	}
+	if _, err := client.CreateSession(sdk.SessionConfig{
+		Dataset: testDataset(t), Query: crowdtopk.Query{K: 2, Budget: 4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if h := client.Health(); h.Ready || !h.PoolSaturated || len(h.Reasons) == 0 {
+		t.Fatalf("saturated client still ready: %+v", h)
+	}
+
+	raw, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE crowdtopk_sessions_live gauge",
+		"crowdtopk_sessions_live 1",
+		"crowdtopk_pool_saturation",
+		"crowdtopk_pcache_hit_rate",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("Metrics() missing %q", want)
+		}
+	}
+}
