@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"crowdtopk/internal/persist"
+)
+
+// cmdFsck checks a -data-dir offline: per-session snapshot/WAL health,
+// quarantined sessions, and (with -repair) eager truncation of torn WAL
+// tails. Exits nonzero when any session is unhealthy so scripts can gate a
+// restart on it.
+func cmdFsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	dataDir := fs.String("data-dir", "", "durable session store directory to check (required)")
+	repair := fs.Bool("repair", false, "truncate repairable torn wal tails in place (run against a stopped server)")
+	deep := fs.Bool("deep", false, "fully restore each snapshot and replay its wal instead of validating framing only (slow, exhaustive)")
+	format := fs.String("format", "text", "output format: text or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataDir == "" {
+		return fmt.Errorf("fsck: -data-dir is required")
+	}
+	switch *format {
+	case "text", "json":
+	default:
+		return fmt.Errorf("fsck: unknown -format %q (want text or json)", *format)
+	}
+
+	rep, err := persist.Fsck(*dataDir, persist.FsckOptions{Repair: *repair, Deep: *deep})
+	if err != nil {
+		return err
+	}
+
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		renderFsckText(rep)
+	}
+	if rep.Unhealthy > 0 {
+		return fmt.Errorf("fsck: %d of %d sessions unhealthy", rep.Unhealthy, rep.Healthy+rep.Unhealthy)
+	}
+	return nil
+}
+
+func renderFsckText(rep *persist.FsckReport) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "SESSION\tSTATE\tASKED\tWAL\tTORN\tHEALTH")
+	for _, s := range rep.Sessions {
+		health := "ok"
+		switch {
+		case s.SnapshotError != "":
+			health = "snapshot: " + s.SnapshotError
+		case s.WALError != "":
+			health = "wal: " + s.WALError
+		case s.ReplayError != "":
+			health = "replay: " + s.ReplayError
+		}
+		torn := "-"
+		if s.TornTailBytes > 0 {
+			torn = fmt.Sprintf("%dB", s.TornTailBytes)
+			if s.Repaired {
+				torn += " (repaired)"
+			}
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%s\t%s\n", s.ID, s.State, s.Asked, s.WALRecords, torn, health)
+	}
+	for _, q := range rep.Quarantined {
+		fmt.Fprintf(w, "%s\t%s\t-\t-\t-\tquarantined: %s\n", q.ID, "quarantined", q.Reason)
+	}
+	w.Flush()
+	fmt.Printf("%d healthy, %d unhealthy, %d quarantined, %d torn tails (%d repaired)\n",
+		rep.Healthy, rep.Unhealthy, len(rep.Quarantined), rep.TornTails, rep.Repaired)
+}

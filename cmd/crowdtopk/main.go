@@ -9,6 +9,7 @@
 //	crowdtopk viz  -in data.csv -k 3 -out tree.dot
 //	crowdtopk demo -n 6 -k 3 -budget 8 [-accuracy 0.8]
 //	crowdtopk serve -addr :8080 [-workers 0 -ttl 30m -max-sessions 0]
+//	crowdtopk fsck -data-dir /var/lib/crowdtopk [-repair -deep -format json]
 //	crowdtopk list
 package main
 
@@ -40,6 +41,8 @@ func main() {
 		err = cmdDemo(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "fsck":
+		err = cmdFsck(os.Args[2:])
 	case "list":
 		err = cmdList()
 	case "-h", "--help", "help":
@@ -64,6 +67,7 @@ commands:
   viz   render the tree of possible orderings of a dataset as Graphviz DOT
   demo  run an end-to-end query against a simulated crowd
   serve run the asynchronous query-session HTTP API
+  fsck  check (and optionally repair) a serve -data-dir offline
   list  list available experiments and algorithms`)
 }
 

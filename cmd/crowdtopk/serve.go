@@ -30,6 +30,8 @@ func cmdServe(args []string) error {
 	rateLimit := fs.Float64("rate-limit", 0, "per-client sustained requests per second, excess gets 429 with Retry-After (0 = unlimited)")
 	rateBurst := fs.Int("rate-burst", 0, "per-client burst on top of -rate-limit (0 = one second's worth, at least 1)")
 	maxInflight := fs.Int("max-inflight", 0, "cap on concurrently executing requests, excess gets 503 (0 = uncapped)")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 0, "bound on the final durable drain at shutdown; dirty sessions past it are abandoned with a logged list (0 = 10s default)")
+	faultSpec := fs.String("fault-spec", "", "TESTING ONLY: inject durable-store faults, e.g. 'put.err.rate=0.2,latency=5ms,seed=1' (requires -data-dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,13 +43,17 @@ func cmdServe(args []string) error {
 	log := obs.NewLogger(os.Stderr, *logFormat)
 
 	cfg := server.Config{
-		Workers:     *workers,
-		TTL:         *ttl,
-		MaxSessions: *maxSessions,
-		Logger:      log,
-		RateLimit:   *rateLimit,
-		RateBurst:   *rateBurst,
-		MaxInflight: *maxInflight,
+		Workers:         *workers,
+		TTL:             *ttl,
+		MaxSessions:     *maxSessions,
+		Logger:          log,
+		RateLimit:       *rateLimit,
+		RateBurst:       *rateBurst,
+		MaxInflight:     *maxInflight,
+		ShutdownTimeout: *shutdownTimeout,
+	}
+	if *faultSpec != "" && *dataDir == "" {
+		return errors.New("serve: -fault-spec requires -data-dir")
 	}
 	if *dataDir != "" {
 		policy, err := persist.ParseSyncPolicy(*fsync)
@@ -63,6 +69,14 @@ func cmdServe(args []string) error {
 			return err
 		}
 		cfg.Persist = store
+		if *faultSpec != "" {
+			spec, err := persist.ParseFaultSpec(*faultSpec)
+			if err != nil {
+				return err
+			}
+			cfg.Persist = persist.NewFaultStore(store, spec)
+			log.Warn("crowdtopk serve: durable-store fault injection ACTIVE — testing only", "fault_spec", *faultSpec)
+		}
 	}
 	if *auditPath != "" {
 		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

@@ -112,7 +112,38 @@
 // immediately addressable; a killed server restarted on the same data dir
 // finishes its queries with results identical to an uninterrupted run.
 // Graceful shutdown (SIGINT/SIGTERM) drains in-flight requests, then
-// flushes every dirty session to disk before exit.
+// flushes every dirty session to disk before exit, bounded by a shutdown
+// deadline so a wedged disk cannot hang SIGTERM (sessions left dirty are
+// logged by id).
+//
+// # Fault tolerance
+//
+// The durable tier assumes the disk will fail and degrades instead of
+// lying. Failed writes retry with exponential backoff + jitter under a
+// per-session budget; every outcome feeds a circuit breaker whose state
+// decides how the process serves:
+//
+//	              ≥5 consecutive
+//	              write failures            cooldown expires
+//	┌────────┐ ──────────────────▶ ┌──────┐ ───────────────▶ ┌───────────┐
+//	│ closed │                     │ open │                  │ half-open │
+//	└────────┘ ◀────────────────── └──────┘ ◀─────────────── └───────────┘
+//	   ▲  normal serving              │  DEGRADED MODE:         │ one probe
+//	   │                              │  serve from live tier,  │ write
+//	   └── probe succeeds             │  queue dirty sessions,  │
+//	       (dirty queue drains,       │  refuse evictions,      │ probe fails:
+//	        /ready 200 again)         │  /ready 503 + reason    ▼ reopen, cooldown ×2
+//
+// Sessions that exhaust their retry budget park on a slow cadence — still
+// dirty, still queued, never dropped — and any successful write un-parks
+// them all; recovery needs no operator action. A corrupt durable copy
+// (digest or CRC failure on hydration or boot) is moved to
+// <data-dir>/quarantine/<id>/ with a typed reason instead of failing
+// startup or answering 500 forever: the session lists as "quarantined" and
+// its API calls return 410 Gone. `crowdtopk fsck` checks a stopped
+// server's data dir offline (and repairs torn WAL tails); the hidden
+// `serve -fault-spec` flag drives the same deterministic fault injector
+// the torture tests use (injected errors, torn writes, latency, wedge).
 //
 // # Numerical substrate
 //
@@ -166,7 +197,8 @@
 // process-wide registry and rendered in Prometheus text exposition format.
 // The HTTP server exposes the scrape on GET /metrics alongside GET /health
 // (liveness) and GET /ready (readiness: boot scan finished, session pool
-// has capacity, durable writes succeeding); embedders reach the same data
+// has capacity, durable writes succeeding, circuit breaker closed);
+// embedders reach the same data
 // via sdk.Client.Metrics and sdk.Client.Health. Every layer reports in:
 // HTTP request latency by route, WAL append/fsync latency, snapshot and
 // recovery durations, session lifecycle transitions, pool saturation, and

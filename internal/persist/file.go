@@ -80,11 +80,13 @@ type File struct {
 // lock serializes that session's disk operations; distinct sessions do not
 // contend.
 type fileSession struct {
-	mu        sync.Mutex
-	wal       *os.File // append handle, opened lazily
-	walCount  int      // records currently in the WAL
-	persisted int      // answers durably recorded (snapshot + WAL); -1 = unknown
-	deleted   bool     // Delete won a race; late Puts must not resurrect the dir
+	mu         sync.Mutex
+	wal        *os.File // append handle, opened lazily
+	walCount   int      // records currently in the WAL
+	walSize    int64    // bytes of intact records in the WAL file
+	walDamaged bool     // a failed append may have left a partial frame past walSize
+	persisted  int      // answers durably recorded (snapshot + WAL); -1 = unknown
+	deleted    bool     // Delete won a race; late Puts must not resurrect the dir
 }
 
 // NewFile opens (creating if needed) a file-backed store rooted at
@@ -163,17 +165,23 @@ func (f *File) Put(id string, sess *session.Session) error {
 		return f.writeSnapshot(id, st, sess)
 	}
 	if len(delta) > 0 {
-		if st.wal == nil {
-			w, err := os.OpenFile(f.walPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-			if err != nil {
-				return fmt.Errorf("persist: opening wal for %s: %w", id, err)
-			}
-			st.wal = w
+		if err := f.openWALForAppend(id, st); err != nil {
+			return err
 		}
-		start := time.Now()
-		if err := appendWAL(st.wal, uint64(st.persisted), delta); err != nil {
+		buf, err := encodeWAL(uint64(st.persisted), delta)
+		if err != nil {
 			return fmt.Errorf("persist: appending wal for %s: %w", id, err)
 		}
+		start := time.Now()
+		if _, err := st.wal.Write(buf); err != nil {
+			// The kernel may have persisted a prefix of the buffer before
+			// failing: everything past walSize is now suspect, and the next
+			// append must truncate it first or recovery would mistake the
+			// partial frame for a torn tail and drop the retried records.
+			st.walDamaged = true
+			return fmt.Errorf("persist: appending wal for %s: %w", id, err)
+		}
+		st.walSize += int64(len(buf))
 		observeSince(walAppendSeconds, start)
 		if f.sync == SyncAlways {
 			start = time.Now()
@@ -191,6 +199,71 @@ func (f *File) Put(id string, sess *session.Session) error {
 		return f.writeSnapshot(id, st, sess)
 	}
 	return nil
+}
+
+// openWALForAppend lazily opens the session's WAL append handle and, when a
+// previous failed append may have left a partial frame behind, truncates the
+// file back to its last intact byte so retried records land clean. Called
+// with st.mu held.
+func (f *File) openWALForAppend(id string, st *fileSession) error {
+	if st.wal == nil {
+		w, err := os.OpenFile(f.walPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("persist: opening wal for %s: %w", id, err)
+		}
+		st.wal = w
+	}
+	if st.walDamaged {
+		if err := st.wal.Truncate(st.walSize); err != nil {
+			return fmt.Errorf("persist: truncating damaged wal tail for %s: %w", id, err)
+		}
+		st.walDamaged = false
+	}
+	return nil
+}
+
+// putTorn is the torn-write hook behind FaultStore: it performs Put's WAL
+// append but deliberately cuts the last cut bytes off the encoded batch,
+// leaving a partial frame on disk — what a crash or full disk mid-append
+// produces — then reports failure without advancing any bookkeeping, exactly
+// as a real short write would.
+func (f *File) putTorn(id string, sess *session.Session, cut int) error {
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	st, err := f.state(id)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.deleted {
+		return ErrNotFound
+	}
+	delta, total := sess.AnswersSince(max(st.persisted, 0))
+	if st.persisted < 0 || st.persisted > total || len(delta) == 0 {
+		// Snapshot-path Puts have no append to tear; fail them plainly.
+		return fmt.Errorf("%w: torn put for %s (snapshot path)", ErrInjected, id)
+	}
+	if err := f.openWALForAppend(id, st); err != nil {
+		return err
+	}
+	buf, err := encodeWAL(uint64(st.persisted), delta)
+	if err != nil {
+		return err
+	}
+	if cut < 1 {
+		cut = 1
+	}
+	if cut >= len(buf) {
+		cut = len(buf) - 1
+	}
+	if _, err := st.wal.Write(buf[:len(buf)-cut]); err != nil {
+		st.walDamaged = true
+		return fmt.Errorf("persist: appending wal for %s: %w", id, err)
+	}
+	st.walDamaged = true
+	return fmt.Errorf("%w: torn wal append for %s (%d of %d bytes)", ErrInjected, id, len(buf)-cut, len(buf))
 }
 
 // writeSnapshot checkpoints the session, atomically replaces snapshot.json,
@@ -244,6 +317,8 @@ func (f *File) writeSnapshot(id string, st *fileSession, sess *session.Session) 
 		return fmt.Errorf("persist: truncating wal for %s: %w", id, err)
 	}
 	st.walCount = 0
+	st.walSize = 0
+	st.walDamaged = false
 	st.persisted = info.Asked
 	f.c.snapshots.Add(1)
 	return nil
@@ -334,6 +409,8 @@ func (f *File) Get(id string) (*session.Session, error) {
 		st.wal = nil
 	}
 	st.walCount = len(recs)
+	st.walSize = validEnd
+	st.walDamaged = false
 	st.persisted = base + replayed
 	f.c.replays.Add(uint64(replayed))
 	f.c.recovered.Add(1)

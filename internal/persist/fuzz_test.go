@@ -1,0 +1,69 @@
+package persist
+
+import (
+	"testing"
+
+	"crowdtopk/internal/tpo"
+)
+
+// fuzzSeedWAL builds a small valid WAL buffer for seeding the corpus.
+func fuzzSeedWAL(tb testing.TB) []byte {
+	buf, err := encodeWAL(3, []tpo.Answer{
+		{Q: tpo.Question{I: 0, J: 1}, Yes: true},
+		{Q: tpo.Question{I: 2, J: 4}, Yes: false},
+		{Q: tpo.Question{I: 1, J: 3}, Yes: true},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return buf
+}
+
+// FuzzReadWAL throws arbitrary bytes at the WAL frame parser. The parser is
+// the crash-recovery front line — it reads whatever a kill, a torn append or
+// bit rot left on disk — so it must never panic, never over-allocate from a
+// corrupt length field, and always report a truncation point inside the
+// input. Torn tails and corruption must stay mutually exclusive: a torn
+// verdict truncates the log, so issuing it for in-place corruption would
+// silently destroy durable records.
+func FuzzReadWAL(f *testing.F) {
+	valid := fuzzSeedWAL(f)
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])           // torn inside the final CRC
+	f.Add(valid[:walHeaderLen-2])         // torn inside the first header
+	f.Add(append([]byte{0xff}, valid...)) // garbage header
+	flipped := append([]byte(nil), valid...)
+	flipped[walHeaderLen+1] ^= 0x40 // payload bit flip → CRC mismatch
+	f.Add(flipped)
+	oversize := append([]byte(nil), valid...)
+	oversize[8] = 0xff // declared length 0xffff_ff.. → over maxWALPayload
+	oversize[9] = 0xff
+	oversize[10] = 0xff
+	f.Add(oversize)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, validEnd, torn, err := readWAL(data)
+		if validEnd < 0 || validEnd > int64(len(data)) {
+			t.Fatalf("validEnd %d outside [0, %d]", validEnd, len(data))
+		}
+		if torn && err != nil {
+			t.Fatalf("torn and corrupt at once: %v", err)
+		}
+		if err == nil && !torn && validEnd != int64(len(data)) {
+			t.Fatalf("clean parse consumed %d of %d bytes", validEnd, len(data))
+		}
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Seq <= recs[i-1].Seq {
+				t.Fatalf("non-monotonic seqs escaped the parser: %d after %d", recs[i].Seq, recs[i-1].Seq)
+			}
+		}
+		// The reported truncation point must itself parse cleanly — recovery
+		// truncates to validEnd and then trusts the remainder.
+		again, end2, torn2, err2 := readWAL(data[:validEnd])
+		if err2 != nil || torn2 || end2 != validEnd || len(again) != len(recs) {
+			t.Fatalf("truncation point unstable: %d recs to %d (torn=%v err=%v), first pass %d recs to %d",
+				len(again), end2, torn2, err2, len(recs), validEnd)
+		}
+	})
+}

@@ -115,11 +115,14 @@ type CounterSnapshot struct {
 	Fsyncs uint64 `json:"fsyncs"`
 	// TornTails counts recoveries that dropped a torn trailing WAL record.
 	TornTails uint64 `json:"torn_wal_tails"`
+	// Quarantines counts session directories moved to the quarantine area
+	// because their on-disk state could not be trusted.
+	Quarantines uint64 `json:"quarantines"`
 }
 
 // counters is the shared atomic implementation behind CounterSnapshot.
 type counters struct {
-	snapshots, walAppends, replays, recovered, fsyncs, tornTails atomic.Uint64
+	snapshots, walAppends, replays, recovered, fsyncs, tornTails, quarantines atomic.Uint64
 }
 
 func (c *counters) snapshot() CounterSnapshot {
@@ -130,6 +133,7 @@ func (c *counters) snapshot() CounterSnapshot {
 		RecoveredSessions: c.recovered.Load(),
 		Fsyncs:            c.fsyncs.Load(),
 		TornTails:         c.tornTails.Load(),
+		Quarantines:       c.quarantines.Load(),
 	}
 }
 

@@ -1,0 +1,216 @@
+package persist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Typed quarantine reasons. They travel to /v1/sessions so an operator can
+// tell at a glance what class of damage took a session out of service.
+const (
+	ReasonCorruptSnapshot = "corrupt-snapshot"
+	ReasonMissingSnapshot = "missing-snapshot"
+	ReasonCorruptWAL      = "corrupt-wal"
+	ReasonUnreadable      = "unreadable"
+)
+
+// QuarantineInfo describes one quarantined session.
+type QuarantineInfo struct {
+	ID     string `json:"id"`
+	Reason string `json:"reason"`
+	Detail string `json:"detail,omitempty"`
+	Time   string `json:"time,omitempty"` // RFC 3339, when it was quarantined
+}
+
+// Quarantiner is implemented by backends that can move a damaged session out
+// of the serving path instead of failing on it forever. The serving layer
+// quarantines on any ErrCorrupt hydration and lists the result with
+// state=quarantined; the data stays on disk for forensics and `crowdtopk
+// fsck`.
+type Quarantiner interface {
+	// Quarantine moves the session's data to the quarantine area with a
+	// typed reason. ErrNotFound when the store holds nothing for id.
+	Quarantine(id, reason, detail string) error
+	// Quarantined lists everything currently in the quarantine area.
+	Quarantined() ([]QuarantineInfo, error)
+}
+
+// ScanResult is what a boot scan found: the recoverable session ids, the
+// sessions sitting in quarantine (pre-existing and newly moved), and entries
+// the scan skipped because they are not usable session directories.
+type ScanResult struct {
+	IDs         []string
+	Quarantined []QuarantineInfo
+	Skipped     []string
+}
+
+// Scanner is implemented by backends with a richer boot scan than List: one
+// that quarantines obviously-unrecoverable session directories (present but
+// missing their snapshot) and skips stray entries instead of failing the
+// whole scan. The serving layer prefers it over List at startup so one bad
+// directory cannot hold the boot hostage.
+type Scanner interface {
+	Scan() (ScanResult, error)
+}
+
+// QuarantineReasonFor classifies a hydration error into a typed quarantine
+// reason plus a human detail string. It understands *CorruptError paths;
+// anything else is ReasonUnreadable.
+func QuarantineReasonFor(err error) (reason, detail string) {
+	var ce *CorruptError
+	if errors.As(err, &ce) {
+		detail = ce.Err.Error()
+		switch {
+		case strings.HasSuffix(ce.Path, "wal.log"):
+			return ReasonCorruptWAL, detail
+		case strings.Contains(detail, "snapshot is missing"):
+			return ReasonMissingSnapshot, detail
+		default:
+			return ReasonCorruptSnapshot, detail
+		}
+	}
+	return ReasonUnreadable, err.Error()
+}
+
+// quarantineMarker is the metadata file name inside a quarantined session's
+// directory. It must fail ValidateID so a quarantine dir re-scanned as a
+// session root can never mistake it for a session.
+const quarantineMarker = "quarantine.json"
+
+func (f *File) quarantineRoot() string { return filepath.Join(filepath.Dir(f.dir), "quarantine") }
+
+// Quarantine moves the session's directory to <data-dir>/quarantine/<id>/,
+// drops a quarantine.json marker with the typed reason inside it, and
+// tombstones the id so racing Puts cannot resurrect the directory. An older
+// quarantine of the same id is superseded.
+func (f *File) Quarantine(id, reason, detail string) error {
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	st, err := f.state(id)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	src := f.sessionDir(id)
+	if _, serr := os.Stat(src); errors.Is(serr, fs.ErrNotExist) {
+		return ErrNotFound
+	}
+	if st.wal != nil {
+		_ = st.wal.Close()
+		st.wal = nil
+	}
+	qroot := f.quarantineRoot()
+	if err := os.MkdirAll(qroot, 0o755); err != nil {
+		return fmt.Errorf("persist: creating quarantine area: %w", err)
+	}
+	dst := filepath.Join(qroot, id)
+	if err := os.RemoveAll(dst); err != nil {
+		return fmt.Errorf("persist: clearing stale quarantine for %s: %w", id, err)
+	}
+	if err := os.Rename(src, dst); err != nil {
+		return fmt.Errorf("persist: quarantining %s: %w", id, err)
+	}
+	info := QuarantineInfo{ID: id, Reason: reason, Detail: detail, Time: time.Now().UTC().Format(time.RFC3339)}
+	if data, merr := json.Marshal(info); merr == nil {
+		// Best effort: a missing marker degrades the listing, not recovery.
+		_ = os.WriteFile(filepath.Join(dst, quarantineMarker), append(data, '\n'), 0o644)
+	}
+	f.syncDir(qroot)
+	f.syncDir(f.dir)
+	st.deleted = true
+	f.c.quarantines.Add(1)
+	return nil
+}
+
+// Quarantined lists the quarantine area, sorted by id.
+func (f *File) Quarantined() ([]QuarantineInfo, error) {
+	entries, err := os.ReadDir(f.quarantineRoot())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: listing quarantine area: %w", err)
+	}
+	var infos []QuarantineInfo
+	for _, e := range entries {
+		if !e.IsDir() || ValidateID(e.Name()) != nil {
+			continue
+		}
+		infos = append(infos, readQuarantineMarker(f.quarantineRoot(), e.Name()))
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	return infos, nil
+}
+
+// readQuarantineMarker loads a quarantined session's marker, degrading to an
+// "unknown reason" entry when the marker is missing or unreadable.
+func readQuarantineMarker(qroot, id string) QuarantineInfo {
+	info := QuarantineInfo{ID: id, Reason: ReasonUnreadable, Detail: "quarantine marker missing"}
+	data, err := os.ReadFile(filepath.Join(qroot, id, quarantineMarker))
+	if err != nil {
+		return info
+	}
+	var m QuarantineInfo
+	if json.Unmarshal(data, &m) == nil && m.Reason != "" {
+		m.ID = id
+		return m
+	}
+	return info
+}
+
+// Scan is the boot scan: it walks the sessions root, returning every id that
+// has at least a snapshot to recover from, quarantining session directories
+// that provably cannot be recovered (directory present, snapshot missing),
+// and skipping stray entries — one damaged directory must never abort a
+// boot. The root itself being unreadable is still fatal: that is a data-dir
+// problem, not a session problem.
+func (f *File) Scan() (ScanResult, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ScanResult{}, ErrClosed
+	}
+	f.mu.Unlock()
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return ScanResult{}, fmt.Errorf("persist: scanning %s: %w", f.dir, err)
+	}
+	var res ScanResult
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() || ValidateID(name) != nil {
+			res.Skipped = append(res.Skipped, name)
+			continue
+		}
+		if _, serr := os.Stat(f.snapPath(name)); serr != nil {
+			if errors.Is(serr, fs.ErrNotExist) {
+				// The WAL is a delta over a base that is gone: unrecoverable,
+				// move it aside so hydration never trips over it.
+				if qerr := f.Quarantine(name, ReasonMissingSnapshot, "session directory exists but snapshot is missing"); qerr != nil {
+					res.Skipped = append(res.Skipped, name)
+				}
+			} else {
+				res.Skipped = append(res.Skipped, name)
+			}
+			continue
+		}
+		res.IDs = append(res.IDs, name)
+	}
+	sort.Strings(res.IDs)
+	// Includes anything Scan just moved plus quarantines from prior boots.
+	q, qerr := f.Quarantined()
+	if qerr != nil {
+		return res, nil
+	}
+	res.Quarantined = q
+	return res, nil
+}

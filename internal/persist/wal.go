@@ -51,16 +51,16 @@ type walRecord struct {
 	Answer tpo.Answer
 }
 
-// appendWAL encodes answers as records seqStart, seqStart+1, … and writes
-// them to w in one buffer (a single write per Put keeps the torn-tail window
-// to at most one batch).
-func appendWAL(w io.Writer, seqStart uint64, answers []tpo.Answer) error {
+// encodeWAL frames answers as records seqStart, seqStart+1, … into one
+// contiguous buffer (a single write per Put keeps the torn-tail window to at
+// most one batch).
+func encodeWAL(seqStart uint64, answers []tpo.Answer) ([]byte, error) {
 	var buf []byte
 	scratch := make([]byte, walHeaderLen)
 	for k, a := range answers {
 		payload, err := json.Marshal(walPayload{I: a.Q.I, J: a.Q.J, Yes: a.Yes})
 		if err != nil {
-			return fmt.Errorf("persist: encoding wal record: %w", err)
+			return nil, fmt.Errorf("persist: encoding wal record: %w", err)
 		}
 		binary.LittleEndian.PutUint64(scratch[0:8], seqStart+uint64(k))
 		binary.LittleEndian.PutUint32(scratch[8:12], uint32(len(payload)))
@@ -71,7 +71,16 @@ func appendWAL(w io.Writer, seqStart uint64, answers []tpo.Answer) error {
 		buf = append(buf, payload...)
 		buf = binary.LittleEndian.AppendUint32(buf, crc.Sum32())
 	}
-	_, err := w.Write(buf)
+	return buf, nil
+}
+
+// appendWAL encodes answers and writes them to w in one buffer.
+func appendWAL(w io.Writer, seqStart uint64, answers []tpo.Answer) error {
+	buf, err := encodeWAL(seqStart, answers)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
 	return err
 }
 

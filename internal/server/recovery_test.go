@@ -27,6 +27,11 @@ type statsJSON struct {
 		HydrationHits   uint64 `json:"hydration_hits"`
 		HydrationMisses uint64 `json:"hydration_misses"`
 		PersistErrors   uint64 `json:"persist_errors"`
+		PersistRetries  uint64 `json:"persist_retries"`
+		EvictionsRef    uint64 `json:"evictions_refused"`
+		DegradedMode    bool   `json:"degraded_mode"`
+		BreakerState    string `json:"breaker_state"`
+		Quarantined     int    `json:"quarantined_sessions"`
 		Persist         *struct {
 			Snapshots         uint64 `json:"snapshots"`
 			WALAppends        uint64 `json:"wal_appends"`
@@ -325,10 +330,13 @@ func TestEvictionToDiskAndHydration(t *testing.T) {
 	}
 }
 
-// TestCorruptHydrationIs500: on-disk corruption discovered during lazy
-// hydration must surface as a server error — a 404 would convince the
-// client the session never existed and the operator would never see it.
-func TestCorruptHydrationIs500(t *testing.T) {
+// TestCorruptHydrationQuarantines: on-disk corruption discovered during lazy
+// hydration moves the session to the quarantine area and surfaces as 410 Gone
+// — a 404 would convince the client the session never existed, and a
+// persistent 500 would page forever on a condition retries cannot fix. The
+// quarantined session stays visible in the listing with a typed reason, and
+// its directory survives under quarantine/ for forensics.
+func TestCorruptHydrationQuarantines(t *testing.T) {
 	specs, _ := uniformWorkload()
 	dir := t.TempDir()
 	srv1 := newServer(t, server.Config{Persist: mustFile(t, dir, 0)})
@@ -357,12 +365,59 @@ func TestCorruptHydrationIs500(t *testing.T) {
 	defer srv2.Close()
 	ts2 := httptest.NewServer(srv2.Handler())
 	defer ts2.Close()
-	if code := doJSON(t, ts2.Client(), "GET", ts2.URL+"/v1/sessions/"+info.ID+"/result", nil, nil); code != http.StatusInternalServerError {
-		t.Fatalf("corrupt hydration: status %d, want 500", code)
+	// First touch trips the quarantine; the status is 410, and it stays 410
+	// on retry instead of re-attempting the doomed hydration.
+	for i := 0; i < 2; i++ {
+		if code := doJSON(t, ts2.Client(), "GET", ts2.URL+"/v1/sessions/"+info.ID+"/result", nil, nil); code != http.StatusGone {
+			t.Fatalf("corrupt hydration (touch %d): status %d, want 410", i, code)
+		}
+	}
+	// The session directory moved to the quarantine area with its marker.
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", info.ID, "quarantine.json")); err != nil {
+		t.Errorf("quarantine marker: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sessions", info.ID)); !os.IsNotExist(err) {
+		t.Errorf("session dir still present after quarantine (err=%v)", err)
+	}
+	// The listing keeps the session visible with the typed reason.
+	var list struct {
+		Sessions []struct {
+			ID               string `json:"id"`
+			State            string `json:"state"`
+			QuarantineReason string `json:"quarantine_reason"`
+		} `json:"sessions"`
+		Total int `json:"total"`
+	}
+	if code := doJSON(t, ts2.Client(), "GET", ts2.URL+"/v1/sessions", nil, &list); code != http.StatusOK {
+		t.Fatalf("list: status %d", code)
+	}
+	found := false
+	for _, e := range list.Sessions {
+		if e.ID == info.ID {
+			found = true
+			if e.State != "quarantined" || e.QuarantineReason != "corrupt-snapshot" {
+				t.Errorf("listed as %q/%q, want quarantined/corrupt-snapshot", e.State, e.QuarantineReason)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("quarantined session missing from listing: %+v", list)
+	}
+	if st := getStats(t, ts2); st.Store.Quarantined != 1 {
+		t.Errorf("quarantined_sessions = %d, want 1", st.Store.Quarantined)
 	}
 	// An id that was never created is still a plain 404.
 	if code := doJSON(t, ts2.Client(), "GET", ts2.URL+"/v1/sessions/s_unknown/result", nil, nil); code != http.StatusNotFound {
 		t.Fatalf("unknown id: status %d, want 404", code)
+	}
+	// A restart on the same data dir boots cleanly — the boot scan lists the
+	// quarantined session instead of failing startup — and still serves 410.
+	srv3 := newServer(t, server.Config{Persist: mustFile(t, dir, 0)})
+	defer srv3.Close()
+	ts3 := httptest.NewServer(srv3.Handler())
+	defer ts3.Close()
+	if code := doJSON(t, ts3.Client(), "GET", ts3.URL+"/v1/sessions/"+info.ID+"/result", nil, nil); code != http.StatusGone {
+		t.Fatalf("after restart: status %d, want 410", code)
 	}
 }
 

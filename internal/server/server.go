@@ -326,6 +326,11 @@ func statusFor(err error) int {
 	// match (a corrupted snapshot surfaces a digest MismatchError).
 	case errors.As(err, &storage):
 		return http.StatusInternalServerError
+	// Quarantined is permanent-until-operator-action, not retryable: the
+	// durable copy was corrupt and has been moved aside. 410 tells clients
+	// to stop retrying (unlike the 500 a transient storage fault earns).
+	case errors.Is(err, service.ErrQuarantined):
+		return http.StatusGone
 	case errors.Is(err, service.ErrNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, service.ErrRateLimited):

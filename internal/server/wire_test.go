@@ -190,10 +190,11 @@ func TestWireCompatibility(t *testing.T) {
 	store := wantKeys(t, "stats.store", sv["store"],
 		"backend", "live_sessions", "known_sessions", "dirty_sessions",
 		"evictions_to_disk", "hydration_hits", "hydration_misses",
-		"persist_errors", "persist")
+		"persist_errors", "persist_retries", "evictions_refused",
+		"degraded_mode", "breaker_state", "quarantined_sessions", "persist")
 	wantKeys(t, "stats.store.persist", store["persist"],
 		"snapshots", "wal_appends", "replays", "recovered_sessions",
-		"fsyncs", "torn_wal_tails")
+		"fsyncs", "torn_wal_tails", "quarantines")
 	wantKeys(t, "stats.pcache", sv["pcache"],
 		"hits", "misses", "entries", "resets", "hit_rate",
 		"prewarm_pairs", "prewarm_ns")

@@ -1,0 +1,156 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is one of the circuit breaker's three states. The string
+// values travel to /v1/stats and the audit log.
+type breakerState string
+
+const (
+	// breakerClosed: the durable backend is healthy; writes flow normally.
+	breakerClosed breakerState = "closed"
+	// breakerOpen: consecutive failures crossed the threshold; writes are
+	// withheld until the cooldown expires, then one probe is allowed.
+	breakerOpen breakerState = "open"
+	// breakerHalfOpen: the cooldown expired and a single probe write is in
+	// flight; its outcome closes or re-opens the breaker.
+	breakerHalfOpen breakerState = "half-open"
+)
+
+const (
+	// breakerThreshold is how many consecutive durable-write failures open
+	// the breaker.
+	breakerThreshold = 5
+	// breakerCooldownMin/Max bound the open-state cooldown before a
+	// half-open probe; it doubles per failed probe.
+	breakerCooldownMin = 500 * time.Millisecond
+	breakerCooldownMax = 30 * time.Second
+)
+
+// breaker is a circuit breaker over the durable backend, fed by the
+// persister: consecutive write failures open it, which puts the service in
+// degraded mode (live-tier serving, dirty sessions queued, /ready 503);
+// periodic half-open probes close it again once the backend heals, with no
+// operator action. Only the persister goroutine attempts writes while the
+// breaker is non-closed, so a broken disk sees one probe per cooldown, not a
+// retry storm.
+type breaker struct {
+	mu           sync.Mutex
+	state        breakerState
+	consecutive  int // consecutive failures while closed
+	opens        int // consecutive open episodes without an intervening success
+	probeAt      time.Time
+	now          func() time.Time            // test seam
+	onTransition func(from, to breakerState) // called outside the lock
+}
+
+func newBreaker(onTransition func(from, to breakerState)) *breaker {
+	return &breaker{state: breakerClosed, now: time.Now, onTransition: onTransition}
+}
+
+// setState transitions and returns the notification to run after unlocking
+// (the callback logs, audits and bumps metrics — never under b.mu).
+func (b *breaker) setState(to breakerState) func() {
+	from := b.state
+	if from == to {
+		return nil
+	}
+	b.state = to
+	if b.onTransition == nil {
+		return nil
+	}
+	cb := b.onTransition
+	return func() { cb(from, to) }
+}
+
+// allow reports whether a durable write may be attempted now; when the
+// breaker is open it also returns how long until the next half-open probe.
+func (b *breaker) allow() (ok bool, wait time.Duration) {
+	b.mu.Lock()
+	var notify func()
+	switch b.state {
+	case breakerClosed, breakerHalfOpen:
+		ok = true
+	case breakerOpen:
+		if now := b.now(); !now.Before(b.probeAt) {
+			notify = b.setState(breakerHalfOpen)
+			ok = true // this caller is the probe
+		} else {
+			wait = b.probeAt.Sub(now)
+		}
+	}
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+	return ok, wait
+}
+
+// success records a successful durable write, closing the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.consecutive = 0
+	b.opens = 0
+	notify := b.setState(breakerClosed)
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+}
+
+// failure records a failed durable write, opening the breaker when the
+// consecutive-failure threshold is crossed (immediately for a failed
+// half-open probe, with a doubled cooldown).
+func (b *breaker) failure() {
+	b.mu.Lock()
+	var notify func()
+	switch b.state {
+	case breakerClosed:
+		b.consecutive++
+		if b.consecutive >= breakerThreshold {
+			b.opens = 1
+			b.probeAt = b.now().Add(b.cooldown())
+			notify = b.setState(breakerOpen)
+		}
+	case breakerHalfOpen:
+		b.opens++
+		b.probeAt = b.now().Add(b.cooldown())
+		notify = b.setState(breakerOpen)
+	case breakerOpen:
+		// A non-probe failure while open (an eviction raced the transition):
+		// nothing new to learn.
+	}
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+}
+
+// cooldown is the open-state wait before the next probe: exponential in the
+// number of consecutive open episodes, bounded. Called with b.mu held.
+func (b *breaker) cooldown() time.Duration {
+	shift := b.opens - 1
+	if shift > 10 { // 500ms << 10 is already past the cap
+		shift = 10
+	}
+	d := breakerCooldownMin << shift
+	if d > breakerCooldownMax {
+		d = breakerCooldownMax
+	}
+	return d
+}
+
+// currentState reads the state without side effects.
+func (b *breaker) currentState() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// degraded reports whether the durable tier is currently distrusted (open or
+// probing). The serving layer maps this to /ready 503 and the
+// degraded_mode gauge.
+func (b *breaker) degraded() bool { return b.currentState() != breakerClosed }

@@ -1,0 +1,501 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"crowdtopk/internal/dist"
+	"crowdtopk/internal/obs"
+	"crowdtopk/internal/persist"
+	"crowdtopk/internal/tpo"
+)
+
+// testBreaker builds a breaker on a fake clock, recording transitions.
+func testBreaker() (*breaker, *fakeClock, *[]string) {
+	transitions := &[]string{}
+	var mu sync.Mutex
+	b := newBreaker(func(from, to breakerState) {
+		mu.Lock()
+		*transitions = append(*transitions, fmt.Sprintf("%s→%s", from, to))
+		mu.Unlock()
+	})
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	b.now = clk.now
+	return b, clk, transitions
+}
+
+// TestBreakerLifecycle pins the three-state machine: threshold failures open
+// it, the cooldown gates the half-open probe, a failed probe re-opens with a
+// doubled cooldown, and a success closes it and resets the ladder.
+func TestBreakerLifecycle(t *testing.T) {
+	b, clk, transitions := testBreaker()
+	if b.degraded() {
+		t.Fatal("new breaker is degraded")
+	}
+	// Below the threshold nothing happens; a success resets the count.
+	for i := 0; i < breakerThreshold-1; i++ {
+		b.failure()
+	}
+	b.success()
+	for i := 0; i < breakerThreshold-1; i++ {
+		b.failure()
+	}
+	if b.currentState() != breakerClosed {
+		t.Fatalf("state %s before threshold, want closed", b.currentState())
+	}
+	b.failure() // crosses the threshold
+	if b.currentState() != breakerOpen || !b.degraded() {
+		t.Fatalf("state %s after threshold, want open", b.currentState())
+	}
+	// While the cooldown runs, writes are withheld with a usable wait.
+	if ok, wait := b.allow(); ok || wait <= 0 || wait > breakerCooldownMin {
+		t.Fatalf("allow during cooldown = %v, %v", ok, wait)
+	}
+	// Cooldown expiry admits exactly one probe (state: half-open).
+	clk.advance(breakerCooldownMin)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("probe not admitted after cooldown")
+	}
+	if b.currentState() != breakerHalfOpen {
+		t.Fatalf("state %s during probe, want half-open", b.currentState())
+	}
+	// A failed probe re-opens with a doubled cooldown.
+	b.failure()
+	if b.currentState() != breakerOpen {
+		t.Fatalf("state %s after failed probe, want open", b.currentState())
+	}
+	clk.advance(breakerCooldownMin) // first cooldown has doubled: not yet
+	if ok, wait := b.allow(); ok || wait <= 0 {
+		t.Fatalf("allow before doubled cooldown = %v, %v", ok, wait)
+	}
+	clk.advance(breakerCooldownMin)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("second probe not admitted")
+	}
+	// A successful probe closes the breaker for good.
+	b.success()
+	if b.currentState() != breakerClosed || b.degraded() {
+		t.Fatalf("state %s after successful probe, want closed", b.currentState())
+	}
+	want := []string{
+		"closed→open", "open→half-open", "half-open→open",
+		"open→half-open", "half-open→closed",
+	}
+	if fmt.Sprint(*transitions) != fmt.Sprint(want) {
+		t.Fatalf("transitions %v, want %v", *transitions, want)
+	}
+}
+
+func TestBreakerCooldownCapped(t *testing.T) {
+	b, clk, _ := testBreaker()
+	for i := 0; i < breakerThreshold; i++ {
+		b.failure()
+	}
+	for i := 0; i < 40; i++ { // fail probes far past the doubling cap
+		clk.advance(breakerCooldownMax)
+		if ok, _ := b.allow(); !ok {
+			t.Fatalf("probe %d not admitted after max cooldown", i)
+		}
+		b.failure()
+	}
+	if _, wait := b.allow(); wait > breakerCooldownMax {
+		t.Fatalf("cooldown %v exceeds cap %v", wait, breakerCooldownMax)
+	}
+}
+
+// flakyBackend fails each session's first failures writes, then succeeds.
+type flakyBackend struct {
+	mu       sync.Mutex
+	failures int
+	attempts map[string]int
+}
+
+func (f *flakyBackend) persist(id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.attempts == nil {
+		f.attempts = make(map[string]int)
+	}
+	f.attempts[id]++
+	if f.attempts[id] <= f.failures {
+		return fmt.Errorf("flaky: attempt %d", f.attempts[id])
+	}
+	return nil
+}
+
+// TestPersisterRetriesUntilSuccess: transient write failures drain on their
+// own through backoff retries — no flush, no operator.
+func TestPersisterRetriesUntilSuccess(t *testing.T) {
+	fb := &flakyBackend{failures: 1}
+	p := newPersister(fb.persist, newBreaker(nil), obs.NopLogger())
+	for _, id := range []string{"s_a", "s_b", "s_c"} {
+		p.enqueue(id)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for p.pending() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("persister did not drain: %d pending", p.pending())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := p.retryCount(); got != 3 {
+		t.Errorf("retries = %d, want 3 (one per session)", got)
+	}
+	if left := p.stopAndDrain(time.Now().Add(time.Second)); len(left) != 0 {
+		t.Errorf("left dirty: %v", left)
+	}
+}
+
+// TestPersisterFlushBoundedOverBrokenBackend: flush over a dead backend gives
+// every dirty session one immediate attempt and returns — it must not spin or
+// block until the backend heals. The sessions stay dirty (acked answers are
+// never dropped); a later flush over a healed backend drains them.
+func TestPersisterFlushBoundedOverBrokenBackend(t *testing.T) {
+	var healed sync.Map
+	persistFn := func(id string) error {
+		if _, ok := healed.Load("yes"); ok {
+			return nil
+		}
+		return errors.New("disk on fire")
+	}
+	p := newPersister(persistFn, newBreaker(nil), obs.NopLogger())
+	p.enqueue("s_a")
+	p.enqueue("s_b")
+	start := time.Now()
+	p.flush()
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("flush over broken backend took %v", d)
+	}
+	if n := p.pending(); n != 2 {
+		t.Fatalf("pending after failed flush = %d, want 2", n)
+	}
+	healed.Store("yes", true)
+	p.flush()
+	if n := p.pending(); n != 0 {
+		t.Fatalf("pending after healed flush = %d, want 0", n)
+	}
+	p.stopAndDrain(time.Now().Add(time.Second))
+}
+
+// TestPersisterParksAfterBudget: a session whose writes keep failing is
+// parked after its retry budget — still dirty, still queued, just off the
+// fast retry ladder — and a new enqueue (new acked answers) re-arms it.
+func TestPersisterParksAfterBudget(t *testing.T) {
+	var ok sync.Map
+	persistFn := func(id string) error {
+		if _, healed := ok.Load("yes"); healed {
+			return nil
+		}
+		return errors.New("still broken")
+	}
+	p := newPersister(persistFn, newBreaker(nil), obs.NopLogger())
+	p.enqueue("s_park")
+	deadline := time.Now().Add(30 * time.Second)
+	for p.parkEvents.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("session never parked")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := p.pending(); n != 1 {
+		t.Fatalf("parked session left the queue: pending = %d", n)
+	}
+	// New acked answers re-arm the parked session; with the backend healed
+	// the next attempt drains it without waiting out the parked cadence.
+	ok.Store("yes", true)
+	p.enqueue("s_park")
+	deadline = time.Now().Add(10 * time.Second)
+	for p.pending() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("re-armed session did not drain")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	p.stopAndDrain(time.Now().Add(time.Second))
+}
+
+// TestStopAndDrainDeadlineOverWedgedBackend: a write wedged mid-flight must
+// not hang shutdown — stopAndDrain returns at its deadline and reports the
+// session as left dirty.
+func TestStopAndDrainDeadlineOverWedgedBackend(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	persistFn := func(id string) error {
+		started <- struct{}{}
+		<-release
+		return nil
+	}
+	t.Cleanup(func() { close(release) })
+	p := newPersister(persistFn, newBreaker(nil), obs.NopLogger())
+	p.enqueue("s_wedged")
+	<-started // the write is wedged in flight now
+	start := time.Now()
+	left := p.stopAndDrain(time.Now().Add(200 * time.Millisecond))
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("stopAndDrain took %v despite 200ms deadline", d)
+	}
+	if len(left) != 1 || left[0] != "s_wedged" {
+		t.Fatalf("left = %v, want [s_wedged]", left)
+	}
+}
+
+// TestEvictionRefusedWhileDegradedOrDirty pins the no-drop eviction rules: a
+// degraded store refuses to evict at all, and a healthy store refuses to
+// drop a session whose latest answers have not reached disk, re-enqueueing
+// it so the retry loop owns the write.
+func TestEvictionRefusedWhileDegradedOrDirty(t *testing.T) {
+	disk, err := persist.NewFile(persist.FileOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := persist.NewFaultStore(disk, persist.FaultSpec{})
+	st, err := newStore(time.Minute, 0, fs, obs.NopLogger(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st.close)
+	id, err := st.add(storeTestSession(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitPending(t, st, 0)
+
+	// Degraded mode refuses every eviction outright.
+	for i := 0; i < breakerThreshold; i++ {
+		st.brk.failure()
+	}
+	st.evictToDisk(id, time.Now())
+	if got := st.evictionsRefused.Load(); got != 1 {
+		t.Fatalf("evictions_refused = %d after degraded evict, want 1", got)
+	}
+	if _, err := st.get(id); err != nil {
+		t.Fatalf("session dropped by refused eviction: %v", err)
+	}
+	st.brk.success() // back to closed
+
+	// A persist-failed eviction keeps the session live and hands the write
+	// to the retry loop instead of dropping acked answers.
+	fs.SetSpec(persist.FaultSpec{ErrRate: map[persist.Op]float64{persist.OpPut: 1}})
+	sess, err := st.get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, _, err := sess.NextQuestions(1)
+	if err != nil || len(qs) == 0 {
+		t.Fatalf("questions: %v (%d)", err, len(qs))
+	}
+	if err := sess.SubmitAnswer(tpo.Answer{Q: qs[0], Yes: true}); err != nil {
+		t.Fatal(err)
+	}
+	st.markDirty(id, sess)
+	// Evict "from the future" so the idle-TTL guard does not mask the
+	// dirty-session refusal this test pins.
+	st.evictToDisk(id, time.Now().Add(2*time.Minute))
+	if got := st.evictionsRefused.Load(); got != 2 {
+		t.Fatalf("evictions_refused = %d after dirty evict, want 2", got)
+	}
+	if _, err := st.get(id); err != nil {
+		t.Fatalf("dirty session dropped by eviction: %v", err)
+	}
+	fs.Heal()
+	waitPending(t, st, 0)
+}
+
+// waitPending polls until the store's persister queue is n deep.
+func waitPending(t *testing.T, st *store, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for st.bg.pending() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("persister pending = %d, want %d", st.bg.pending(), n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestWedgedBackendBoundsClose: a store whose backend wedges mid-write still
+// closes within its shutdown deadline instead of hanging SIGTERM forever.
+func TestWedgedBackendBoundsClose(t *testing.T) {
+	disk, err := persist.NewFile(persist.FileOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := persist.NewFaultStore(disk, persist.FaultSpec{})
+	st, err := newStore(time.Minute, 0, fs, obs.NopLogger(), 300*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := st.add(storeTestSession(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitPending(t, st, 0)
+
+	fs.Wedge()
+	sess, err := st.get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, _, err := sess.NextQuestions(1)
+	if err != nil || len(qs) == 0 {
+		t.Fatalf("questions: %v (%d)", err, len(qs))
+	}
+	if err := sess.SubmitAnswer(tpo.Answer{Q: qs[0], Yes: true}); err != nil {
+		t.Fatal(err)
+	}
+	st.markDirty(id, sess) // the persister will wedge on this write
+
+	start := time.Now()
+	done := make(chan struct{})
+	go func() { st.close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("close hung on a wedged backend")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("close took %v with a 300ms shutdown budget", d)
+	}
+}
+
+// serviceSessionDists builds kernel distributions for in-process creates.
+func serviceSessionDists(t *testing.T, n int) []dist.Distribution {
+	t.Helper()
+	ds := make([]dist.Distribution, n)
+	for i := range ds {
+		u, err := dist.NewUniformAround(float64(i)*0.5, 1.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds[i] = u
+	}
+	return ds
+}
+
+// TestServiceDegradedModeAndAutoRecovery is the service-level acceptance
+// path: a failing durable backend opens the breaker (degraded mode: /ready
+// refuses, answers still ack from the live tier), and once the backend heals
+// the half-open probe recovers everything — dirty queue to zero, breaker
+// closed, ready again — with no operator action. A restart on the same dir
+// then proves every acked answer was durable.
+func TestServiceDegradedModeAndAutoRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("breaker recovery waits out real cooldowns; skipped with -short")
+	}
+	dir := t.TempDir()
+	disk, err := persist.NewFile(persist.FileOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := persist.NewFaultStore(disk, persist.FaultSpec{})
+	svc, err := New(Config{Persist: fs, Logger: obs.NopLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := svc.CreateOrRestore(CreateRequest{
+		Dists: serviceSessionDists(t, 6), K: 2, Budget: 40, Reliability: 0.9, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := info.ID
+	waitStats(t, svc, func(s Stats) bool { return s.Store.DirtySessions == 0 })
+	if h := svc.Health(); !h.Ready || h.DegradedMode {
+		t.Fatalf("healthy baseline: %+v", h)
+	}
+
+	// Break the backend and keep acking answers from the live tier.
+	fs.SetSpec(persist.FaultSpec{ErrRate: map[persist.Op]float64{persist.OpPut: 1}})
+	rng := rand.New(rand.NewSource(3))
+	acked := info.Asked
+	submit := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			qv, err := svc.Questions(id, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(qv.Questions) == 0 {
+				return
+			}
+			q := qv.Questions[0]
+			av, err := svc.Answers(id, []Answer{{I: q.I, J: q.J, Yes: rng.Intn(2) == 0}})
+			if err != nil {
+				t.Fatalf("answers while degraded: %v", err)
+			}
+			acked += av.Accepted
+		}
+	}
+	submit(3)
+	waitStats(t, svc, func(s Stats) bool { return s.Store.DegradedMode })
+	h := svc.Health()
+	if h.Ready || !h.DegradedMode || h.BreakerState == string(breakerClosed) {
+		t.Fatalf("degraded health: %+v", h)
+	}
+	if len(h.Reasons) == 0 {
+		t.Fatal("degraded health carries no reason")
+	}
+	st := svc.Stats()
+	if st.Store.DirtySessions == 0 || !st.Store.DegradedMode {
+		t.Fatalf("degraded stats: %+v", st.Store)
+	}
+	// Still serving: reads and writes keep working off the live tier.
+	submit(2)
+	if _, err := svc.Result(id); err != nil {
+		t.Fatalf("result while degraded: %v", err)
+	}
+
+	// Heal and wait: the half-open probe must recover everything by itself.
+	fs.Heal()
+	waitStats(t, svc, func(s Stats) bool {
+		return s.Store.DirtySessions == 0 && !s.Store.DegradedMode
+	})
+	if h := svc.Health(); !h.Ready || h.BreakerState != string(breakerClosed) {
+		t.Fatalf("recovered health: %+v", h)
+	}
+	if svc.Stats().Store.PersistRetries == 0 {
+		t.Error("recovery recorded no persist retries")
+	}
+	svc.Close()
+
+	// Every acked answer survived: a fresh service on the same dir recovers
+	// the session with the full answer count.
+	svc2, err := New(Config{Persist: mustOpenFile(t, dir), Logger: obs.NopLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	qv, err := svc2.Questions(id, 1)
+	if err != nil {
+		t.Fatalf("recovered session: %v", err)
+	}
+	if qv.Asked != acked {
+		t.Fatalf("recovered asked = %d, want %d acked answers", qv.Asked, acked)
+	}
+}
+
+// waitStats polls the service's stats until cond holds.
+func waitStats(t *testing.T, svc *Service, cond func(Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for !cond(svc.Stats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never converged: %+v", svc.Stats().Store)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func mustOpenFile(t *testing.T, dir string) *persist.File {
+	t.Helper()
+	f, err := persist.NewFile(persist.FileOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}

@@ -22,6 +22,8 @@ var (
 		"Sessions created, by origin.", "origin") // fresh | restore
 	mAdmissionRejected = obs.Default.CounterVec("crowdtopk_admission_rejected_total",
 		"Requests rejected at admission, by reason.", "reason") // rate | inflight
+	mBreakerTransitions = obs.Default.CounterVec("crowdtopk_breaker_transitions_total",
+		"Durable-tier circuit breaker transitions, by state entered.", "state") // closed | open | half-open
 )
 
 // registerCollectors points the scrape-time gauge/counter families at this
@@ -60,6 +62,30 @@ func (s *Service) registerCollectors() {
 		"Lazy loads that found nothing anywhere.", func() float64 { return float64(st.hydraMisses.Load()) })
 	r.CounterFunc("crowdtopk_persist_errors_total",
 		"Failed durable writes (answers stay live).", func() float64 { return float64(st.persistErrors.Load()) })
+	r.CounterFunc("crowdtopk_persist_retries_total",
+		"Durable-write attempts that were retries of a failure.", func() float64 {
+			if st.bg == nil {
+				return 0
+			}
+			return float64(st.bg.retryCount())
+		})
+	r.CounterFunc("crowdtopk_evictions_refused_total",
+		"Evictions refused because acked answers were not yet durable.",
+		func() float64 { return float64(st.evictionsRefused.Load()) })
+	r.GaugeFunc("crowdtopk_degraded_mode",
+		"1 while the durable-tier circuit breaker is non-closed (degraded serving).",
+		func() float64 {
+			if st.degraded() {
+				return 1
+			}
+			return 0
+		})
+	r.GaugeFunc("crowdtopk_sessions_quarantined",
+		"Known sessions whose durable copies sit in the quarantine area.",
+		func() float64 { return float64(st.quarantinedCount()) })
+	r.CounterFunc("crowdtopk_quarantines_total",
+		"Corrupt sessions moved to the quarantine area by this process.",
+		func() float64 { return float64(st.quarantines.Load()) })
 
 	pool := s.pool
 	r.GaugeFunc("crowdtopk_pool_workers_in_use",
@@ -122,6 +148,7 @@ func (s *Service) registerCollectors() {
 					{Labels: []string{"recover"}, Value: float64(c.RecoveredSessions)},
 					{Labels: []string{"fsync"}, Value: float64(c.Fsyncs)},
 					{Labels: []string{"torn_tail"}, Value: float64(c.TornTails)},
+					{Labels: []string{"quarantine"}, Value: float64(c.Quarantines)},
 				}
 			})
 	}

@@ -1,27 +1,76 @@
 package service
 
-import "sync"
+import (
+	"log/slog"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Retry policy for failed durable writes.
+const (
+	// retryBaseDelay and retryMaxDelay bound the exponential backoff between
+	// retries of one session's failed write (jitter on top).
+	retryBaseDelay = 25 * time.Millisecond
+	retryMaxDelay  = 5 * time.Second
+	// retryBudget is how many consecutive failed attempts a session gets at
+	// backoff cadence before it is parked at parkedRetryEvery. Parked
+	// sessions stay dirty and stay queued — acked answers are never dropped
+	// — they just stop competing for attempts until the backend shows life.
+	retryBudget      = 6
+	parkedRetryEvery = 30 * time.Second
+)
+
+// retryEntry is the persister's bookkeeping for one dirty session.
+type retryEntry struct {
+	attempts int       // consecutive failures in this dirty cycle
+	due      time.Time // earliest next attempt (zero = immediately)
+	parked   bool      // retry budget exhausted; slow cadence until a success
+	lastGen  uint64    // latest urgency generation this entry was attempted in
+}
 
 // persister coalesces dirty-session notifications and writes them to the
 // durable backend from one background goroutine. Sessions are persisted
 // whole-delta at a time: many answers accepted while a write is in flight
 // collapse into the next write, so a hot session costs one disk append per
 // drain, not per answer.
+//
+// Failed writes are retried with exponential backoff + jitter under a
+// per-session budget, and every outcome feeds the circuit breaker: while it
+// is open only the half-open probe touches the backend, so a dead disk sees
+// one write per cooldown instead of a retry storm. flush and stopAndDrain
+// declare an urgency generation — every dirty session gets one immediate
+// attempt regardless of backoff or breaker — which is what bounds a
+// graceful shutdown over a broken backend.
 type persister struct {
-	persist func(id string) // the store's persistOne
+	persist func(id string) error // the store's persistOne
+	brk     *breaker
+	log     *slog.Logger
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	dirty    map[string]struct{}
-	inflight bool
-	stopped  bool
-	done     chan struct{}
+	mu         sync.Mutex
+	cond       *sync.Cond
+	rng        *rand.Rand // backoff jitter; guarded by mu
+	dirty      map[string]*retryEntry
+	inflight   bool
+	inflightID string
+	stopped    bool
+	flushing   int    // active flush calls (urgent mode)
+	gen        uint64 // urgency generation, bumped by flush/stopAndDrain
+	done       chan struct{}
+
+	retries    atomic.Uint64 // persist attempts that were retries of a failure
+	parkEvents atomic.Uint64 // sessions that exhausted their retry budget
 }
 
-func newPersister(persist func(string)) *persister {
+func newPersister(persist func(string) error, brk *breaker, log *slog.Logger) *persister {
 	p := &persister{
 		persist: persist,
-		dirty:   make(map[string]struct{}),
+		brk:     brk,
+		log:     log,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		dirty:   make(map[string]*retryEntry),
 		done:    make(chan struct{}),
 	}
 	p.cond = sync.NewCond(&p.mu)
@@ -29,11 +78,21 @@ func newPersister(persist func(string)) *persister {
 	return p
 }
 
-// enqueue marks a session dirty. Duplicate marks coalesce.
+// enqueue marks a session dirty. Duplicate marks coalesce; a parked session
+// gets a fresh retry budget (new acked answers mean new urgency, and the
+// backend may have healed without a breaker probe noticing yet).
 func (p *persister) enqueue(id string) {
 	p.mu.Lock()
 	if !p.stopped {
-		p.dirty[id] = struct{}{}
+		if e, ok := p.dirty[id]; ok {
+			if e.parked {
+				e.parked = false
+				e.attempts = 0
+				e.due = time.Time{}
+			}
+		} else {
+			p.dirty[id] = &retryEntry{}
+		}
 		p.cond.Broadcast()
 	}
 	p.mu.Unlock()
@@ -51,48 +110,236 @@ func (p *persister) pending() int {
 	return n
 }
 
-// flush blocks until every enqueued session has been written.
+// retryCount reports how many persist attempts were retries of a failure.
+func (p *persister) retryCount() uint64 { return p.retries.Load() }
+
+// flush pushes every dirty session to the backend: each gets one immediate
+// attempt regardless of backoff or breaker state, then flush returns — so a
+// healthy backend drains fully, and a broken one costs one failed write per
+// dirty session instead of blocking forever.
 func (p *persister) flush() {
 	p.mu.Lock()
-	for len(p.dirty) > 0 || p.inflight {
+	p.gen++
+	gen := p.gen
+	p.flushing++
+	for _, e := range p.dirty {
+		e.due = time.Time{}
+	}
+	p.cond.Broadcast()
+	for {
+		if !p.inflight && (len(p.dirty) == 0 || p.allAttemptedLocked(gen)) {
+			break
+		}
 		p.cond.Wait()
 	}
+	p.flushing--
 	p.mu.Unlock()
 }
 
-// stopAndDrain writes everything still queued, then stops the goroutine.
-func (p *persister) stopAndDrain() {
+// allAttemptedLocked reports whether every dirty session has been attempted
+// at least once in generation gen or later. Called with p.mu held.
+func (p *persister) allAttemptedLocked(gen uint64) bool {
+	for _, e := range p.dirty {
+		if e.lastGen < gen {
+			return false
+		}
+	}
+	return true
+}
+
+// stopAndDrain gives every dirty session one final write attempt and stops
+// the goroutine, never blocking past deadline: a wedged backend must not
+// hang SIGTERM. It returns the ids left dirty (abandoned in memory; their
+// durable copies are stale), empty on a clean drain.
+func (p *persister) stopAndDrain(deadline time.Time) (left []string) {
 	p.mu.Lock()
 	p.stopped = true
+	p.gen++
+	gen := p.gen
+	for _, e := range p.dirty {
+		e.due = time.Time{}
+	}
 	p.cond.Broadcast()
+	for {
+		if !p.inflight && (len(p.dirty) == 0 || p.allAttemptedLocked(gen)) {
+			break
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			break
+		}
+		p.timedWaitLocked(remain)
+	}
+	if p.inflightID != "" {
+		left = append(left, p.inflightID)
+	}
+	for id := range p.dirty {
+		left = append(left, id)
+	}
+	sort.Strings(left)
 	p.mu.Unlock()
-	<-p.done
+	return left
+}
+
+// timedWaitLocked waits on the condvar, waking after at most d. Called with
+// p.mu held.
+func (p *persister) timedWaitLocked(d time.Duration) {
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	t := time.AfterFunc(d, func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	p.cond.Wait()
+	t.Stop()
+}
+
+// pickLocked chooses the next session to attempt: in urgent mode (flush or
+// drain) anything not yet attempted this generation, otherwise anything past
+// its due time — earliest due first, so backoff order is respected. Called
+// with p.mu held.
+func (p *persister) pickLocked(urgent bool, now time.Time) (string, *retryEntry) {
+	var bestID string
+	var best *retryEntry
+	for id, e := range p.dirty {
+		if urgent {
+			if e.lastGen >= p.gen {
+				continue
+			}
+		} else if e.due.After(now) {
+			continue
+		}
+		if best == nil || e.due.Before(best.due) {
+			best, bestID = e, id
+		}
+	}
+	return bestID, best
+}
+
+// nextDueLocked returns how long until the earliest dirty session is due
+// (zero when something is due already, a long poll when nothing is queued).
+// Called with p.mu held.
+func (p *persister) nextDueLocked(now time.Time) time.Duration {
+	wake := time.Second
+	for _, e := range p.dirty {
+		if d := e.due.Sub(now); d < wake {
+			wake = d
+		}
+	}
+	return wake
+}
+
+// backoff is the wait before retry number attempts, with jitter. Called with
+// p.mu held (the jitter source is guarded by it).
+func (p *persister) backoff(attempts int) time.Duration {
+	shift := attempts - 1
+	if shift > 8 { // 25ms << 8 is already past the cap
+		shift = 8
+	}
+	d := retryBaseDelay << shift
+	if d > retryMaxDelay {
+		d = retryMaxDelay
+	}
+	return d + time.Duration(p.rng.Int63n(int64(d)/2+1))
+}
+
+// unparkAllLocked resets every parked session to immediate retry — called
+// after any successful write, which proves the backend is alive again.
+// Called with p.mu held.
+func (p *persister) unparkAllLocked() {
+	for _, e := range p.dirty {
+		if e.parked {
+			e.parked = false
+			e.attempts = 0
+			e.due = time.Time{}
+		}
+	}
 }
 
 func (p *persister) loop() {
 	defer close(p.done)
 	p.mu.Lock()
 	for {
-		for len(p.dirty) == 0 && !p.stopped {
-			p.cond.Wait()
-		}
-		if len(p.dirty) == 0 { // stopped and drained
+		if p.stopped && (len(p.dirty) == 0 || p.allAttemptedLocked(p.gen)) {
 			p.mu.Unlock()
 			return
 		}
-		var id string
-		for k := range p.dirty {
-			id = k
-			break
+		if len(p.dirty) == 0 {
+			p.cond.Wait()
+			continue
+		}
+		now := time.Now()
+		urgent := p.stopped || p.flushing > 0
+		if !urgent {
+			// Breaker gate: while open, wait out the cooldown; allow() then
+			// admits this goroutine as the single half-open probe.
+			if ok, wait := p.brk.allow(); !ok {
+				p.timedWaitLocked(wait)
+				continue
+			}
+		}
+		id, entry := p.pickLocked(urgent, now)
+		if id == "" {
+			// Everything is backing off (or already attempted this urgent
+			// generation): sleep until the earliest due time or a new mark.
+			p.timedWaitLocked(p.nextDueLocked(now))
+			continue
 		}
 		delete(p.dirty, id)
+		if entry.attempts > 0 {
+			p.retries.Add(1)
+		}
+		attempted := *entry
+		attempted.lastGen = p.gen
 		p.inflight = true
+		p.inflightID = id
 		p.mu.Unlock()
 
-		p.persist(id)
+		err := p.persist(id)
+		if err == nil {
+			p.brk.success()
+		} else {
+			p.brk.failure()
+		}
 
 		p.mu.Lock()
 		p.inflight = false
+		p.inflightID = ""
+		if err == nil {
+			// Any success proves the backend is alive: retry parked sessions
+			// right away instead of waiting out their slow cadence.
+			p.unparkAllLocked()
+			p.cond.Broadcast()
+			continue
+		}
+		if cur, ok := p.dirty[id]; ok {
+			// Re-marked while the failed write was in flight: keep the fresh
+			// entry (due immediately) but carry the attempt bookkeeping so
+			// the backoff ladder and urgency accounting stay truthful.
+			cur.attempts = attempted.attempts + 1
+			cur.lastGen = attempted.lastGen
+		} else {
+			attempted.attempts++
+			if p.stopped {
+				// Final drain attempt failed; leave the entry for the
+				// left-dirty report and let the exit condition see it.
+			} else if attempted.attempts >= retryBudget {
+				if !attempted.parked {
+					p.parkEvents.Add(1)
+					if p.log != nil {
+						p.log.Warn("persister: retry budget exhausted, parking session",
+							"session", id, "attempts", attempted.attempts, "retry_every", parkedRetryEvery.String())
+					}
+				}
+				attempted.parked = true
+				attempted.due = now.Add(parkedRetryEvery + p.backoff(1))
+			} else {
+				attempted.due = now.Add(p.backoff(attempted.attempts))
+			}
+			p.dirty[id] = &attempted
+		}
 		p.cond.Broadcast()
 	}
 }

@@ -71,11 +71,20 @@ type Config struct {
 	// excess requests fail fast with ErrOverloaded instead of queueing into
 	// the shared worker pool (0 = uncapped).
 	MaxInflight int
+	// ShutdownTimeout bounds how long Close waits for the final durable
+	// drain (0 = DefaultShutdownTimeout). A wedged backend must not hang
+	// SIGTERM forever; sessions still dirty at the deadline are abandoned
+	// with a logged list of ids.
+	ShutdownTimeout time.Duration
 }
 
 // DefaultTTL is the idle eviction default used by the serve subcommand and
 // the SDK.
 const DefaultTTL = 30 * time.Minute
+
+// DefaultShutdownTimeout bounds the Close-time durable drain when
+// Config.ShutdownTimeout is zero.
+const DefaultShutdownTimeout = 10 * time.Second
 
 // ErrBadInput reports a request the service cannot act on: a malformed
 // answer batch, an out-of-range argument. Transports map it to their
@@ -109,6 +118,27 @@ func (e *StorageError) Error() string { return fmt.Sprintf("service: %s: %v", e.
 
 func (e *StorageError) Unwrap() error { return e.Err }
 
+// ErrQuarantined is the errors.Is target for requests against a session
+// whose durable copy was corrupt and has been moved to the quarantine area.
+// Unlike a transient StorageError the condition is permanent until an
+// operator intervenes (fsck, restore from the quarantine dir, or delete), so
+// transports map it to a "gone" failure rather than a retryable 5xx.
+var ErrQuarantined = errors.New("service: session quarantined")
+
+// QuarantinedError identifies which session is quarantined and why (one of
+// the persist.Reason* constants).
+type QuarantinedError struct {
+	ID     string
+	Reason string
+}
+
+func (e *QuarantinedError) Error() string {
+	return fmt.Sprintf("service: session %s quarantined (%s): durable copy is unrecoverable", e.ID, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrQuarantined) true for every QuarantinedError.
+func (e *QuarantinedError) Is(target error) bool { return target == ErrQuarantined }
+
 // Service is the engine-facing session core. Create one with New and Close
 // it when done; all methods are safe for concurrent use.
 type Service struct {
@@ -129,7 +159,21 @@ func New(cfg Config) (*Service, error) {
 	if logger == nil {
 		logger = obs.NopLogger()
 	}
-	st, err := newStore(cfg.TTL, cfg.MaxSessions, cfg.Persist, logger)
+	// Breaker transitions are operator-grade events: counted, and written to
+	// the audit log so a degraded-mode episode leaves a durable trace next
+	// to the answers it may have delayed.
+	onBreaker := func(from, to string) {
+		mBreakerTransitions.With(to).Inc()
+		if cfg.Audit != nil {
+			cfg.Audit.Log(auditBreakerEvent{
+				Time: time.Now().UTC().Format(time.RFC3339Nano),
+				Kind: "degraded_mode",
+				From: from,
+				To:   to,
+			})
+		}
+	}
+	st, err := newStore(cfg.TTL, cfg.MaxSessions, cfg.Persist, logger, cfg.ShutdownTimeout, onBreaker)
 	if err != nil {
 		return nil, err
 	}
@@ -184,14 +228,20 @@ func (s *Service) Admit(client string) (release func(), err error) {
 
 // HealthView is the health/readiness snapshot. Ready is the conjunction the
 // serving layer reports on GET /ready: the durable backend's boot scan
-// completed, the session pool has capacity for another create, and the most
-// recent durable write did not fail.
+// completed, the session pool has capacity for another create, the most
+// recent durable write did not fail, and the durable tier's circuit breaker
+// is closed.
 type HealthView struct {
-	Ready           bool     `json:"ready"`
-	BootScanDone    bool     `json:"boot_scan_done"`
-	PoolSaturated   bool     `json:"pool_saturated"`
-	PersistErroring bool     `json:"persist_erroring"`
-	Reasons         []string `json:"reasons,omitempty"`
+	Ready           bool `json:"ready"`
+	BootScanDone    bool `json:"boot_scan_done"`
+	PoolSaturated   bool `json:"pool_saturated"`
+	PersistErroring bool `json:"persist_erroring"`
+	// DegradedMode: the durable-tier breaker is open (or probing): the
+	// service serves from the live tier, queues dirty sessions, and refuses
+	// evictions until the backend heals.
+	DegradedMode bool     `json:"degraded_mode"`
+	BreakerState string   `json:"breaker_state,omitempty"`
+	Reasons      []string `json:"reasons,omitempty"`
 }
 
 // Health reports liveness-adjacent readiness state. It is cheap enough to
@@ -201,6 +251,8 @@ func (s *Service) Health() HealthView {
 		BootScanDone:    s.store.bootScanned.Load(),
 		PoolSaturated:   s.store.saturated(),
 		PersistErroring: s.store.persistFailing.Load(),
+		DegradedMode:    s.store.degraded(),
+		BreakerState:    s.store.breakerState(),
 	}
 	if !h.BootScanDone {
 		h.Reasons = append(h.Reasons, "store boot scan in progress")
@@ -210,6 +262,9 @@ func (s *Service) Health() HealthView {
 	}
 	if h.PersistErroring {
 		h.Reasons = append(h.Reasons, "durable writes failing")
+	}
+	if h.DegradedMode {
+		h.Reasons = append(h.Reasons, "durable tier degraded (circuit breaker "+h.BreakerState+")")
 	}
 	h.Ready = len(h.Reasons) == 0
 	return h
@@ -329,7 +384,15 @@ type ListEntry struct {
 	// after a successful persist — the signal that finds stuck-dirty
 	// sessions without grepping logs.
 	PersistError string `json:"persist_error,omitempty"`
+	// QuarantineReason is set (with State "quarantined") when the session's
+	// durable copy was corrupt and has been moved to the quarantine area:
+	// one of corrupt-snapshot, missing-snapshot, corrupt-wal, unreadable.
+	QuarantineReason string `json:"quarantine_reason,omitempty"`
 }
+
+// StateQuarantined is the listing state for sessions whose durable copy has
+// been quarantined; it never appears in session lifecycle transitions.
+const StateQuarantined session.State = "quarantined"
 
 // StoreStats is the stats view of the session store's two tiers.
 type StoreStats struct {
@@ -346,6 +409,18 @@ type StoreStats struct {
 	HydrationHits   uint64 `json:"hydration_hits"`
 	HydrationMisses uint64 `json:"hydration_misses"`
 	PersistErrors   uint64 `json:"persist_errors"`
+	// PersistRetries counts durable-write attempts that were retries of a
+	// failure; EvictionsRefused counts evictions the janitor refused because
+	// the session's acked answers were not yet durable.
+	PersistRetries   uint64 `json:"persist_retries"`
+	EvictionsRefused uint64 `json:"evictions_refused"`
+	// DegradedMode mirrors the durable-tier breaker being non-closed;
+	// BreakerState is its state name (absent in memory-only mode).
+	DegradedMode bool   `json:"degraded_mode"`
+	BreakerState string `json:"breaker_state,omitempty"`
+	// QuarantinedSessions counts known sessions whose durable copies sit in
+	// the quarantine area.
+	QuarantinedSessions int `json:"quarantined_sessions"`
 	// Persist carries the backend's own counters (snapshots, wal_appends,
 	// replays, recovered_sessions, fsyncs) when it exposes them.
 	Persist *persist.CounterSnapshot `json:"persist,omitempty"`
@@ -547,6 +622,16 @@ type auditAnswer struct {
 	Yes bool `json:"yes"`
 }
 
+// auditBreakerEvent is the audit-log record for a durable-tier circuit
+// breaker transition: when the service entered or left degraded mode and
+// through which states.
+type auditBreakerEvent struct {
+	Time string `json:"time"`
+	Kind string `json:"kind"` // "degraded_mode"
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
 // auditAnswers emits the batch's audit event. Enqueueing never blocks; a
 // stalled sink drops events and counts the loss.
 func (s *Service) auditAnswers(id string, answers []Answer, accepted int,
@@ -643,6 +728,10 @@ func (s *Service) List(limit int) ListView {
 			Hydrated:     it.hydrated,
 			PersistError: it.persistErr,
 		}
+		if it.quarantined {
+			e.State = StateQuarantined
+			e.QuarantineReason = it.quarReason
+		}
 		// The session object was captured inside the store's listing
 		// snapshot; resolving the id again here would race concurrent
 		// deletes and evictions into rows marked hydrated but carrying no
@@ -673,6 +762,11 @@ func (s *Service) Stats() Stats {
 	if s.store.disk != nil {
 		st.Backend = "file"
 		st.DirtySessions = s.store.bg.pending()
+		st.PersistRetries = s.store.bg.retryCount()
+		st.EvictionsRefused = s.store.evictionsRefused.Load()
+		st.DegradedMode = s.store.degraded()
+		st.BreakerState = s.store.breakerState()
+		st.QuarantinedSessions = s.store.quarantinedCount()
 		if cs, ok := s.store.disk.(persist.CounterSource); ok {
 			c := cs.Counters()
 			st.Persist = &c

@@ -40,6 +40,11 @@ type meta struct {
 	// (empty after a successful persist). Surfaced in the session listing so
 	// operators can find stuck-dirty sessions without grepping logs.
 	lastErr string
+	// quarantined: the durable copy was corrupt and has been moved to the
+	// quarantine area; the id is listed (state=quarantined) but not
+	// servable. quarantineReason is one of the persist.Reason* constants.
+	quarantined      bool
+	quarantineReason string
 }
 
 // store layers the server's session registry over the persist subsystem:
@@ -49,13 +54,15 @@ type meta struct {
 // misses hydrate from it lazily. Without a durable backend the behavior is
 // exactly the pre-persistence server: TTL eviction drops sessions for good.
 type store struct {
-	ttl time.Duration
-	max int
-	log *slog.Logger
+	ttl          time.Duration
+	max          int
+	log          *slog.Logger
+	closeTimeout time.Duration // bound on the shutdown drain
 
 	live *persist.Memory // hydrated sessions (the cache tier)
 	disk persist.Store   // nil in memory-only mode
 	bg   *persister      // nil in memory-only mode
+	brk  *breaker        // nil in memory-only mode
 
 	// bootScanned flips once the durable backend's id scan completed (true
 	// from construction in memory-only mode); persistFailing tracks whether
@@ -69,10 +76,12 @@ type store struct {
 	reserved  int                      // capacity claimed by creates still building
 	hydrated  int                      // count of meta entries with hydrated=true
 
-	evictions     atomic.Uint64 // sessions moved memory → disk by the janitor
-	hydraHits     atomic.Uint64 // lazy loads that found the session on disk
-	hydraMisses   atomic.Uint64 // misses that found nothing anywhere
-	persistErrors atomic.Uint64 // failed durable writes (answers stay live)
+	evictions        atomic.Uint64 // sessions moved memory → disk by the janitor
+	evictionsRefused atomic.Uint64 // evictions refused to protect unpersisted answers
+	hydraHits        atomic.Uint64 // lazy loads that found the session on disk
+	hydraMisses      atomic.Uint64 // misses that found nothing anywhere
+	persistErrors    atomic.Uint64 // failed durable writes (answers stay live)
+	quarantines      atomic.Uint64 // corrupt sessions moved aside by this process
 
 	stop      chan struct{}
 	done      chan struct{}
@@ -82,32 +91,64 @@ type store struct {
 // newStore builds the registry. With a durable backend it scans the backend
 // once so every persisted session is addressable immediately after a
 // restart (the scan reads ids only; sessions hydrate lazily on first
-// access).
-func newStore(ttl time.Duration, max int, disk persist.Store, log *slog.Logger) (*store, error) {
+// access). Individual unreadable session directories are skipped (or
+// quarantined, for backends that can) with a warning — startup fails only
+// when the data dir itself is unusable. onBreaker, if non-nil, observes
+// durable-tier circuit breaker transitions (for audit/metrics).
+func newStore(ttl time.Duration, max int, disk persist.Store, log *slog.Logger,
+	closeTimeout time.Duration, onBreaker func(from, to string)) (*store, error) {
+	if closeTimeout <= 0 {
+		closeTimeout = DefaultShutdownTimeout
+	}
 	s := &store{
-		ttl:       ttl,
-		max:       max,
-		log:       log,
-		live:      persist.NewMemory(),
-		disk:      disk,
-		meta:      make(map[string]*meta),
-		hydrating: make(map[string]chan struct{}),
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
+		ttl:          ttl,
+		max:          max,
+		log:          log,
+		closeTimeout: closeTimeout,
+		live:         persist.NewMemory(),
+		disk:         disk,
+		meta:         make(map[string]*meta),
+		hydrating:    make(map[string]chan struct{}),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
 	}
 	if disk != nil {
 		start := time.Now()
-		ids, err := disk.List()
-		if err != nil {
-			return nil, fmt.Errorf("service: scanning persisted sessions: %w", err)
+		var ids []string
+		var quarantined []persist.QuarantineInfo
+		if sc, ok := disk.(persist.Scanner); ok {
+			res, err := sc.Scan()
+			if err != nil {
+				return nil, fmt.Errorf("service: scanning persisted sessions: %w", err)
+			}
+			ids = res.IDs
+			quarantined = res.Quarantined
+			for _, name := range res.Skipped {
+				s.log.Warn("store: boot scan skipped unusable entry", "entry", name)
+			}
+		} else {
+			var err error
+			ids, err = disk.List()
+			if err != nil {
+				return nil, fmt.Errorf("service: scanning persisted sessions: %w", err)
+			}
 		}
 		now := time.Now()
 		for _, id := range ids {
 			s.meta[id] = &meta{lastUsed: now, persisted: true}
 		}
-		s.bg = newPersister(s.persistOne)
+		for _, q := range quarantined {
+			s.meta[q.ID] = &meta{lastUsed: now, quarantined: true, quarantineReason: q.Reason}
+		}
+		s.brk = newBreaker(func(from, to breakerState) {
+			s.log.Warn("store: durable-tier breaker transition", "from", string(from), "to", string(to))
+			if onBreaker != nil {
+				onBreaker(string(from), string(to))
+			}
+		})
+		s.bg = newPersister(s.persistOne, s.brk, log)
 		s.log.Info("store: boot scan complete", "persisted_sessions", len(ids),
-			"duration", time.Since(start))
+			"quarantined_sessions", len(quarantined), "duration", time.Since(start))
 	}
 	s.bootScanned.Store(true)
 	go s.janitor()
@@ -228,27 +269,30 @@ func (s *store) markDirty(id string, sess *session.Session) {
 
 // persistOne writes one session's pending state to the durable backend. It
 // runs on the persister goroutine, the janitor's eviction path, and Flush —
-// never under s.mu, because a file-backend Put fsyncs.
-func (s *store) persistOne(id string) {
+// never under s.mu, because a file-backend Put fsyncs. The error return
+// feeds the persister's retry/backoff loop and the circuit breaker; a nil
+// return also covers "nothing to do".
+func (s *store) persistOne(id string) error {
 	s.mu.Lock()
 	m := s.meta[id]
-	if m == nil || !m.hydrated {
+	if m == nil || !m.hydrated || m.quarantined {
 		s.mu.Unlock()
-		return
+		return nil
 	}
 	gen := m.dirtyGen
 	if m.persisted && gen == m.persistedGen {
 		s.mu.Unlock()
-		return
+		return nil
 	}
 	s.mu.Unlock()
 	sess, err := s.live.Get(id)
 	if err != nil {
-		return // evicted or deleted in the window
+		return nil // evicted or deleted in the window
 	}
 	if err := s.disk.Put(id, sess); err != nil {
-		// The answers are still live in memory; the next accepted answer
-		// re-queues the session, so a transient disk error heals itself.
+		// The answers are still live in memory; the persister retries with
+		// backoff until the write lands, so a transient disk error heals
+		// itself without waiting for the next accepted answer.
 		s.persistErrors.Add(1)
 		s.persistFailing.Store(true)
 		s.log.Warn("store: durable write failed", "session", id, "error", err)
@@ -257,7 +301,7 @@ func (s *store) persistOne(id string) {
 			m2.lastErr = err.Error()
 		}
 		s.mu.Unlock()
-		return
+		return err
 	}
 	s.persistFailing.Store(false)
 	s.mu.Lock()
@@ -269,6 +313,7 @@ func (s *store) persistOne(id string) {
 		}
 	}
 	s.mu.Unlock()
+	return nil
 }
 
 // get returns the session and refreshes its TTL, lazily hydrating from the
@@ -278,6 +323,11 @@ func (s *store) get(id string) (*session.Session, error) {
 	for {
 		s.mu.Lock()
 		m := s.meta[id]
+		if m != nil && m.quarantined {
+			reason := m.quarantineReason
+			s.mu.Unlock()
+			return nil, &QuarantinedError{ID: id, Reason: reason}
+		}
 		if m != nil && m.hydrated {
 			m.lastUsed = time.Now()
 			s.mu.Unlock()
@@ -334,6 +384,11 @@ func (s *store) hydrate(id string) (*session.Session, error) {
 		return nil, ErrNotFound
 	}
 	if err != nil {
+		if errors.Is(err, persist.ErrCorrupt) {
+			if q := s.quarantine(id, err); q != nil {
+				return nil, q
+			}
+		}
 		// A durable-tier failure, not a client mistake: wrap it so transports
 		// report a server-side error even when the underlying cause (say, a
 		// digest mismatch from a corrupted snapshot) would otherwise read as
@@ -373,6 +428,35 @@ func (s *store) hydrate(id string) (*session.Session, error) {
 	s.hydraHits.Add(1)
 	s.log.Info("store: session hydrated from durable backend", "session", id)
 	return sess, nil
+}
+
+// quarantine moves a corrupt session's durable data out of the serving path
+// (when the backend supports it) and marks its meta entry quarantined, so
+// the id stops 500ing on every hydration and is listed with a typed reason
+// instead. Returns the error to serve, or nil when the backend cannot
+// quarantine (the caller falls back to a plain storage error).
+func (s *store) quarantine(id string, cause error) error {
+	q, ok := s.disk.(persist.Quarantiner)
+	if !ok {
+		return nil
+	}
+	reason, detail := persist.QuarantineReasonFor(cause)
+	if err := q.Quarantine(id, reason, detail); err != nil {
+		s.log.Warn("store: quarantining corrupt session failed", "session", id, "error", err)
+		return nil
+	}
+	s.mu.Lock()
+	if m := s.meta[id]; m != nil && !m.hydrated {
+		m.quarantined = true
+		m.quarantineReason = reason
+		m.persisted = false
+		m.lastErr = ""
+	}
+	s.mu.Unlock()
+	s.quarantines.Add(1)
+	s.log.Warn("store: corrupt session quarantined",
+		"session", id, "reason", reason, "detail", detail)
+	return &QuarantinedError{ID: id, Reason: reason}
 }
 
 // remove deletes a session from every tier; it reports whether the id
@@ -427,8 +511,12 @@ func (s *store) saturated() bool {
 func (s *store) stateCounts() map[string]int {
 	s.mu.Lock()
 	sessions := make([]*session.Session, 0, s.hydrated)
-	disk := 0
+	disk, quarantined := 0, 0
 	for id, m := range s.meta {
+		if m.quarantined {
+			quarantined++
+			continue
+		}
 		if !m.hydrated {
 			disk++
 			continue
@@ -442,6 +530,9 @@ func (s *store) stateCounts() map[string]int {
 	if disk > 0 {
 		counts["disk"] = disk
 	}
+	if quarantined > 0 {
+		counts["quarantined"] = quarantined
+	}
 	for _, sess := range sessions {
 		counts[string(sess.State())]++
 	}
@@ -450,11 +541,13 @@ func (s *store) stateCounts() map[string]int {
 
 // listItem is one row of the store's session listing.
 type listItem struct {
-	id         string
-	idle       time.Duration
-	hydrated   bool
-	persisted  bool
-	persistErr string
+	id          string
+	idle        time.Duration
+	hydrated    bool
+	persisted   bool
+	persistErr  string
+	quarantined bool
+	quarReason  string
 	// sess is the resident session object, captured under the same lock
 	// hold that read hydrated. Re-resolving the id after list returns would
 	// race deletes and evictions, producing rows that claim a live session
@@ -482,11 +575,13 @@ func (s *store) list(limit int) (items []listItem, total int) {
 	for _, id := range ids {
 		m := s.meta[id]
 		it := listItem{
-			id:         id,
-			idle:       now.Sub(m.lastUsed),
-			hydrated:   m.hydrated,
-			persisted:  m.persisted,
-			persistErr: m.lastErr,
+			id:          id,
+			idle:        now.Sub(m.lastUsed),
+			hydrated:    m.hydrated,
+			persisted:   m.persisted,
+			persistErr:  m.lastErr,
+			quarantined: m.quarantined,
+			quarReason:  m.quarantineReason,
 		}
 		if it.hydrated {
 			if sess, err := s.live.Get(id); err == nil {
@@ -521,24 +616,87 @@ func (s *store) flush() {
 	}
 	s.mu.Unlock()
 	for _, id := range pending {
-		s.persistOne(id)
+		_ = s.persistOne(id)
 	}
 	_ = s.disk.Flush()
 }
 
-// close stops the janitor and the persister (flushing pending writes), then
-// drops every live session. It is idempotent, so embedders that both defer
-// Close and call it on a shutdown-signal path do not panic on the second
-// call.
+// degraded reports whether the durable tier's circuit breaker is non-closed:
+// writes are being withheld and the service is serving from the live tier
+// only. Always false in memory-only mode.
+func (s *store) degraded() bool { return s.brk != nil && s.brk.degraded() }
+
+// breakerState returns the durable-tier breaker state ("" in memory-only
+// mode) for stats.
+func (s *store) breakerState() string {
+	if s.brk == nil {
+		return ""
+	}
+	return string(s.brk.currentState())
+}
+
+// quarantinedCount counts known sessions currently marked quarantined.
+func (s *store) quarantinedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, m := range s.meta {
+		if m.quarantined {
+			n++
+		}
+	}
+	return n
+}
+
+// close stops the janitor and the persister (pushing pending writes under
+// the shutdown deadline — a wedged backend must not hang SIGTERM forever),
+// then drops every live session. It is idempotent, so embedders that both
+// defer Close and call it on a shutdown-signal path do not panic on the
+// second call.
 func (s *store) close() {
 	s.closeOnce.Do(func() {
 		close(s.stop)
 		<-s.done
 		if s.bg != nil {
-			s.bg.stopAndDrain()
-			s.flush()
-			_ = s.disk.Close()
-			s.log.Info("store: drained and closed durable backend")
+			deadline := time.Now().Add(s.closeTimeout)
+			left := s.bg.stopAndDrain(deadline)
+			if len(left) > 0 {
+				s.log.Warn("store: shutdown drain abandoned dirty sessions",
+					"count", len(left), "sessions", left,
+					"timeout", s.closeTimeout.String())
+			} else {
+				// Catch stragglers the queue never saw (a markDirty racing
+				// the drain), then sync the backend.
+				s.mu.Lock()
+				var pending []string
+				for id, m := range s.meta {
+					if m.hydrated && (!m.persisted || m.dirtyGen > m.persistedGen) {
+						pending = append(pending, id)
+					}
+				}
+				s.mu.Unlock()
+				for _, id := range pending {
+					_ = s.persistOne(id)
+				}
+			}
+			// Flush and close under what remains of the deadline: both can
+			// block indefinitely on a wedged backend.
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				_ = s.disk.Flush()
+				_ = s.disk.Close()
+			}()
+			remain := time.Until(deadline)
+			if remain < 100*time.Millisecond {
+				remain = 100 * time.Millisecond
+			}
+			select {
+			case <-done:
+				s.log.Info("store: drained and closed durable backend")
+			case <-time.After(remain):
+				s.log.Warn("store: durable backend close timed out", "timeout", s.closeTimeout.String())
+			}
 		}
 		s.mu.Lock()
 		s.meta = make(map[string]*meta)
@@ -607,24 +765,40 @@ func (s *store) evictIdle(now time.Time) {
 
 // evictToDisk persists one idle session and releases its memory, unless it
 // became active (or accepted answers) while we were writing — then it stays
-// live and the next sweep retries.
+// live and the next sweep retries. While the durable tier is degraded the
+// janitor does not touch the backend at all: eviction switches to
+// refuse-instead-of-drop, so acked answers are never lost to a broken disk,
+// and the retry loop (not the janitor) owns getting them durable.
 func (s *store) evictToDisk(id string, now time.Time) {
-	s.persistOne(id)
+	if s.degraded() {
+		s.evictionsRefused.Add(1)
+		s.bg.enqueue(id)
+		return
+	}
+	_ = s.persistOne(id)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	m := s.meta[id]
 	if m == nil || !m.hydrated {
+		s.mu.Unlock()
 		return
 	}
 	if now.Sub(m.lastUsed) <= s.ttl {
+		s.mu.Unlock()
 		return // touched while persisting
 	}
 	if !m.persisted || m.dirtyGen > m.persistedGen {
-		return // persist failed or raced an answer; keep it live, retry later
+		// Persist failed or raced an answer: the session must stay live, and
+		// the retry loop must own it — without the re-enqueue nothing would
+		// try again until the next accepted answer.
+		s.mu.Unlock()
+		s.evictionsRefused.Add(1)
+		s.bg.enqueue(id)
+		return
 	}
 	m.hydrated = false
 	s.hydrated--
 	_ = s.live.Delete(id)
+	s.mu.Unlock()
 	s.evictions.Add(1)
 	s.log.Debug("store: idle session evicted to disk", "session", id)
 }

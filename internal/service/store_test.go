@@ -38,7 +38,7 @@ func newDiskStore(t *testing.T) *store {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := newStore(time.Minute, 0, disk, obs.NopLogger())
+	st, err := newStore(time.Minute, 0, disk, obs.NopLogger(), 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestMarkDirtyResolvesHydrationFork(t *testing.T) {
 // (meta present, memory tier empty) nor lose an already-captured one to a
 // concurrent delete.
 func TestListRowsInternallyConsistent(t *testing.T) {
-	st, err := newStore(time.Minute, 0, nil, obs.NopLogger())
+	st, err := newStore(time.Minute, 0, nil, obs.NopLogger(), 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,76 @@
+package session
+
+import (
+	"bytes"
+	"testing"
+
+	"crowdtopk/internal/dataset"
+	"crowdtopk/internal/tpo"
+)
+
+// fuzzSeedEnvelope builds a valid mid-query checkpoint envelope for the
+// corpus: restored state with accepted answers and pending questions is the
+// richest decode path.
+func fuzzSeedEnvelope(tb testing.TB) []byte {
+	ds, err := dataset.Generate(dataset.Spec{N: 5, Width: 2.2, Seed: 9})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s, err := New(Config{Dists: ds, K: 2, Budget: 6, Seed: 4})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	qs, _, err := s.NextQuestions(2)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if len(qs) > 0 {
+		if err := s.SubmitAnswer(tpo.Answer{Q: qs[0], Yes: true}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzCheckpointDecode throws arbitrary bytes at both checkpoint decoders:
+// PeekCheckpoint (the boot scan's shallow metadata read) and Restore (the
+// full hydration path, digest check and tree rebuild included). Checkpoints
+// cross trust boundaries — the HTTP restore endpoint accepts client-supplied
+// envelopes, and a disk can hand back anything — so neither decoder may
+// panic, and whatever Restore accepts must be internally consistent enough
+// to serve questions.
+func FuzzCheckpointDecode(f *testing.F) {
+	valid := fuzzSeedEnvelope(f)
+	f.Add([]byte{})
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"version":1}`))
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	tampered := append([]byte(nil), valid...)
+	if i := bytes.Index(tampered, []byte(`"digest"`)); i >= 0 && i+20 < len(tampered) {
+		tampered[i+15] ^= 0x01
+	}
+	f.Add(tampered)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The shallow peek must never panic, whatever the bytes.
+		_, _ = PeekCheckpoint(data)
+
+		s, err := Restore(bytes.NewReader(data), nil)
+		if err != nil {
+			return
+		}
+		// Restore accepted the envelope: the session must actually work.
+		st := s.Status()
+		if st.Asked < 0 || st.Asked > st.Budget {
+			t.Fatalf("restored inconsistent status %+v", st)
+		}
+		if _, _, err := s.NextQuestions(1); err != nil && !s.State().Terminal() {
+			t.Fatalf("restored session cannot serve questions: %v", err)
+		}
+	})
+}

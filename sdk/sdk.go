@@ -68,6 +68,11 @@ type Options struct {
 	// recovery, hydration, persist failures, evictions). nil disables
 	// logging.
 	Logger *slog.Logger
+	// ShutdownTimeout bounds how long Close waits for the final durable
+	// drain (0 = the service default of 10s). Sessions still dirty at the
+	// deadline are abandoned with a logged list of ids — a wedged disk must
+	// not hang the embedder's shutdown forever.
+	ShutdownTimeout time.Duration
 }
 
 // Storage configures the durable file-backed session store: one directory
@@ -95,6 +100,11 @@ var (
 	ErrNotFound = service.ErrNotFound
 	// ErrFull reports that the client is at its MaxSessions capacity.
 	ErrFull = service.ErrFull
+	// ErrQuarantined reports a session whose durable copy was corrupt and
+	// has been moved to the data dir's quarantine area. Unlike a transient
+	// storage fault the condition is permanent until an operator intervenes
+	// (crowdtopk fsck, restore from quarantine/, or Delete).
+	ErrQuarantined = service.ErrQuarantined
 )
 
 // BatchError reports an answer batch that failed partway: Accepted answers
@@ -123,10 +133,11 @@ type Client struct {
 // hydrate lazily on first access).
 func New(opts Options) (*Client, error) {
 	cfg := service.Config{
-		Workers:     opts.Workers,
-		TTL:         opts.TTL,
-		MaxSessions: opts.MaxSessions,
-		Logger:      opts.Logger,
+		Workers:         opts.Workers,
+		TTL:             opts.TTL,
+		MaxSessions:     opts.MaxSessions,
+		Logger:          opts.Logger,
+		ShutdownTimeout: opts.ShutdownTimeout,
 	}
 	if opts.Storage != nil {
 		policy := persist.SyncAlways
@@ -374,6 +385,9 @@ type ListEntry struct {
 	// once a write succeeds again — the per-session view of the store-wide
 	// PersistErrors counter.
 	PersistError string
+	// QuarantineReason is set (with State "quarantined") when the session's
+	// durable copy was corrupt and has been moved to the quarantine area.
+	QuarantineReason string
 }
 
 // List is one page of the session listing.
@@ -390,14 +404,15 @@ func (c *Client) List(limit int) List {
 	out := List{Sessions: make([]ListEntry, len(view.Sessions)), Total: view.Total}
 	for i, e := range view.Sessions {
 		out.Sessions[i] = ListEntry{
-			ID:           e.ID,
-			State:        crowdtopk.SessionState(e.State),
-			Asked:        e.Asked,
-			Pending:      e.Pending,
-			IdleSeconds:  e.IdleSeconds,
-			Persisted:    e.Persisted,
-			Hydrated:     e.Hydrated,
-			PersistError: e.PersistError,
+			ID:               e.ID,
+			State:            crowdtopk.SessionState(e.State),
+			Asked:            e.Asked,
+			Pending:          e.Pending,
+			IdleSeconds:      e.IdleSeconds,
+			Persisted:        e.Persisted,
+			Hydrated:         e.Hydrated,
+			PersistError:     e.PersistError,
+			QuarantineReason: e.QuarantineReason,
 		}
 	}
 	return out
@@ -411,6 +426,7 @@ type PersistStats struct {
 	RecoveredSessions uint64
 	Fsyncs            uint64
 	TornWALTails      uint64
+	Quarantines       uint64
 }
 
 // StoreStats describes the session store's two tiers.
@@ -428,6 +444,19 @@ type StoreStats struct {
 	HydrationHits   uint64
 	HydrationMisses uint64
 	PersistErrors   uint64
+	// PersistRetries counts durable-write attempts that were retries of an
+	// earlier failure; EvictionsRefused counts evictions the janitor declined
+	// because acked answers were not yet durable.
+	PersistRetries   uint64
+	EvictionsRefused uint64
+	// DegradedMode is true while the durable-tier circuit breaker is
+	// non-closed; BreakerState names the breaker state ("closed", "open",
+	// "half-open") and is empty without Storage.
+	DegradedMode bool
+	BreakerState string
+	// QuarantinedSessions counts known sessions whose durable copies sit in
+	// the quarantine area.
+	QuarantinedSessions int
 	// Persist is nil without Storage.
 	Persist *PersistStats
 }
@@ -463,7 +492,12 @@ type Health struct {
 	BootScanDone    bool
 	PoolSaturated   bool
 	PersistErroring bool
-	Reasons         []string
+	// DegradedMode is true while the durable-tier circuit breaker is open or
+	// half-open: reads serve from the live tier, dirty sessions queue for
+	// retry, and Ready is false. BreakerState names the breaker state.
+	DegradedMode bool
+	BreakerState string
+	Reasons      []string
 }
 
 // Health reports the client's readiness state — the same decision the HTTP
@@ -475,6 +509,8 @@ func (c *Client) Health() Health {
 		BootScanDone:    h.BootScanDone,
 		PoolSaturated:   h.PoolSaturated,
 		PersistErroring: h.PersistErroring,
+		DegradedMode:    h.DegradedMode,
+		BreakerState:    h.BreakerState,
 		Reasons:         h.Reasons,
 	}
 }
@@ -493,6 +529,12 @@ func (c *Client) Stats() Stats {
 			HydrationHits:   st.Store.HydrationHits,
 			HydrationMisses: st.Store.HydrationMisses,
 			PersistErrors:   st.Store.PersistErrors,
+
+			PersistRetries:      st.Store.PersistRetries,
+			EvictionsRefused:    st.Store.EvictionsRefused,
+			DegradedMode:        st.Store.DegradedMode,
+			BreakerState:        st.Store.BreakerState,
+			QuarantinedSessions: st.Store.QuarantinedSessions,
 		},
 		PCacheHitRate: st.PCache.HitRate,
 	}
@@ -504,6 +546,7 @@ func (c *Client) Stats() Stats {
 			RecoveredSessions: p.RecoveredSessions,
 			Fsyncs:            p.Fsyncs,
 			TornWALTails:      p.TornTails,
+			Quarantines:       p.Quarantines,
 		}
 	}
 	return out
