@@ -22,6 +22,8 @@ import (
 	"os/exec"
 	"strconv"
 	"strings"
+
+	"crowdtopk/internal/benchfmt"
 )
 
 // defaultBench covers the residual-sweep primitives, the end-to-end figure
@@ -34,26 +36,6 @@ const defaultBench = "BenchmarkSelectionPrimitives|BenchmarkFig1b|BenchmarkPersi
 // the -pkg flag; benchmark names are globally unique, so one report file
 // can hold all of them).
 const defaultPkgs = ".,./internal/persist"
-
-// Result is one benchmark line.
-type Result struct {
-	Name    string             `json:"name"`
-	Iters   int64              `json:"iterations"`
-	NsPerOp float64            `json:"ns_per_op"`
-	BPerOp  float64            `json:"bytes_per_op,omitempty"`
-	Allocs  float64            `json:"allocs_per_op,omitempty"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Report is the file schema.
-type Report struct {
-	Bench     string   `json:"bench"`
-	Benchtime string   `json:"benchtime"`
-	GoOS      string   `json:"goos,omitempty"`
-	GoArch    string   `json:"goarch,omitempty"`
-	CPU       string   `json:"cpu,omitempty"`
-	Results   []Result `json:"results"`
-}
 
 func main() {
 	bench := flag.String("bench", defaultBench, "benchmark regexp passed to go test -bench")
@@ -77,12 +59,7 @@ func main() {
 	rep.Bench = *bench
 	rep.Benchtime = *benchtime
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+	if err := benchfmt.WriteFile(*out, rep); err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 		os.Exit(1)
 	}
@@ -98,8 +75,8 @@ func main() {
 // parse extracts benchmark lines from go test output. Format per line:
 //
 //	BenchmarkName-8   <iters>   <v> ns/op   [<v> unit]...
-func parse(out string) *Report {
-	rep := &Report{}
+func parse(out string) *benchfmt.Report {
+	rep := &benchfmt.Report{}
 	for _, line := range strings.Split(out, "\n") {
 		switch {
 		case strings.HasPrefix(line, "goos:"):
@@ -128,7 +105,7 @@ func parse(out string) *Report {
 		if err != nil {
 			continue
 		}
-		r := Result{Name: name, Iters: iters}
+		r := benchfmt.Result{Name: name, Iters: iters}
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
@@ -154,16 +131,16 @@ func parse(out string) *Report {
 }
 
 // diff prints fresh/recorded ratios for benchmarks present in both reports.
-func diff(path string, fresh *Report) error {
+func diff(path string, fresh *benchfmt.Report) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	var base Report
+	var base benchfmt.Report
 	if err := json.Unmarshal(data, &base); err != nil {
 		return err
 	}
-	byName := make(map[string]Result, len(base.Results))
+	byName := make(map[string]benchfmt.Result, len(base.Results))
 	for _, r := range base.Results {
 		byName[r.Name] = r
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -64,7 +65,7 @@ func cmdDemo(args []string) error {
 		for i, d := range ds {
 			names[i] = fmt.Sprintf("t%d %s", i, d)
 		}
-		info, err := svc.CreateOrRestore(service.CreateRequest{
+		info, err := svc.CreateOrRestore(context.Background(), service.CreateRequest{
 			Dists: ds, Names: names, K: *k, Budget: *budget,
 			Algorithm: *alg, Measure: *measure, Seed: *seed,
 		})
@@ -75,7 +76,7 @@ func cmdDemo(args []string) error {
 		if err := client.run(svc, info.ID); err != nil {
 			return err
 		}
-		res, err := svc.Result(info.ID)
+		res, err := svc.Result(context.Background(), info.ID)
 		if err != nil {
 			return err
 		}

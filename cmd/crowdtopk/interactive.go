@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -28,7 +29,7 @@ func newInteractiveClient(in io.Reader, out io.Writer) *interactiveClient {
 // the service's typed operations.
 func (c *interactiveClient) run(svc *service.Service, id string) error {
 	for {
-		view, err := svc.Questions(id, 1)
+		view, err := svc.Questions(context.Background(), id, 1)
 		if err != nil {
 			return err
 		}
@@ -37,7 +38,7 @@ func (c *interactiveClient) run(svc *service.Service, id string) error {
 		}
 		q := view.Questions[0]
 		yes := c.prompt(q.Prompt)
-		if _, err := svc.Answers(id, []service.Answer{{I: q.I, J: q.J, Yes: yes}}); err != nil {
+		if _, err := svc.Answers(context.Background(), id, []service.Answer{{I: q.I, J: q.J, Yes: yes}}); err != nil {
 			return err
 		}
 	}

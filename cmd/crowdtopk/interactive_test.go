@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -57,7 +58,7 @@ func TestInteractiveClientDrivesSession(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer svc.Close()
-	info, err := svc.CreateOrRestore(service.CreateRequest{Dists: ds, K: 2, Budget: 6})
+	info, err := svc.CreateOrRestore(context.Background(), service.CreateRequest{Dists: ds, K: 2, Budget: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestInteractiveClientDrivesSession(t *testing.T) {
 	if err := c.run(svc, info.ID); err != nil {
 		t.Fatal(err)
 	}
-	res, err := svc.Result(info.ID)
+	res, err := svc.Result(context.Background(), info.ID)
 	if err != nil {
 		t.Fatal(err)
 	}

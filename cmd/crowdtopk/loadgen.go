@@ -1,0 +1,529 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	crowdtopk "crowdtopk"
+	"crowdtopk/internal/benchfmt"
+	"crowdtopk/internal/crowd"
+	"crowdtopk/internal/dataset"
+	"crowdtopk/internal/dist"
+	"crowdtopk/internal/service"
+	"crowdtopk/internal/tpo"
+	"crowdtopk/sdk"
+)
+
+// The loadgen subcommand measures serving capacity: N concurrent simulated
+// crowd sessions drive a target server (or the in-process SDK) through the
+// full session protocol — create, pull questions, answer with configurable
+// accuracy, read the result, delete — and the harness sweeps concurrency
+// levels, recording throughput, per-route latency percentiles, and
+// shed/degraded counts into BENCH_serve.json (cmd/benchreport's schema, so
+// the same diff tooling reads both benchmark files).
+
+type lgOptions struct {
+	target    string // base URL of a running serve; empty drives the in-process SDK
+	levels    []int
+	duration  time.Duration
+	n         int
+	k         int
+	budget    int
+	algorithm string
+	accuracy  float64
+	seed      int64
+}
+
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	target := fs.String("target", "", "base URL of a running `crowdtopk serve` (e.g. http://127.0.0.1:8080); empty drives the in-process SDK")
+	levels := fs.String("concurrency", "1,4,16", "comma-separated concurrency levels to sweep")
+	duration := fs.Duration("duration", 10*time.Second, "measurement window per concurrency level")
+	n := fs.Int("n", 12, "tuples per session dataset")
+	k := fs.Int("k", 3, "result size K")
+	budget := fs.Int("budget", 16, "crowd-answer budget per session")
+	algorithm := fs.String("algorithm", "", "session algorithm (empty = server default)")
+	accuracy := fs.Float64("accuracy", 0.9, "probability a simulated answer is correct")
+	seed := fs.Int64("seed", 1, "workload seed (dataset, truth sampling, answer noise)")
+	out := fs.String("out", "BENCH_serve.json", "output report path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := lgOptions{
+		target: strings.TrimRight(*target, "/"), duration: *duration,
+		n: *n, k: *k, budget: *budget, algorithm: *algorithm,
+		accuracy: *accuracy, seed: *seed,
+	}
+	for _, tok := range strings.Split(*levels, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || c < 1 {
+			return fmt.Errorf("loadgen: bad concurrency level %q", tok)
+		}
+		opts.levels = append(opts.levels, c)
+	}
+	rep, err := runLoadgen(opts, os.Stderr)
+	if err != nil {
+		return err
+	}
+	if err := benchfmt.WriteFile(*out, rep); err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: wrote %s (%d results)\n", *out, len(rep.Results))
+	return nil
+}
+
+// runLoadgen runs the full sweep and builds the report. Factored off the
+// flag parsing so tests drive it against httptest servers.
+func runLoadgen(opts lgOptions, progress io.Writer) (*benchfmt.Report, error) {
+	ds, err := dataset.Generate(dataset.Spec{
+		N: opts.n, Family: dataset.Uniform, Width: 2.0, Spacing: 0.5, Seed: opts.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	specs, err := dataset.SpecsOf(ds)
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := newTarget(opts.target, specs)
+	if err != nil {
+		return nil, err
+	}
+	defer tgt.close()
+
+	rep := &benchfmt.Report{
+		Bench:     "ServeLoadgen",
+		Benchtime: opts.duration.String(),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		CPU:       fmt.Sprintf("%d logical CPUs", runtime.NumCPU()),
+	}
+	for _, c := range opts.levels {
+		if progress != nil {
+			fmt.Fprintf(progress, "loadgen: level c=%d for %s...\n", c, opts.duration)
+		}
+		res, err := runLevel(tgt, ds, opts, c)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, res...)
+	}
+	return rep, nil
+}
+
+// runLevel drives one concurrency level for the configured window and
+// reports one Result per route plus a level total.
+func runLevel(tgt lgTarget, ds []dist.Distribution, opts lgOptions, workers int) ([]benchfmt.Result, error) {
+	rc := &recorder{lat: map[string][]time.Duration{}}
+	ctx, cancel := context.WithTimeout(context.Background(), opts.duration)
+	defer cancel()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.seed + int64(wid)*7919))
+			for ctx.Err() == nil {
+				runSession(ctx, tgt, ds, opts, rc, rng)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if rc.errors.Load() > 0 && rc.total() == 0 {
+		return nil, fmt.Errorf("loadgen: c=%d produced only errors (%d) — is the target up?", workers, rc.errors.Load())
+	}
+	return rc.results(workers, opts.duration, tgt.degraded()), nil
+}
+
+// runSession plays one full session against the target: answers flow in
+// whenever questions are pending, with per-answer correctness drawn at the
+// configured accuracy against a freshly sampled ground-truth world.
+func runSession(ctx context.Context, tgt lgTarget, ds []dist.Distribution, opts lgOptions, rc *recorder, rng *rand.Rand) {
+	truth := crowd.SampleTruth(ds, rng)
+	id, err := timed(ctx, rc, "create", func() (string, error) {
+		return tgt.create(opts.k, opts.budget, opts.algorithm, rng.Int63())
+	})
+	if err != nil {
+		return
+	}
+	defer func() {
+		_, _ = timed(ctx, rc, "delete", func() (struct{}, error) { return struct{}{}, tgt.delete(id) })
+	}()
+	for ctx.Err() == nil {
+		qs, state, err := timed2(ctx, rc, "questions", func() ([]tpo.Question, string, error) {
+			return tgt.questions(id, 0)
+		})
+		if err != nil || len(qs) == 0 || state == "converged" || state == "exhausted" {
+			break
+		}
+		answers := make([]wireAnswer, len(qs))
+		for i, q := range qs {
+			a := truth.Correct(q)
+			yes := a.Yes
+			if rng.Float64() >= opts.accuracy {
+				yes = !yes
+			}
+			answers[i] = wireAnswer{I: q.I, J: q.J, Yes: yes}
+		}
+		if _, err := timed(ctx, rc, "answers", func() (struct{}, error) {
+			return struct{}{}, tgt.answers(id, answers)
+		}); err != nil {
+			break
+		}
+	}
+	_, _ = timed(ctx, rc, "result", func() (struct{}, error) { return struct{}{}, tgt.result(id) })
+	rc.sessions.Add(1)
+}
+
+// errShed classifies an admission rejection (429/503): counted, never timed,
+// and the worker backs off briefly instead of hot-spinning into the limiter.
+var errShed = errors.New("shed")
+
+// timed runs one target call, records its latency under route on success,
+// and translates sheds into a short backoff.
+func timed[T any](ctx context.Context, rc *recorder, route string, f func() (T, error)) (T, error) {
+	start := time.Now()
+	v, err := f()
+	switch {
+	case err == nil:
+		rc.observe(route, time.Since(start))
+	case errors.Is(err, errShed):
+		rc.shed.Add(1)
+		select {
+		case <-ctx.Done():
+		case <-time.After(10 * time.Millisecond):
+		}
+	default:
+		rc.errors.Add(1)
+	}
+	return v, err
+}
+
+func timed2[A, B any](ctx context.Context, rc *recorder, route string, f func() (A, B, error)) (A, B, error) {
+	var b B
+	a, err := timed(ctx, rc, route, func() (A, error) {
+		var err error
+		var av A
+		av, b, err = f()
+		return av, err
+	})
+	return a, b, err
+}
+
+// recorder accumulates per-route latencies and level-wide counters.
+type recorder struct {
+	mu       sync.Mutex
+	lat      map[string][]time.Duration
+	shed     atomic.Int64
+	errors   atomic.Int64
+	sessions atomic.Int64
+}
+
+func (rc *recorder) observe(route string, d time.Duration) {
+	rc.mu.Lock()
+	rc.lat[route] = append(rc.lat[route], d)
+	rc.mu.Unlock()
+}
+
+func (rc *recorder) total() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	n := 0
+	for _, l := range rc.lat {
+		n += len(l)
+	}
+	return n
+}
+
+// results renders the level's measurements: one Result per route with mean
+// latency (ns_per_op) and p50/p95/p99 percentiles, plus a total row with
+// request throughput and the shed/error/degraded counters.
+func (rc *recorder) results(workers int, window time.Duration, degraded bool) []benchfmt.Result {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	routes := make([]string, 0, len(rc.lat))
+	for r := range rc.lat {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	var out []benchfmt.Result
+	total := 0
+	for _, r := range routes {
+		lats := rc.lat[r]
+		total += len(lats)
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		var sum time.Duration
+		for _, d := range lats {
+			sum += d
+		}
+		out = append(out, benchfmt.Result{
+			Name:    fmt.Sprintf("ServeLoadgen/c=%d/%s", workers, r),
+			Iters:   int64(len(lats)),
+			NsPerOp: float64(sum.Nanoseconds()) / float64(len(lats)),
+			Metrics: map[string]float64{
+				"p50_ns": float64(percentile(lats, 0.50).Nanoseconds()),
+				"p95_ns": float64(percentile(lats, 0.95).Nanoseconds()),
+				"p99_ns": float64(percentile(lats, 0.99).Nanoseconds()),
+				"rps":    float64(len(lats)) / window.Seconds(),
+			},
+		})
+	}
+	deg := 0.0
+	if degraded {
+		deg = 1
+	}
+	out = append(out, benchfmt.Result{
+		Name:  fmt.Sprintf("ServeLoadgen/c=%d/total", workers),
+		Iters: int64(total),
+		Metrics: map[string]float64{
+			"rps":      float64(total) / window.Seconds(),
+			"sessions": float64(rc.sessions.Load()),
+			"shed":     float64(rc.shed.Load()),
+			"errors":   float64(rc.errors.Load()),
+			"degraded": deg,
+		},
+	})
+	return out
+}
+
+// percentile reads the q-quantile of a sorted latency slice (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// ---- targets ----
+
+type wireAnswer struct {
+	I   int  `json:"i"`
+	J   int  `json:"j"`
+	Yes bool `json:"yes"`
+}
+
+// lgTarget abstracts the system under load: a remote serve process over
+// HTTP, or the in-process SDK (useful to separate protocol cost from stack
+// cost). Implementations translate admission rejections into errShed.
+type lgTarget interface {
+	create(k, budget int, algorithm string, seed int64) (string, error)
+	questions(id string, n int) ([]tpo.Question, string, error)
+	answers(id string, answers []wireAnswer) error
+	result(id string) error
+	delete(id string) error
+	degraded() bool
+	close()
+}
+
+func newTarget(base string, specs []dataset.DistSpec) (lgTarget, error) {
+	if base != "" {
+		return &httpTarget{base: base, specs: specs, c: &http.Client{Timeout: 60 * time.Second}}, nil
+	}
+	return newSDKTarget(specs)
+}
+
+// httpTarget speaks the v1 JSON protocol against a running serve.
+type httpTarget struct {
+	base  string
+	specs []dataset.DistSpec
+	c     *http.Client
+}
+
+func (t *httpTarget) do(method, path string, body, into any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, t.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := t.c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("%w: %s %s: %s", errShed, method, path, resp.Status)
+	case resp.StatusCode >= 400:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, msg)
+	}
+	if into == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+func (t *httpTarget) create(k, budget int, algorithm string, seed int64) (string, error) {
+	req := map[string]any{"tuples": t.specs, "k": k, "budget": budget, "seed": seed}
+	if algorithm != "" {
+		req["algorithm"] = algorithm
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := t.do("POST", "/v1/sessions", req, &info); err != nil {
+		return "", err
+	}
+	return info.ID, nil
+}
+
+func (t *httpTarget) questions(id string, n int) ([]tpo.Question, string, error) {
+	path := "/v1/sessions/" + id + "/questions"
+	if n > 0 {
+		path += "?n=" + strconv.Itoa(n)
+	}
+	var view struct {
+		State     string `json:"state"`
+		Questions []struct {
+			I int `json:"i"`
+			J int `json:"j"`
+		} `json:"questions"`
+	}
+	if err := t.do("GET", path, nil, &view); err != nil {
+		return nil, "", err
+	}
+	qs := make([]tpo.Question, len(view.Questions))
+	for i, q := range view.Questions {
+		qs[i] = tpo.NewQuestion(q.I, q.J)
+	}
+	return qs, view.State, nil
+}
+
+func (t *httpTarget) answers(id string, answers []wireAnswer) error {
+	return t.do("POST", "/v1/sessions/"+id+"/answers", map[string]any{"answers": answers}, nil)
+}
+
+func (t *httpTarget) result(id string) error {
+	return t.do("GET", "/v1/sessions/"+id+"/result", nil, nil)
+}
+
+func (t *httpTarget) delete(id string) error {
+	return t.do("DELETE", "/v1/sessions/"+id, nil, nil)
+}
+
+func (t *httpTarget) degraded() bool {
+	var h struct {
+		DegradedMode bool `json:"degraded_mode"`
+	}
+	if err := t.do("GET", "/health", nil, &h); err != nil {
+		return false
+	}
+	return h.DegradedMode
+}
+
+func (t *httpTarget) close() {}
+
+// sdkTarget drives the embedded service core directly — same protocol, no
+// HTTP — so comparing it against an httpTarget run isolates codec cost.
+type sdkTarget struct {
+	client *sdk.Client
+	ds     *crowdtopk.Dataset
+}
+
+func newSDKTarget(specs []dataset.DistSpec) (*sdkTarget, error) {
+	scores := make([]crowdtopk.Uncertain, len(specs))
+	for i, sp := range specs {
+		if sp.Family != "uniform" || len(sp.Params) != 2 {
+			return nil, fmt.Errorf("loadgen: sdk target supports the uniform dataset family, got %q", sp.Family)
+		}
+		lo, hi := sp.Params[0], sp.Params[1]
+		scores[i] = crowdtopk.UniformScore((lo+hi)/2, hi-lo)
+	}
+	ds, err := crowdtopk.NewDataset(scores)
+	if err != nil {
+		return nil, err
+	}
+	client, err := sdk.New(sdk.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &sdkTarget{client: client, ds: ds}, nil
+}
+
+func (t *sdkTarget) create(k, budget int, algorithm string, seed int64) (string, error) {
+	info, err := t.client.CreateSession(sdk.SessionConfig{
+		Dataset: t.ds,
+		Query: crowdtopk.Query{
+			K: k, Budget: budget, Algorithm: crowdtopk.Algorithm(algorithm), Seed: seed,
+		},
+	})
+	if err != nil {
+		return "", sdkErr(err)
+	}
+	return info.ID, nil
+}
+
+func (t *sdkTarget) questions(id string, n int) ([]tpo.Question, string, error) {
+	view, err := t.client.Questions(id, n)
+	if err != nil {
+		return nil, "", sdkErr(err)
+	}
+	qs := make([]tpo.Question, len(view.Questions))
+	for i, q := range view.Questions {
+		qs[i] = tpo.NewQuestion(q.I, q.J)
+	}
+	return qs, string(view.State), nil
+}
+
+func (t *sdkTarget) answers(id string, answers []wireAnswer) error {
+	batch := make([]crowdtopk.Answer, len(answers))
+	for i, a := range answers {
+		batch[i] = crowdtopk.Answer{Q: crowdtopk.Question{I: a.I, J: a.J}, Yes: a.Yes}
+	}
+	_, err := t.client.SubmitAnswers(id, batch...)
+	return sdkErr(err)
+}
+
+func (t *sdkTarget) result(id string) error {
+	_, err := t.client.Result(id)
+	return sdkErr(err)
+}
+
+func (t *sdkTarget) delete(id string) error { return sdkErr(t.client.Delete(id)) }
+
+func (t *sdkTarget) degraded() bool { return t.client.Health().DegradedMode }
+
+func (t *sdkTarget) close() { t.client.Close() }
+
+// sdkErr maps the SDK's admission errors onto the shed classification the
+// HTTP target derives from 429/503.
+func sdkErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, service.ErrFull) || errors.Is(err, service.ErrRateLimited) || errors.Is(err, service.ErrOverloaded) {
+		return fmt.Errorf("%w: %v", errShed, err)
+	}
+	return err
+}

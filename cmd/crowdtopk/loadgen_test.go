@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"crowdtopk/internal/benchfmt"
+	"crowdtopk/internal/obs"
+	"crowdtopk/internal/server"
+)
+
+// TestLoadgenSmokeHTTP drives a short single-concurrency loadgen sweep
+// against an httptest server and asserts the BENCH_serve.json schema.
+func TestLoadgenSmokeHTTP(t *testing.T) {
+	srv, err := server.New(server.Config{
+		Tracer: obs.NewTracer(obs.TracerConfig{SampleRate: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	opts := lgOptions{
+		target:   ts.URL,
+		levels:   []int{1, 2},
+		duration: 500 * time.Millisecond,
+		n:        8, k: 2, budget: 6,
+		accuracy: 0.9,
+		seed:     1,
+	}
+	rep, err := runLoadgen(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep, opts.levels)
+
+	// Round-trip through the file codec: what make bench-serve writes must
+	// decode back identically.
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := benchfmt.WriteFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"bench"`, `"benchtime"`, `"results"`, `"name"`, `"iterations"`, `"ns_per_op"`, `"metrics"`, `"p50_ns"`, `"p95_ns"`, `"p99_ns"`, `"rps"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("BENCH_serve.json missing %s", key)
+		}
+	}
+	back, err := benchfmt.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(rep.Results) {
+		t.Errorf("round-trip lost results: %d != %d", len(back.Results), len(rep.Results))
+	}
+	// The server side must have traced the generated load.
+	var tr struct {
+		Count int `json:"count"`
+	}
+	resp, err := ts.Client().Get(ts.URL + "/debug/traces?limit=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count == 0 {
+		t.Error("loadgen traffic left no traces on the target")
+	}
+}
+
+// TestLoadgenSDKTarget exercises the in-process path (no HTTP).
+func TestLoadgenSDKTarget(t *testing.T) {
+	opts := lgOptions{
+		levels:   []int{1},
+		duration: 300 * time.Millisecond,
+		n:        8, k: 2, budget: 6,
+		accuracy: 1,
+		seed:     2,
+	}
+	rep, err := runLoadgen(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep, opts.levels)
+}
+
+// checkReport asserts the report's structural invariants: one total row per
+// level carrying throughput, and per-route rows carrying the latency
+// percentiles in ascending order.
+func checkReport(t *testing.T, rep *benchfmt.Report, levels []int) {
+	t.Helper()
+	if rep.Bench != "ServeLoadgen" {
+		t.Errorf("bench name %q", rep.Bench)
+	}
+	totals := 0
+	for _, r := range rep.Results {
+		if !strings.HasPrefix(r.Name, "ServeLoadgen/c=") {
+			t.Errorf("result name %q", r.Name)
+		}
+		if strings.HasSuffix(r.Name, "/total") {
+			totals++
+			for _, key := range []string{"rps", "sessions", "shed", "errors", "degraded"} {
+				if _, ok := r.Metrics[key]; !ok {
+					t.Errorf("%s: missing metric %q", r.Name, key)
+				}
+			}
+			continue
+		}
+		if r.Iters <= 0 || r.NsPerOp <= 0 {
+			t.Errorf("%s: iters=%d ns_per_op=%g", r.Name, r.Iters, r.NsPerOp)
+		}
+		p50, p95, p99 := r.Metrics["p50_ns"], r.Metrics["p95_ns"], r.Metrics["p99_ns"]
+		if p50 <= 0 || p95 < p50 || p99 < p95 {
+			t.Errorf("%s: percentiles not ascending: p50=%g p95=%g p99=%g", r.Name, p50, p95, p99)
+		}
+		if r.Metrics["rps"] <= 0 {
+			t.Errorf("%s: rps %g", r.Name, r.Metrics["rps"])
+		}
+	}
+	if totals != len(levels) {
+		t.Errorf("%d total rows for %d levels", totals, len(levels))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,6 +33,11 @@ func cmdServe(args []string) error {
 	maxInflight := fs.Int("max-inflight", 0, "cap on concurrently executing requests, excess gets 503 (0 = uncapped)")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 0, "bound on the final durable drain at shutdown; dirty sessions past it are abandoned with a logged list (0 = 10s default)")
 	faultSpec := fs.String("fault-spec", "", "TESTING ONLY: inject durable-store faults, e.g. 'put.err.rate=0.2,latency=5ms,seed=1' (requires -data-dir)")
+	traceSample := fs.Float64("trace-sample", 1, "head-sampling rate for request tracing in [0,1]; 0 disables tracing entirely (and /debug/traces answers 404)")
+	slowMS := fs.Duration("slow-ms", 500*time.Millisecond, "requests slower than this are always traced and logged with their span breakdown")
+	traceBuffer := fs.Int("trace-buffer", obs.DefaultTraceBuffer, "completed traces retained for /debug/traces")
+	pprofFlag := fs.Bool("pprof", false, "mount the Go profiler at /debug/pprof (refused on a non-loopback -addr unless -pprof-public)")
+	pprofPublic := fs.Bool("pprof-public", false, "allow -pprof on a non-loopback listener (exposes heap contents and CPU profiles to the network)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,6 +47,12 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("serve: unknown -log-format %q (want text or json)", *logFormat)
 	}
 	log := obs.NewLogger(os.Stderr, *logFormat)
+	if *traceSample < 0 || *traceSample > 1 {
+		return fmt.Errorf("serve: -trace-sample %g outside [0, 1]", *traceSample)
+	}
+	if *pprofFlag && !*pprofPublic && !loopbackAddr(*addr) {
+		return fmt.Errorf("serve: refusing -pprof on non-loopback address %q (add -pprof-public to override)", *addr)
+	}
 
 	cfg := server.Config{
 		Workers:         *workers,
@@ -51,6 +63,12 @@ func cmdServe(args []string) error {
 		RateBurst:       *rateBurst,
 		MaxInflight:     *maxInflight,
 		ShutdownTimeout: *shutdownTimeout,
+		EnablePprof:     *pprofFlag,
+		Tracer: obs.NewTracer(obs.TracerConfig{
+			SampleRate:    *traceSample,
+			SlowThreshold: *slowMS,
+			BufferSize:    *traceBuffer,
+		}),
 	}
 	if *faultSpec != "" && *dataDir == "" {
 		return errors.New("serve: -fault-spec requires -data-dir")
@@ -100,6 +118,9 @@ func cmdServe(args []string) error {
 		"audit_log", *auditPath,
 		"rate_limit", *rateLimit,
 		"max_inflight", *maxInflight,
+		"trace_sample", *traceSample,
+		"slow_ms", slowMS.String(),
+		"pprof", *pprofFlag,
 	)
 
 	// Header and idle timeouts so slow clients cannot pin connections
@@ -136,4 +157,18 @@ func cmdServe(args []string) error {
 		srv.Close() // flush dirty sessions to disk, drain the audit log, close the store
 		return nil
 	}
+}
+
+// loopbackAddr reports whether the listen address binds only loopback. An
+// empty host (":8080") binds every interface, so it is not loopback.
+func loopbackAddr(addr string) bool {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil || host == "" {
+		return false
+	}
+	if host == "localhost" {
+		return true
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
 }

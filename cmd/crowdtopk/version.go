@@ -1,0 +1,24 @@
+package main
+
+import (
+	"fmt"
+
+	"crowdtopk/internal/obs"
+)
+
+// cmdVersion prints the binary's build identity — the same fields exported
+// as the crowdtopk_build_info gauge on /metrics and embedded in /health, so
+// an operator can match a running server to a binary on disk.
+func cmdVersion() error {
+	bi := obs.GetBuildInfo()
+	fmt.Printf("crowdtopk %s\n", bi.Version)
+	fmt.Printf("  go:       %s\n", bi.GoVersion)
+	if bi.Revision != "" {
+		rev := bi.Revision
+		if bi.Modified {
+			rev += " (modified)"
+		}
+		fmt.Printf("  revision: %s\n", rev)
+	}
+	return nil
+}

@@ -209,4 +209,32 @@
 // plus a global max-inflight cap) lives in the service core, so abusive
 // clients shed with 429/Retry-After while everyone else keeps flowing. See
 // the README's Operations section for flags and a scrape config.
+//
+// Latency is attributed per request by a dependency-free tracer (also in
+// internal/obs): the HTTP codec opens a root span per request — joining an
+// inbound W3C traceparent and echoing one back — and every layer beneath
+// nests a child span, forming a tree whose self times (duration minus
+// children) partition the root duration exactly:
+//
+//	http.request (root)                duration 12.0ms   self  0.4ms
+//	└─ service.answers                 duration 11.6ms   self  0.7ms
+//	   ├─ session.apply                duration  1.9ms   self  1.9ms
+//	   └─ selection.plan               duration  9.0ms   self  9.0ms
+//	                                            Σ self = 12.0ms = root
+//
+// Each span charges its self time to its component (the name's prefix:
+// http, service, session, selection, persist), so "where did the
+// milliseconds go" has one non-overlapping answer per trace, aggregated
+// across requests as crowdtopk_span_self_seconds{component} histograms on
+// /metrics. Deterministic head sampling by trace id (serve -trace-sample)
+// bounds the cost; requests slower than -slow-ms are retained and logged
+// with their breakdown regardless of the sampling verdict. Retained span
+// trees are served from a bounded ring at GET /debug/traces, and the trace
+// id links each trace to its access-log line and audit events. A rate-0
+// tracer (the default for embedders) is fully inert: spans are nil and the
+// hot paths pay nothing. `crowdtopk loadgen` closes the loop on capacity —
+// it sweeps concurrency levels of full simulated-crowd session lifecycles
+// against a serve process (or the in-process SDK) and records throughput
+// and per-route latency percentiles into BENCH_serve.json (make
+// bench-serve).
 package crowdtopk

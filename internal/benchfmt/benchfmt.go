@@ -1,0 +1,54 @@
+// Package benchfmt holds the machine-readable benchmark report schema shared
+// by cmd/benchreport (which records the Go-benchmark families into
+// BENCH_selection.json) and the loadgen capacity harness (which records
+// serving throughput and latency percentiles into BENCH_serve.json). One
+// schema means one set of tooling can diff either file.
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// Result is one benchmark line: a Go testing benchmark, or one synthesized
+// measurement (loadgen emits one per concurrency level and route).
+type Result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iterations"`
+	NsPerOp float64            `json:"ns_per_op"`
+	BPerOp  float64            `json:"bytes_per_op,omitempty"`
+	Allocs  float64            `json:"allocs_per_op,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file schema.
+type Report struct {
+	Bench     string   `json:"bench"`
+	Benchtime string   `json:"benchtime"`
+	GoOS      string   `json:"goos,omitempty"`
+	GoArch    string   `json:"goarch,omitempty"`
+	CPU       string   `json:"cpu,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+// WriteFile marshals the report (indented, trailing newline) to path.
+func WriteFile(path string, rep *Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a report written by WriteFile.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -41,10 +42,10 @@ func ApplyAnswer(t *tpo.Tree, a tpo.Answer, reliability float64) (contradicted b
 // an in-place update (tombstoning pruned leaves, reweighting survivors)
 // instead of being rebuilt on the next round. A contradicted answer leaves
 // both the tree and the engine untouched. live may be nil.
-func ApplyAnswerLive(t *tpo.Tree, a tpo.Answer, reliability float64, live *selection.LiveEngine) (contradicted bool, err error) {
+func ApplyAnswerLive(ctx context.Context, t *tpo.Tree, a tpo.Answer, reliability float64, live *selection.LiveEngine) (contradicted bool, err error) {
 	contradicted, err = ApplyAnswer(t, a, reliability)
 	if err == nil && !contradicted {
-		live.Sync(t, reliability >= 1)
+		live.Sync(ctx, t, reliability >= 1)
 	}
 	return contradicted, err
 }

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary: module version, Go toolchain, and
+// the VCS revision stamped by `go build` when the source tree is a
+// repository. The same fields surface in three places — the
+// crowdtopk_build_info gauge on /metrics, the /health body, and the
+// `crowdtopk version` subcommand — so an operator can join a scrape, a probe
+// and a shell onto one build.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	// Modified reports a dirty working tree at build time.
+	Modified bool `json:"modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// GetBuildInfo reads the binary's embedded build metadata once and caches it.
+func GetBuildInfo() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{Version: "unknown", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" {
+			buildInfo.Version = bi.Main.Version
+		}
+		if bi.GoVersion != "" {
+			buildInfo.GoVersion = bi.GoVersion
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+func init() {
+	// Standard build-info idiom: a constant-1 gauge whose labels carry the
+	// identity, so dashboards join build metadata onto any other series.
+	Default.RegisterFunc("crowdtopk_build_info",
+		"Build identity of the running binary: constant 1, labeled with version, Go toolchain and VCS revision.",
+		kindGauge, []string{"version", "go_version", "revision"},
+		func() []Sample {
+			bi := GetBuildInfo()
+			return []Sample{{Labels: []string{bi.Version, bi.GoVersion, bi.Revision}, Value: 1}}
+		})
+}

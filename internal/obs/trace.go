@@ -1,0 +1,639 @@
+package obs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the request-tracing core: context-carried spans with monotonic
+// timings and typed attributes, assembled into one span tree per request. The
+// tree is the unit of everything downstream — the ring buffer behind
+// GET /debug/traces, the slow-request log, and the per-component self-time
+// histograms that give /metrics latency attribution. Dependency-free by
+// design, like the metrics registry above it: the serving stack must not drag
+// an OpenTelemetry SDK into a reproduction of a selection-algorithm paper.
+//
+// Sampling is deterministic head sampling on the trace id (a keyed
+// integer hash compared against the rate), so a request keeps or drops its
+// trace identically across processes sharing a seed — and a fixed-seed test
+// can pin the exact decisions. Retention is decided once, at root-span end:
+// a trace is kept when it was head-sampled or when its total duration
+// crossed the slow threshold (always-sample-on-slow), so the ring never
+// misses the requests an operator actually hunts.
+
+// TraceID is the 16-byte W3C trace id.
+type TraceID [16]byte
+
+// IsZero reports the invalid all-zero id.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String renders the id as 32 lowercase hex characters.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// SpanID is the 8-byte W3C parent/span id.
+type SpanID [8]byte
+
+// IsZero reports the invalid all-zero id.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the id as 16 lowercase hex characters.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// ParseTraceparent parses a W3C traceparent header value
+// (version-traceid-parentid-flags, all lowercase hex). Future versions
+// (anything but 00, except the forbidden ff) are accepted with trailing
+// fields ignored, per the spec's forward-compatibility rule.
+func ParseTraceparent(h string) (id TraceID, parent SpanID, sampled bool, err error) {
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return id, parent, false, fmt.Errorf("obs: traceparent: want 4 fields, got %d", len(parts))
+	}
+	ver := parts[0]
+	if len(ver) != 2 || !isLowerHex(ver) {
+		return id, parent, false, fmt.Errorf("obs: traceparent: bad version %q", ver)
+	}
+	if ver == "ff" {
+		return id, parent, false, fmt.Errorf("obs: traceparent: forbidden version ff")
+	}
+	if ver == "00" && len(parts) != 4 {
+		return id, parent, false, fmt.Errorf("obs: traceparent: version 00 wants exactly 4 fields, got %d", len(parts))
+	}
+	if len(parts[1]) != 32 || !isLowerHex(parts[1]) {
+		return id, parent, false, fmt.Errorf("obs: traceparent: bad trace id %q", parts[1])
+	}
+	if len(parts[2]) != 16 || !isLowerHex(parts[2]) {
+		return id, parent, false, fmt.Errorf("obs: traceparent: bad parent id %q", parts[2])
+	}
+	if len(parts[3]) != 2 || !isLowerHex(parts[3]) {
+		return id, parent, false, fmt.Errorf("obs: traceparent: bad flags %q", parts[3])
+	}
+	hex.Decode(id[:], []byte(parts[1]))
+	hex.Decode(parent[:], []byte(parts[2]))
+	if id.IsZero() {
+		return TraceID{}, SpanID{}, false, fmt.Errorf("obs: traceparent: all-zero trace id")
+	}
+	if parent.IsZero() {
+		return TraceID{}, SpanID{}, false, fmt.Errorf("obs: traceparent: all-zero parent id")
+	}
+	var flags [1]byte
+	hex.Decode(flags[:], []byte(parts[3]))
+	return id, parent, flags[0]&0x01 != 0, nil
+}
+
+// FormatTraceparent renders a version-00 traceparent header value.
+func FormatTraceparent(id TraceID, span SpanID, sampled bool) string {
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	return "00-" + id.String() + "-" + span.String() + "-" + flags
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- tracer ----
+
+// DefaultTraceBuffer is the completed-trace ring size when
+// TracerConfig.BufferSize is zero.
+const DefaultTraceBuffer = 256
+
+// TracerConfig tunes a Tracer.
+type TracerConfig struct {
+	// SampleRate is the deterministic head-sampling rate in [0, 1]: the
+	// fraction of trace ids retained regardless of duration. 0 disables
+	// tracing entirely (StartRequest returns no span and the request path
+	// pays nothing); 1 retains every trace.
+	SampleRate float64
+	// SlowThreshold marks a finished request slow when its root span's
+	// duration reaches it: the trace is retained even when not head-sampled,
+	// and OnSlow fires. 0 disables the slow path.
+	SlowThreshold time.Duration
+	// BufferSize bounds the ring of retained completed traces
+	// (0 = DefaultTraceBuffer).
+	BufferSize int
+	// Seed keys the sampling hash, so distinct deployments can decorrelate
+	// their sampled sets while any fixed seed stays reproducible.
+	Seed uint64
+	// OnSlow, when set, runs synchronously at root-span end for every slow
+	// trace (after it is in the ring). The serving layer wires it to the
+	// structured log and the audit log.
+	OnSlow func(TraceData)
+}
+
+// Tracer owns head sampling, the completed-trace ring, and the component
+// self-time histograms. A nil *Tracer is valid and permanently disabled.
+type Tracer struct {
+	rate float64
+	slow time.Duration
+	size int
+	seed uint64
+
+	mu     sync.Mutex
+	onSlow func(TraceData)
+	ring   []TraceData // newest at (next-1+size)%size once full
+	next   int
+	filled bool
+}
+
+// NewTracer builds a tracer. Rates outside [0, 1] are clamped.
+func NewTracer(cfg TracerConfig) *Tracer {
+	rate := cfg.SampleRate
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	size := cfg.BufferSize
+	if size <= 0 {
+		size = DefaultTraceBuffer
+	}
+	return &Tracer{
+		rate:   rate,
+		slow:   cfg.SlowThreshold,
+		size:   size,
+		seed:   cfg.Seed,
+		onSlow: cfg.OnSlow,
+		ring:   make([]TraceData, size),
+	}
+}
+
+// Enabled reports whether the tracer records anything at all. Rate 0 turns
+// the whole machinery off: with sampling disabled and nothing retained, the
+// per-request cost is one comparison.
+func (t *Tracer) Enabled() bool { return t != nil && t.rate > 0 }
+
+// SlowThreshold returns the configured slow cutoff (0 when disabled or nil).
+func (t *Tracer) SlowThreshold() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.slow
+}
+
+// SetOnSlow replaces the slow-trace callback (the serving layer wires it
+// after construction, once it owns a logger and audit sink).
+func (t *Tracer) SetOnSlow(fn func(TraceData)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.onSlow = fn
+	t.mu.Unlock()
+}
+
+// Sampled reports the deterministic head-sampling decision for a trace id:
+// a keyed 64-bit mix of the id compared against the rate. The decision is a
+// pure function of (seed, id), so it is identical across restarts and across
+// processes sharing a seed.
+func (t *Tracer) Sampled(id TraceID) bool {
+	if t == nil || t.rate <= 0 {
+		return false
+	}
+	if t.rate >= 1 {
+		return true
+	}
+	// FNV-1a over the id bytes, keyed by folding the seed in first.
+	h := uint64(14695981039346656037)
+	for _, b := range [8]byte{
+		byte(t.seed), byte(t.seed >> 8), byte(t.seed >> 16), byte(t.seed >> 24),
+		byte(t.seed >> 32), byte(t.seed >> 40), byte(t.seed >> 48), byte(t.seed >> 56),
+	} {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	for _, b := range id {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	// Top 53 bits → uniform float in [0, 1).
+	return float64(h>>11)/float64(1<<53) < t.rate
+}
+
+// ---- spans ----
+
+// Attr is one typed span attribute.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// spanRec is one node of a trace's span tree. Start/end carry the monotonic
+// clock reading (time.Now retains it), so durations are immune to wall-clock
+// steps.
+type spanRec struct {
+	name   string
+	id     SpanID
+	parent int32 // index into trace.spans; -1 for the root
+	start  time.Time
+	end    time.Time
+	attrs  []Attr
+}
+
+// trace is one in-flight request's span collection.
+type trace struct {
+	tracer  *Tracer
+	id      TraceID
+	remote  SpanID // parent span id from an incoming traceparent, zero otherwise
+	sampled bool   // head-sampling decision (fixed at StartRequest)
+
+	mu    sync.Mutex
+	spans []spanRec
+	seq   uint64 // span-id counter; ids need only be unique within the trace
+}
+
+// Span is a handle onto one node of a request's span tree. The zero of the
+// API is nil: every method no-ops on a nil receiver, so instrumented code
+// never branches on whether tracing is on.
+type Span struct {
+	t   *trace
+	idx int32
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying sp as the current span.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFrom returns the current span carried by ctx (nil when none).
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
+// TraceIDFrom returns the hex trace id carried by ctx, or "" when the
+// request is untraced — the join key between a trace, its audit events and
+// its access-log line.
+func TraceIDFrom(ctx context.Context) string {
+	if sp := SpanFrom(ctx); sp != nil && sp.t != nil {
+		return sp.t.id.String()
+	}
+	return ""
+}
+
+// StartRequest opens a new trace with its root span. traceparent, when
+// parseable, supplies the trace id (and remote parent) so the trace joins a
+// caller's distributed trace; a malformed or absent header starts a fresh
+// id. When the tracer is disabled the context is returned untouched with a
+// nil span: the request records nothing.
+func (t *Tracer) StartRequest(ctx context.Context, name, traceparent string) (context.Context, *Span) {
+	if !t.Enabled() {
+		return ctx, nil
+	}
+	var tr *trace
+	if traceparent != "" {
+		if id, parent, _, err := ParseTraceparent(traceparent); err == nil {
+			tr = &trace{tracer: t, id: id, remote: parent}
+		}
+	}
+	if tr == nil {
+		var id TraceID
+		if _, err := crand.Read(id[:]); err != nil || id.IsZero() {
+			return ctx, nil
+		}
+		tr = &trace{tracer: t, id: id}
+	}
+	tr.sampled = t.Sampled(tr.id)
+	tr.spans = append(tr.spans, spanRec{
+		name:   name,
+		id:     tr.nextSpanID(),
+		parent: -1,
+		start:  time.Now(),
+	})
+	sp := &Span{t: tr, idx: 0}
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// nextSpanID derives a within-trace-unique span id from the trace id and a
+// counter; global uniqueness is not needed (ids only ever meet inside this
+// trace and its traceparent propagation).
+func (tr *trace) nextSpanID() SpanID {
+	tr.seq++
+	var id SpanID
+	copy(id[:], tr.id[:8])
+	for i := 0; i < 8; i++ {
+		id[i] ^= byte(tr.seq >> (8 * i))
+	}
+	if id.IsZero() {
+		id[7] = 1
+	}
+	return id
+}
+
+// StartSpan opens a child of the current span in ctx and returns the child
+// context and span. With no current span (tracing off, or an untraced
+// caller) it returns ctx unchanged and a nil span — both safe to use.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFrom(ctx)
+	if parent == nil || parent.t == nil {
+		return ctx, nil
+	}
+	tr := parent.t
+	tr.mu.Lock()
+	idx := int32(len(tr.spans))
+	tr.spans = append(tr.spans, spanRec{
+		name:   name,
+		id:     tr.nextSpanID(),
+		parent: parent.idx,
+		start:  time.Now(),
+	})
+	tr.mu.Unlock()
+	sp := &Span{t: tr, idx: idx}
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// SetAttr attaches one typed attribute (last write wins is not needed:
+// attributes are append-only and rendered in order). No-op on nil.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil || s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	rec := &s.t.spans[s.idx]
+	rec.attrs = append(rec.attrs, Attr{Key: key, Value: value})
+	s.t.mu.Unlock()
+}
+
+// TraceID returns the hex trace id ("" on nil).
+func (s *Span) TraceID() string {
+	if s == nil || s.t == nil {
+		return ""
+	}
+	return s.t.id.String()
+}
+
+// Traceparent renders the propagation header identifying this span as the
+// parent — the value the HTTP layer echoes to clients and would forward to
+// downstream calls. Empty on nil.
+func (s *Span) Traceparent() string {
+	if s == nil || s.t == nil {
+		return ""
+	}
+	s.t.mu.Lock()
+	id := s.t.spans[s.idx].id
+	s.t.mu.Unlock()
+	return FormatTraceparent(s.t.id, id, s.t.sampled)
+}
+
+// End closes the span. Ending the root span finishes the trace: self-times
+// are attributed into the component histograms, the retention decision is
+// made (sampled || slow), and OnSlow fires for slow traces. No-op on nil;
+// a second End on the same span is ignored.
+func (s *Span) End() {
+	if s == nil || s.t == nil {
+		return
+	}
+	tr := s.t
+	tr.mu.Lock()
+	rec := &tr.spans[s.idx]
+	if rec.end.IsZero() {
+		rec.end = time.Now()
+	}
+	root := s.idx == 0
+	tr.mu.Unlock()
+	if root {
+		tr.tracer.finish(tr)
+	}
+}
+
+// ---- trace completion: attribution, retention, slow path ----
+
+// Span self-time attribution, derived once per finished trace. The component
+// label is the span-name prefix before the first dot (http.request →
+// "http", selection.plan → "selection"), keeping cardinality to the
+// layer count.
+var mSpanSelf = Default.HistogramVec("crowdtopk_span_self_seconds",
+	"Per-component self time attributed from request span trees, in seconds.",
+	DefBuckets, "component")
+
+var mTraces = Default.CounterVec("crowdtopk_traces_total",
+	"Finished request traces by retention outcome: sampled, slow (retained past the threshold without being head-sampled), dropped.",
+	"outcome")
+
+// TraceData is one completed trace as served by GET /debug/traces — the wire
+// shape is pinned by the server's golden test. Span timings are nanoseconds
+// (not a coarser unit) so the self-time identity Σ self_ns == root
+// duration_ns holds exactly over a properly nested tree.
+type TraceData struct {
+	TraceID    string     `json:"trace_id"`
+	ParentSpan string     `json:"parent_span,omitempty"` // remote parent from traceparent
+	Route      string     `json:"route,omitempty"`
+	Status     int        `json:"status,omitempty"`
+	Start      time.Time  `json:"start"`
+	DurationMS float64    `json:"duration_ms"`
+	Sampled    bool       `json:"sampled"`
+	Slow       bool       `json:"slow"`
+	Spans      []SpanData `json:"spans"`
+}
+
+// SpanData is one span node. Parent is the index of the parent span in
+// Spans (-1 for the root); StartNS is the offset from the trace start.
+type SpanData struct {
+	Name       string         `json:"name"`
+	SpanID     string         `json:"span_id"`
+	Parent     int            `json:"parent"`
+	StartNS    int64          `json:"start_ns"`
+	DurationNS int64          `json:"duration_ns"`
+	SelfNS     int64          `json:"self_ns"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// Component returns the span name's component prefix (before the first dot).
+func Component(name string) string {
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// finish runs once per trace, at root End: build the TraceData, attribute
+// self-times into the component histograms, retain when sampled or slow, and
+// fire the slow callback.
+func (t *Tracer) finish(tr *trace) {
+	tr.mu.Lock()
+	spans := tr.spans
+	tr.mu.Unlock()
+	if len(spans) == 0 {
+		return
+	}
+	rootEnd := spans[0].end
+
+	td := TraceData{
+		TraceID: tr.id.String(),
+		Start:   spans[0].start,
+		Sampled: tr.sampled,
+		Spans:   make([]SpanData, len(spans)),
+	}
+	if !tr.remote.IsZero() {
+		td.ParentSpan = tr.remote.String()
+	}
+	childSum := make([]int64, len(spans))
+	for i := range spans {
+		rec := &spans[i]
+		end := rec.end
+		if end.IsZero() || end.After(rootEnd) {
+			// A span left open (or racing past root End) is clamped to the
+			// root's end so the attribution identity survives instrumentation
+			// bugs instead of going negative.
+			end = rootEnd
+		}
+		dur := end.Sub(rec.start).Nanoseconds()
+		if dur < 0 {
+			dur = 0
+		}
+		sd := SpanData{
+			Name:       rec.name,
+			SpanID:     rec.id.String(),
+			Parent:     int(rec.parent),
+			StartNS:    rec.start.Sub(spans[0].start).Nanoseconds(),
+			DurationNS: dur,
+		}
+		for _, a := range rec.attrs {
+			if sd.Attrs == nil {
+				sd.Attrs = make(map[string]any, len(rec.attrs))
+			}
+			sd.Attrs[a.Key] = a.Value
+		}
+		td.Spans[i] = sd
+		if p := rec.parent; p >= 0 {
+			childSum[p] += dur
+		}
+	}
+	for i := range td.Spans {
+		self := td.Spans[i].DurationNS - childSum[i]
+		if self < 0 {
+			self = 0 // overlapping children can oversubscribe a parent
+		}
+		td.Spans[i].SelfNS = self
+		mSpanSelf.With(Component(td.Spans[i].Name)).Observe(float64(self) / 1e9)
+	}
+	rootDur := time.Duration(td.Spans[0].DurationNS)
+	td.DurationMS = float64(td.Spans[0].DurationNS) / 1e6
+	td.Slow = t.slow > 0 && rootDur >= t.slow
+	if v, ok := td.Spans[0].Attrs["route"].(string); ok {
+		td.Route = v
+	}
+	switch v := td.Spans[0].Attrs["status"].(type) {
+	case int:
+		td.Status = v
+	case int64:
+		td.Status = int(v)
+	}
+
+	switch {
+	case td.Sampled:
+		mTraces.With("sampled").Inc()
+	case td.Slow:
+		mTraces.With("slow").Inc()
+	default:
+		mTraces.With("dropped").Inc()
+		return
+	}
+
+	t.mu.Lock()
+	t.ring[t.next] = td
+	t.next++
+	if t.next == t.size {
+		t.next = 0
+		t.filled = true
+	}
+	onSlow := t.onSlow
+	t.mu.Unlock()
+	if td.Slow && onSlow != nil {
+		onSlow(td)
+	}
+}
+
+// TraceFilter selects traces from the ring.
+type TraceFilter struct {
+	// Route keeps only traces whose root route label matches exactly.
+	Route string
+	// MinDuration keeps only traces at least this long.
+	MinDuration time.Duration
+	// Limit bounds the result count (0 = everything retained).
+	Limit int
+}
+
+// Traces snapshots the retained traces, newest first, applying the filter.
+func (t *Tracer) Traces(f TraceFilter) []TraceData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	n := t.next
+	if t.filled {
+		n = t.size
+	}
+	out := make([]TraceData, 0, n)
+	for i := 0; i < n; i++ {
+		// Walk backwards from the most recently written slot.
+		idx := (t.next - 1 - i + t.size) % t.size
+		td := t.ring[idx]
+		if f.Route != "" && td.Route != f.Route {
+			continue
+		}
+		if f.MinDuration > 0 && time.Duration(td.Spans[0].DurationNS) < f.MinDuration {
+			continue
+		}
+		out = append(out, td)
+		if f.Limit > 0 && len(out) == f.Limit {
+			break
+		}
+	}
+	t.mu.Unlock()
+	return out
+}
+
+// SelfTimeBreakdown folds a trace's span self-times into per-component
+// totals, in milliseconds — the shape the slow-request log emits.
+func SelfTimeBreakdown(td TraceData) map[string]float64 {
+	out := make(map[string]float64)
+	for _, sp := range td.Spans {
+		out[Component(sp.Name)] += float64(sp.SelfNS) / 1e6
+	}
+	return out
+}
+
+// FormatBreakdown renders a breakdown map as "comp=1.2ms comp=0.3ms",
+// descending by time — one log-friendly string.
+func FormatBreakdown(b map[string]float64) string {
+	type kv struct {
+		k string
+		v float64
+	}
+	items := make([]kv, 0, len(b))
+	for k, v := range b {
+		items = append(items, kv{k, v})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].v != items[j].v {
+			return items[i].v > items[j].v
+		}
+		return items[i].k < items[j].k
+	})
+	var sb strings.Builder
+	for i, it := range items {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s=%.2fms", it.k, it.v)
+	}
+	return sb.String()
+}

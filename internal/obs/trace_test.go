@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	const h = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	id, parent, sampled, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", h, err)
+	}
+	if got := id.String(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace id = %s", got)
+	}
+	if got := parent.String(); got != "00f067aa0ba902b7" {
+		t.Errorf("parent span = %s", got)
+	}
+	if !sampled {
+		t.Error("sampled flag not parsed")
+	}
+	if got := FormatTraceparent(id, parent, sampled); got != h {
+		t.Errorf("FormatTraceparent round-trip = %q, want %q", got, h)
+	}
+	// Flags other than the sampled bit drop on re-render; the ids survive.
+	id2, parent2, _, err := ParseTraceparent(FormatTraceparent(id, parent, false))
+	if err != nil || id2 != id || parent2 != parent {
+		t.Errorf("unsampled round-trip: id=%v parent=%v err=%v", id2, parent2, err)
+	}
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	cases := []struct {
+		name string
+		h    string
+	}{
+		{"empty", ""},
+		{"garbage", "not-a-traceparent"},
+		{"too few fields", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7"},
+		{"version ff", strings.Replace(valid, "00-", "ff-", 1)},
+		{"uppercase hex", strings.ToUpper(valid)},
+		{"short trace id", "00-4bf92f3577b34da6-00f067aa0ba902b7-01"},
+		{"short span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa-01"},
+		{"zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01"},
+		{"zero span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01"},
+		{"non-hex version", "zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"non-hex flags", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz"},
+		{"version 00 extra field", valid + "-extra"},
+	}
+	for _, tc := range cases {
+		if _, _, _, err := ParseTraceparent(tc.h); err == nil {
+			t.Errorf("%s: ParseTraceparent(%q) accepted, want error", tc.name, tc.h)
+		}
+	}
+	// A future version may carry trailing fields.
+	future := strings.Replace(valid, "00-", "01-", 1) + "-whatever"
+	if _, _, _, err := ParseTraceparent(future); err != nil {
+		t.Errorf("future version with trailing field rejected: %v", err)
+	}
+}
+
+func TestSamplingDeterministic(t *testing.T) {
+	a := NewTracer(TracerConfig{SampleRate: 0.3, Seed: 42})
+	b := NewTracer(TracerConfig{SampleRate: 0.3, Seed: 42})
+	other := NewTracer(TracerConfig{SampleRate: 0.3, Seed: 43})
+	sampled, differs := 0, 0
+	const trials = 4096
+	for i := 0; i < trials; i++ {
+		var id TraceID
+		id[0], id[1], id[2] = byte(i), byte(i>>8), byte(i>>16)
+		id[15] = 0xa5
+		if a.Sampled(id) != b.Sampled(id) {
+			t.Fatalf("same seed disagrees on id %v", id)
+		}
+		if a.Sampled(id) {
+			sampled++
+		}
+		if a.Sampled(id) != other.Sampled(id) {
+			differs++
+		}
+	}
+	frac := float64(sampled) / trials
+	if frac < 0.2 || frac > 0.4 {
+		t.Errorf("sample fraction %.3f far from configured 0.3", frac)
+	}
+	if differs == 0 {
+		t.Error("different seeds produced identical sampling sets")
+	}
+	// Boundary rates.
+	if !NewTracer(TracerConfig{SampleRate: 1}).Sampled(TraceID{1}) {
+		t.Error("rate 1 must sample everything")
+	}
+	if NewTracer(TracerConfig{SampleRate: 0}).Sampled(TraceID{1}) {
+		t.Error("rate 0 must sample nothing")
+	}
+}
+
+func TestDisabledTracerIsInert(t *testing.T) {
+	var nilTracer *Tracer
+	for _, tr := range []*Tracer{nil, NewTracer(TracerConfig{SampleRate: 0})} {
+		if tr.Enabled() {
+			t.Fatal("disabled tracer reports Enabled")
+		}
+		ctx, sp := tr.StartRequest(context.Background(), "http.request", "")
+		if sp != nil {
+			t.Fatal("disabled tracer returned a span")
+		}
+		_, child := StartSpan(ctx, "service.op")
+		if child != nil {
+			t.Fatal("child span materialized under a disabled tracer")
+		}
+		// All span methods must be nil-safe.
+		child.SetAttr("k", 1)
+		child.End()
+		sp.End()
+		if got := TraceIDFrom(ctx); got != "" {
+			t.Fatalf("TraceIDFrom on untraced ctx = %q", got)
+		}
+	}
+	_ = nilTracer
+}
+
+func TestSpanTreeSelfTimes(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1})
+	ctx, root := tr.StartRequest(context.Background(), "http.request", "")
+	root.SetAttr("route", "/v1/sessions")
+	root.SetAttr("status", 201)
+	ctx2, svc := StartSpan(ctx, "service.create")
+	_, leaf := StartSpan(ctx2, "session.build")
+	time.Sleep(2 * time.Millisecond)
+	leaf.End()
+	svc.End()
+	_, leaf2 := StartSpan(ctx, "persist.hydrate") // second child of root
+	leaf2.End()
+	root.End()
+
+	traces := tr.Traces(TraceFilter{})
+	if len(traces) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(traces))
+	}
+	td := traces[0]
+	if td.Route != "/v1/sessions" || td.Status != 201 {
+		t.Errorf("root attrs not hoisted: route=%q status=%d", td.Route, td.Status)
+	}
+	if len(td.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(td.Spans))
+	}
+	// The self-time identity: every span's duration equals its self time plus
+	// its children's durations, so summing self over the tree gives exactly
+	// the root duration.
+	var selfSum int64
+	for _, sp := range td.Spans {
+		selfSum += sp.SelfNS
+		if sp.SelfNS < 0 || sp.SelfNS > sp.DurationNS {
+			t.Errorf("span %s: self %d outside [0, %d]", sp.Name, sp.SelfNS, sp.DurationNS)
+		}
+	}
+	if selfSum != td.Spans[0].DurationNS {
+		t.Errorf("Σ self = %d, root duration = %d", selfSum, td.Spans[0].DurationNS)
+	}
+	// Parent indices form a tree rooted at 0.
+	if td.Spans[0].Parent != -1 {
+		t.Errorf("root parent = %d", td.Spans[0].Parent)
+	}
+	for i, sp := range td.Spans[1:] {
+		if sp.Parent < 0 || sp.Parent > i {
+			t.Errorf("span %d parent %d is not an earlier span", i+1, sp.Parent)
+		}
+	}
+	bd := SelfTimeBreakdown(td)
+	if len(bd) != 4 { // http, service, session, persist
+		t.Errorf("breakdown components = %v", bd)
+	}
+	if bd["session"] <= 0 {
+		t.Errorf("session self time %.3fms, want > 0 (slept 2ms)", bd["session"])
+	}
+	if s := FormatBreakdown(bd); !strings.Contains(s, "session=") {
+		t.Errorf("FormatBreakdown = %q", s)
+	}
+}
+
+func TestUnendedSpanClamped(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1})
+	ctx, root := tr.StartRequest(context.Background(), "http.request", "")
+	StartSpan(ctx, "service.leak") // never ended
+	root.End()
+	td := tr.Traces(TraceFilter{})[0]
+	if got := td.Spans[1].DurationNS; got > td.Spans[0].DurationNS {
+		t.Errorf("leaked span duration %d exceeds root %d", got, td.Spans[0].DurationNS)
+	}
+}
+
+func TestTraceRingAndFilter(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1, BufferSize: 4})
+	emit := func(route string, d time.Duration) {
+		_, root := tr.StartRequest(context.Background(), "http.request", "")
+		root.SetAttr("route", route)
+		if d > 0 {
+			time.Sleep(d)
+		}
+		root.End()
+	}
+	for i := 0; i < 6; i++ { // overflow the 4-slot ring
+		emit("/v1/stats", 0)
+	}
+	emit("/health", 3*time.Millisecond)
+	all := tr.Traces(TraceFilter{})
+	if len(all) != 4 {
+		t.Fatalf("ring holds %d traces, want 4", len(all))
+	}
+	if all[0].Route != "/health" {
+		t.Errorf("newest-first order violated: first route %q", all[0].Route)
+	}
+	if got := tr.Traces(TraceFilter{Route: "/health"}); len(got) != 1 {
+		t.Errorf("route filter returned %d", len(got))
+	}
+	if got := tr.Traces(TraceFilter{MinDuration: 2 * time.Millisecond}); len(got) != 1 {
+		t.Errorf("min-duration filter returned %d", len(got))
+	}
+	if got := tr.Traces(TraceFilter{Limit: 2}); len(got) != 2 {
+		t.Errorf("limit filter returned %d", len(got))
+	}
+}
+
+func TestSlowRetentionAndCallback(t *testing.T) {
+	var slow []TraceData
+	tr := NewTracer(TracerConfig{
+		SampleRate:    0.000001, // head sampling effectively off, but enabled
+		SlowThreshold: time.Millisecond,
+		OnSlow:        func(td TraceData) { slow = append(slow, td) },
+	})
+	_, fast := tr.StartRequest(context.Background(), "http.request", "")
+	fast.End()
+	_, root := tr.StartRequest(context.Background(), "http.request", "")
+	time.Sleep(2 * time.Millisecond)
+	root.End()
+	got := tr.Traces(TraceFilter{})
+	if len(got) != 1 || !got[0].Slow {
+		t.Fatalf("slow trace not retained: %+v", got)
+	}
+	if len(slow) != 1 {
+		t.Fatalf("OnSlow fired %d times, want 1", len(slow))
+	}
+}
+
+func TestComponent(t *testing.T) {
+	for name, want := range map[string]string{
+		"http.request":   "http",
+		"selection.plan": "selection",
+		"persist":        "persist",
+		".weird":         ".weird",
+	} {
+		if got := Component(name); got != want {
+			t.Errorf("Component(%q) = %q, want %q", name, got, want)
+		}
+	}
+}

@@ -1,12 +1,15 @@
 package selection
 
 import (
+	"context"
 	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"crowdtopk/internal/numeric"
+	"crowdtopk/internal/obs"
 	"crowdtopk/internal/rank"
 	"crowdtopk/internal/tpo"
 	"crowdtopk/internal/uncertainty"
@@ -42,6 +45,14 @@ const (
 	// drift of the scaled entropy numerators far below tieEpsilon.
 	liveResyncEvery = 32
 )
+
+// mApplyPhase attributes answer-application wall time to its three phases:
+// the in-place delta patch, the periodic full aggregate resync, and the lazy
+// tombstone compaction. Together with the selection.patch/resync/compact
+// spans it answers "where did the apply go" per request and in aggregate.
+var mApplyPhase = obs.Default.HistogramVec("crowdtopk_selection_apply_seconds",
+	"Live-engine answer application time by phase (patch, resync, compact), in seconds.",
+	obs.DefBuckets, "phase")
 
 // Package-wide live-engine counters, exported through LiveEngineStats for the
 // serving layer's /v1/stats. Atomics, like internal/pcache's counters.
@@ -165,7 +176,7 @@ func (l *LiveEngine) drop() {
 // change every weight and take the full aggregate recompute. When no engine
 // is held, Sync is a no-op — the next round builds (and attaches) one.
 // Safe on a nil receiver.
-func (l *LiveEngine) Sync(t *tpo.Tree, pruneOnly bool) {
+func (l *LiveEngine) Sync(ctx context.Context, t *tpo.Tree, pruneOnly bool) {
 	if l == nil {
 		return
 	}
@@ -175,7 +186,7 @@ func (l *LiveEngine) Sync(t *tpo.Tree, pruneOnly bool) {
 		return
 	}
 	l.snap = t.LeafSetInto(l.snap)
-	l.applyLocked(l.snap, pruneOnly)
+	l.applyLocked(ctx, l.snap, pruneOnly)
 }
 
 // Apply is Sync for callers that already hold the post-answer leaf set
@@ -190,14 +201,15 @@ func (l *LiveEngine) Apply(fresh *tpo.LeafSet, pruneOnly bool) {
 	if l.eng == nil {
 		return
 	}
-	l.applyLocked(fresh, pruneOnly)
+	l.applyLocked(context.Background(), fresh, pruneOnly)
 }
 
 // applyLocked diffs the held arena against the post-answer leaf set and
 // patches the engine in place. On any structural surprise it drops the
 // engine — correctness never depends on the patch succeeding, only speed
 // does. Caller holds l.mu.
-func (l *LiveEngine) applyLocked(fresh *tpo.LeafSet, pruneOnly bool) {
+func (l *LiveEngine) applyLocked(ctx context.Context, fresh *tpo.LeafSet, pruneOnly bool) {
+	patchStart := time.Now()
 	e := l.eng
 	a := e.arena
 	if fresh.K != a.k || fresh.Len() == 0 || fresh.Len() > a.n {
@@ -268,9 +280,20 @@ func (l *LiveEngine) applyLocked(fresh *tpo.LeafSet, pruneOnly bool) {
 	}
 	if delta {
 		l.sinceResync++
+		mApplyPhase.With("patch").Observe(time.Since(patchStart).Seconds())
+		_, psp := obs.StartSpan(ctx, "selection.patch")
+		psp.SetAttr("dead", len(l.deadIdx))
+		psp.End()
 	} else {
+		// Attribute the diff+commit walk to the resync it culminated in: the
+		// full recompute dominates, and splitting sub-millisecond prep out of
+		// it would double the span count for no diagnostic value.
+		_, rsp := obs.StartSpan(ctx, "selection.resync")
+		rsp.SetAttr("dead", len(l.deadIdx))
 		e.index.recomputeStats()
+		rsp.End()
 		liveResyncs.Add(1)
+		mApplyPhase.With("resync").Observe(time.Since(patchStart).Seconds())
 		l.sinceResync = 0
 	}
 
@@ -282,6 +305,14 @@ func (l *LiveEngine) applyLocked(fresh *tpo.LeafSet, pruneOnly bool) {
 	// expensive O(leaves·pairs) classification is paid exactly once per
 	// engine lifetime. On a structural surprise, fall back to a fresh build.
 	if l.dead*liveCompactFrac > a.n {
+		compactStart := time.Now()
+		_, csp := obs.StartSpan(ctx, "selection.compact")
+		csp.SetAttr("dead", l.dead)
+		csp.SetAttr("slots", a.n)
+		defer func() {
+			csp.End()
+			mApplyPhase.With("compact").Observe(time.Since(compactStart).Seconds())
+		}()
 		if !l.compactLocked(fresh) {
 			ne := NewResidualEngine(fresh, e.ctx)
 			if ne.arena == nil {

@@ -1,6 +1,7 @@
 package selection
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -41,7 +42,7 @@ func (h *liveHarness) applyTrusted(t *testing.T, a tpo.Answer) {
 	if err := h.tree.Prune(a); err != nil {
 		t.Fatalf("prune %v: %v", a, err)
 	}
-	h.le.Sync(h.tree, true)
+	h.le.Sync(context.Background(), h.tree, true)
 }
 
 // applyNoisy reweights by an answer with the given accuracy and syncs.
@@ -50,7 +51,7 @@ func (h *liveHarness) applyNoisy(t *testing.T, a tpo.Answer, acc float64) {
 	if err := h.tree.Reweight(a, acc); err != nil {
 		t.Fatalf("reweight %v: %v", a, err)
 	}
-	h.le.Sync(h.tree, false)
+	h.le.Sync(context.Background(), h.tree, false)
 }
 
 // checkStrategies runs the given strategies over the current snapshot through

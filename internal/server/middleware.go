@@ -30,8 +30,11 @@ var (
 // switch on path shape.
 func routeLabel(path string) string {
 	switch path {
-	case "/metrics", "/health", "/ready", "/v1/stats", "/v1/sessions":
+	case "/metrics", "/health", "/ready", "/v1/stats", "/v1/sessions", "/debug/traces":
 		return path
+	}
+	if strings.HasPrefix(path, "/debug/pprof/") || path == "/debug/pprof" {
+		return "/debug/pprof"
 	}
 	rest, ok := strings.CutPrefix(path, "/v1/sessions/")
 	if !ok || rest == "" {
@@ -73,28 +76,45 @@ func (w *statusRecorder) Write(b []byte) (int, error) {
 }
 
 // instrument is the observability middleware: every request is timed into the
-// route-labeled latency histogram, counted by method/route/status, and logged
-// as one structured access line.
-func instrument(next http.Handler, log *slog.Logger) http.Handler {
+// route-labeled latency histogram, counted by method/route/status, traced as
+// the root http.request span (joining a caller's W3C traceparent when one is
+// presented, and echoing ours back in the response header), and logged as one
+// structured access line carrying the trace id.
+func instrument(next http.Handler, tracer *obs.Tracer, log *slog.Logger) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		route := routeLabel(r.URL.Path)
+		ctx, sp := tracer.StartRequest(r.Context(), "http.request", r.Header.Get("traceparent"))
+		if sp != nil {
+			w.Header().Set("traceparent", sp.Traceparent())
+			r = r.WithContext(ctx)
+		}
 		rec := &statusRecorder{ResponseWriter: w}
 		next.ServeHTTP(rec, r)
 		if rec.status == 0 {
 			rec.status = http.StatusOK
 		}
-		route := routeLabel(r.URL.Path)
 		elapsed := time.Since(start)
 		mHTTPDuration.With(route).Observe(elapsed.Seconds())
 		mHTTPRequests.With(r.Method, route, strconv.Itoa(rec.status)).Inc()
-		log.Info("http request",
+		// Root attrs the tracer hoists into the retained TraceData for
+		// /debug/traces filtering.
+		sp.SetAttr("route", route)
+		sp.SetAttr("method", r.Method)
+		sp.SetAttr("status", rec.status)
+		attrs := []any{
 			"method", r.Method,
 			"route", route,
 			"path", r.URL.Path,
 			"status", rec.status,
-			"duration_ms", float64(elapsed.Microseconds())/1000,
+			"duration_ms", float64(elapsed.Microseconds()) / 1000,
 			"client", clientKey(r),
-		)
+		}
+		if tid := sp.TraceID(); tid != "" {
+			attrs = append(attrs, "trace", tid)
+		}
+		sp.End()
+		log.Info("http request", attrs...)
 	})
 }
 
@@ -123,6 +143,13 @@ func admission(next http.Handler, svc *service.Service) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
 		case "/metrics", "/health", "/ready":
+			next.ServeHTTP(w, r)
+			return
+		}
+		// Debug surfaces (/debug/traces, /debug/pprof) bypass admission for
+		// the same reason the probes do: they exist to diagnose an overloaded
+		// or degraded server.
+		if strings.HasPrefix(r.URL.Path, "/debug/") {
 			next.ServeHTTP(w, r)
 			return
 		}

@@ -18,6 +18,8 @@
 //	GET    /metrics                       Prometheus text exposition (process-wide registry)
 //	GET    /health                        liveness: always 200 while serving, body has detail
 //	GET    /ready                         readiness: 200 when traffic-ready, else 503
+//	GET    /debug/traces                  recent request traces (route/min_ms/limit filters)
+//	GET    /debug/pprof/...               Go profiler (only with Config.EnablePprof)
 //
 // This package is deliberately a codec: every handler decodes the request,
 // calls the service, and encodes the result. All session orchestration —
@@ -86,6 +88,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /health", s.handleHealth)
 	s.mux.HandleFunc("GET /ready", s.handleReady)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	if cfg.EnablePprof {
+		registerPprof(s.mux)
+	}
 	return s, nil
 }
 
@@ -97,7 +103,7 @@ func New(cfg Config) (*Server, error) {
 // methods answer with the JSON error envelope instead of the mux's text/plain
 // defaults.
 func (s *Server) Handler() http.Handler {
-	return instrument(admission(jsonMuxErrors(s.mux), s.svc), s.log)
+	return instrument(admission(jsonMuxErrors(s.mux), s.svc), s.svc.Tracer(), s.log)
 }
 
 // Close stops background eviction, flushes every dirty session to the
@@ -148,7 +154,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	info, err := s.svc.CreateOrRestore(service.CreateRequest{
+	info, err := s.svc.CreateOrRestore(r.Context(), service.CreateRequest{
 		Tuples:       req.Tuples,
 		Names:        req.Names,
 		K:            req.K,
@@ -179,7 +185,7 @@ func (s *Server) handleQuestions(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
-	out, err := s.svc.Questions(r.PathValue("id"), n)
+	out, err := s.svc.Questions(r.Context(), r.PathValue("id"), n)
 	if err != nil {
 		writeErr(w, statusFor(err), err)
 		return
@@ -197,7 +203,7 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 	for i, a := range req.Answers {
 		answers[i] = service.Answer{I: a.I, J: a.J, Yes: a.Yes}
 	}
-	out, err := s.svc.Answers(r.PathValue("id"), answers)
+	out, err := s.svc.Answers(r.Context(), r.PathValue("id"), answers)
 	if err != nil {
 		// A batch that failed partway reports what was applied before the
 		// failure so the client can reconcile.
@@ -213,7 +219,7 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	out, err := s.svc.Result(r.PathValue("id"))
+	out, err := s.svc.Result(r.Context(), r.PathValue("id"))
 	if err != nil {
 		writeErr(w, statusFor(err), err)
 		return
@@ -226,7 +232,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	// streaming straight to a slow client would pin that lock (and stall
 	// the session's other requests) on TCP backpressure.
 	var buf bytes.Buffer
-	if err := s.svc.Checkpoint(r.PathValue("id"), &buf); err != nil {
+	if err := s.svc.Checkpoint(r.Context(), r.PathValue("id"), &buf); err != nil {
 		writeErr(w, statusFor(err), err)
 		return
 	}
@@ -235,7 +241,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if err := s.svc.Delete(r.PathValue("id")); err != nil {
+	if err := s.svc.Delete(r.Context(), r.PathValue("id")); err != nil {
 		writeErr(w, statusFor(err), err)
 		return
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -272,7 +273,7 @@ func TestEvictionRefusedWhileDegradedOrDirty(t *testing.T) {
 	if got := st.evictionsRefused.Load(); got != 1 {
 		t.Fatalf("evictions_refused = %d after degraded evict, want 1", got)
 	}
-	if _, err := st.get(id); err != nil {
+	if _, err := st.get(context.Background(), id); err != nil {
 		t.Fatalf("session dropped by refused eviction: %v", err)
 	}
 	st.brk.success() // back to closed
@@ -280,7 +281,7 @@ func TestEvictionRefusedWhileDegradedOrDirty(t *testing.T) {
 	// A persist-failed eviction keeps the session live and hands the write
 	// to the retry loop instead of dropping acked answers.
 	fs.SetSpec(persist.FaultSpec{ErrRate: map[persist.Op]float64{persist.OpPut: 1}})
-	sess, err := st.get(id)
+	sess, err := st.get(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +299,7 @@ func TestEvictionRefusedWhileDegradedOrDirty(t *testing.T) {
 	if got := st.evictionsRefused.Load(); got != 2 {
 		t.Fatalf("evictions_refused = %d after dirty evict, want 2", got)
 	}
-	if _, err := st.get(id); err != nil {
+	if _, err := st.get(context.Background(), id); err != nil {
 		t.Fatalf("dirty session dropped by eviction: %v", err)
 	}
 	fs.Heal()
@@ -336,7 +337,7 @@ func TestWedgedBackendBoundsClose(t *testing.T) {
 	waitPending(t, st, 0)
 
 	fs.Wedge()
-	sess, err := st.get(id)
+	sess, err := st.get(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +398,7 @@ func TestServiceDegradedModeAndAutoRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	info, err := svc.CreateOrRestore(CreateRequest{
+	info, err := svc.CreateOrRestore(context.Background(), CreateRequest{
 		Dists: serviceSessionDists(t, 6), K: 2, Budget: 40, Reliability: 0.9, Seed: 11,
 	})
 	if err != nil {
@@ -416,7 +417,7 @@ func TestServiceDegradedModeAndAutoRecovery(t *testing.T) {
 	submit := func(n int) {
 		t.Helper()
 		for i := 0; i < n; i++ {
-			qv, err := svc.Questions(id, 1)
+			qv, err := svc.Questions(context.Background(), id, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -424,7 +425,7 @@ func TestServiceDegradedModeAndAutoRecovery(t *testing.T) {
 				return
 			}
 			q := qv.Questions[0]
-			av, err := svc.Answers(id, []Answer{{I: q.I, J: q.J, Yes: rng.Intn(2) == 0}})
+			av, err := svc.Answers(context.Background(), id, []Answer{{I: q.I, J: q.J, Yes: rng.Intn(2) == 0}})
 			if err != nil {
 				t.Fatalf("answers while degraded: %v", err)
 			}
@@ -446,7 +447,7 @@ func TestServiceDegradedModeAndAutoRecovery(t *testing.T) {
 	}
 	// Still serving: reads and writes keep working off the live tier.
 	submit(2)
-	if _, err := svc.Result(id); err != nil {
+	if _, err := svc.Result(context.Background(), id); err != nil {
 		t.Fatalf("result while degraded: %v", err)
 	}
 
@@ -470,7 +471,7 @@ func TestServiceDegradedModeAndAutoRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer svc2.Close()
-	qv, err := svc2.Questions(id, 1)
+	qv, err := svc2.Questions(context.Background(), id, 1)
 	if err != nil {
 		t.Fatalf("recovered session: %v", err)
 	}

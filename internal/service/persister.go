@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"crowdtopk/internal/obs"
 )
 
 // Retry policy for failed durable writes.
@@ -22,6 +24,12 @@ const (
 	retryBudget      = 6
 	parkedRetryEvery = 30 * time.Second
 )
+
+// mPersistBackoffWait records the retry/backoff waits the persister schedules
+// after failed durable writes — the "where did durability latency go" stage
+// the WAL/fsync/snapshot histograms in internal/persist cannot see.
+var mPersistBackoffWait = obs.Default.Histogram("crowdtopk_persist_backoff_wait_seconds",
+	"Scheduled retry/backoff wait before re-attempting a failed durable write, in seconds.", nil)
 
 // retryEntry is the persister's bookkeeping for one dirty session.
 type retryEntry struct {
@@ -334,9 +342,13 @@ func (p *persister) loop() {
 					}
 				}
 				attempted.parked = true
-				attempted.due = now.Add(parkedRetryEvery + p.backoff(1))
+				wait := parkedRetryEvery + p.backoff(1)
+				mPersistBackoffWait.Observe(wait.Seconds())
+				attempted.due = now.Add(wait)
 			} else {
-				attempted.due = now.Add(p.backoff(attempted.attempts))
+				wait := p.backoff(attempted.attempts)
+				mPersistBackoffWait.Observe(wait.Seconds())
+				attempted.due = now.Add(wait)
 			}
 			p.dirty[id] = &attempted
 		}

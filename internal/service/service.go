@@ -21,6 +21,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -76,6 +77,16 @@ type Config struct {
 	// SIGTERM forever; sessions still dirty at the deadline are abandoned
 	// with a logged list of ids.
 	ShutdownTimeout time.Duration
+	// Tracer optionally attaches the request tracer: every operation then
+	// records a span tree (service op, session transitions, selection
+	// phases, hydration), slow requests are logged with their breakdown and
+	// audited with the trace id, and /metrics gains per-component self-time
+	// histograms. nil (or a rate-0 tracer) disables tracing.
+	Tracer *obs.Tracer
+	// EnablePprof is consumed by HTTP transports (internal/server) to mount
+	// net/http/pprof under /debug/pprof; the service core ignores it. It
+	// lives here because the server's Config is this struct verbatim.
+	EnablePprof bool
 }
 
 // DefaultTTL is the idle eviction default used by the serve subcommand and
@@ -142,11 +153,12 @@ func (e *QuarantinedError) Is(target error) bool { return target == ErrQuarantin
 // Service is the engine-facing session core. Create one with New and Close
 // it when done; all methods are safe for concurrent use.
 type Service struct {
-	store *store
-	pool  *par.Budget
-	gate  *gate
-	audit *obs.AuditLog
-	log   *slog.Logger
+	store  *store
+	pool   *par.Budget
+	gate   *gate
+	audit  *obs.AuditLog
+	log    *slog.Logger
+	tracer *obs.Tracer
 }
 
 // New builds a service with its own session store and worker budget. With
@@ -178,14 +190,61 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	s := &Service{
-		store: st,
-		pool:  par.NewBudget(cfg.Workers),
-		gate:  newGate(cfg.RateLimit, cfg.RateBurst, cfg.MaxInflight),
-		audit: cfg.Audit,
-		log:   logger,
+		store:  st,
+		pool:   par.NewBudget(cfg.Workers),
+		gate:   newGate(cfg.RateLimit, cfg.RateBurst, cfg.MaxInflight),
+		audit:  cfg.Audit,
+		log:    logger,
+		tracer: cfg.Tracer,
+	}
+	if s.tracer.Enabled() {
+		s.tracer.SetOnSlow(s.onSlowTrace)
 	}
 	s.registerCollectors()
 	return s, nil
+}
+
+// Tracer returns the attached request tracer (nil when tracing is off).
+// Transports start their root spans through it and serve its trace ring.
+func (s *Service) Tracer() *obs.Tracer { return s.tracer }
+
+// onSlowTrace is the tracer's slow-request callback: the full span breakdown
+// goes to the structured log, and — when an audit log is attached — a
+// slow_request event joins the trace id to the durable audit stream.
+func (s *Service) onSlowTrace(td obs.TraceData) {
+	breakdown := obs.SelfTimeBreakdown(td)
+	s.log.Warn("slow request",
+		"trace", td.TraceID,
+		"route", td.Route,
+		"status", td.Status,
+		"duration_ms", td.DurationMS,
+		"spans", len(td.Spans),
+		"breakdown", obs.FormatBreakdown(breakdown),
+	)
+	if s.audit != nil {
+		s.audit.Log(auditSlowEvent{
+			Time:       time.Now().UTC().Format(time.RFC3339Nano),
+			Kind:       "slow_request",
+			Trace:      td.TraceID,
+			Route:      td.Route,
+			Status:     td.Status,
+			DurationMS: td.DurationMS,
+			Breakdown:  breakdown,
+		})
+	}
+}
+
+// auditSlowEvent is the audit-log record for a slow request: the trace id
+// joins it to the retained trace in /debug/traces and to the request's
+// access-log line.
+type auditSlowEvent struct {
+	Time       string             `json:"time"`
+	Kind       string             `json:"kind"` // "slow_request"
+	Trace      string             `json:"trace"`
+	Route      string             `json:"route,omitempty"`
+	Status     int                `json:"status,omitempty"`
+	DurationMS float64            `json:"duration_ms"`
+	Breakdown  map[string]float64 `json:"breakdown_ms"`
 }
 
 // Close stops background eviction, flushes every dirty session to the
@@ -242,12 +301,21 @@ type HealthView struct {
 	DegradedMode bool     `json:"degraded_mode"`
 	BreakerState string   `json:"breaker_state,omitempty"`
 	Reasons      []string `json:"reasons,omitempty"`
+	// Build identity, mirroring the crowdtopk_build_info gauge on /metrics:
+	// the probe and the scrape agree on which binary answered.
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
 }
 
 // Health reports liveness-adjacent readiness state. It is cheap enough to
 // probe every second.
 func (s *Service) Health() HealthView {
+	bi := obs.GetBuildInfo()
 	h := HealthView{
+		Version:         bi.Version,
+		GoVersion:       bi.GoVersion,
+		Revision:        bi.Revision,
 		BootScanDone:    s.store.bootScanned.Load(),
 		PoolSaturated:   s.store.saturated(),
 		PersistErroring: s.store.persistFailing.Load(),
@@ -452,17 +520,26 @@ type Stats struct {
 // returns its initial state. Store capacity is claimed before the build so
 // load shedding (ErrFull) happens before the expensive tree construction
 // rather than after it.
-func (s *Service) CreateOrRestore(req CreateRequest) (SessionInfo, error) {
+func (s *Service) CreateOrRestore(ctx context.Context, req CreateRequest) (SessionInfo, error) {
+	ctx, sp := obs.StartSpan(ctx, "service.create")
+	defer sp.End()
 	if err := s.store.reserve(); err != nil {
 		return SessionInfo{}, err
 	}
 	var sess *session.Session
 	var err error
+	// The build span covers checkpoint decode or tree construction plus the
+	// pcache prewarm inside session.New — the dominant cost of a create.
+	bctx, bsp := obs.StartSpan(ctx, "session.build")
 	if len(req.Checkpoint) > 0 {
+		bsp.SetAttr("origin", "restore")
 		sess, err = session.Restore(bytes.NewReader(req.Checkpoint), s.pool)
 	} else {
-		sess, err = s.createSession(&req)
+		bsp.SetAttr("origin", "fresh")
+		bsp.SetAttr("tuples", len(req.Tuples)+len(req.Dists))
+		sess, err = s.createSessionCtx(bctx, &req)
 	}
+	bsp.End()
 	if err != nil {
 		s.store.unreserve()
 		return SessionInfo{}, err
@@ -478,13 +555,15 @@ func (s *Service) CreateOrRestore(req CreateRequest) (SessionInfo, error) {
 	mSessionsCreated.With(origin).Inc()
 	info := s.info(id, sess)
 	mTransitions.With(string(info.State)).Inc()
+	sp.SetAttr("session", id)
 	s.log.Info("session created", "session", id, "origin", origin,
-		"tuples", info.Tuples, "state", string(info.State))
+		"tuples", info.Tuples, "state", string(info.State),
+		"trace", obs.TraceIDFrom(ctx))
 	return info, nil
 }
 
-// createSession builds a fresh session from the request's dataset fields.
-func (s *Service) createSession(req *CreateRequest) (*session.Session, error) {
+// createSessionCtx builds a fresh session from the request's dataset fields.
+func (s *Service) createSessionCtx(ctx context.Context, req *CreateRequest) (*session.Session, error) {
 	dists := req.Dists
 	if len(dists) == 0 {
 		var err error
@@ -493,7 +572,7 @@ func (s *Service) createSession(req *CreateRequest) (*session.Session, error) {
 			return nil, fmt.Errorf("%w: %v", session.ErrInvalidConfig, err)
 		}
 	}
-	return session.New(session.Config{
+	return session.NewCtx(ctx, session.Config{
 		Dists:       dists,
 		Names:       req.Names,
 		K:           req.K,
@@ -525,8 +604,11 @@ func (s *Service) info(id string, sess *session.Session) SessionInfo {
 // rendered prompts. Questions and lifecycle state come from one locked
 // snapshot, so a concurrent answer cannot pair fresh questions with a
 // terminal state.
-func (s *Service) Questions(id string, n int) (QuestionsView, error) {
-	sess, err := s.store.get(id)
+func (s *Service) Questions(ctx context.Context, id string, n int) (QuestionsView, error) {
+	ctx, sp := obs.StartSpan(ctx, "service.questions")
+	defer sp.End()
+	sp.SetAttr("session", id)
+	sess, err := s.store.get(ctx, id)
 	if err != nil {
 		return QuestionsView{}, err
 	}
@@ -543,6 +625,7 @@ func (s *Service) Questions(id string, n int) (QuestionsView, error) {
 		})
 	}
 	mQuestionsServed.Add(uint64(len(out.Questions)))
+	sp.SetAttr("questions", len(out.Questions))
 	return out, nil
 }
 
@@ -552,8 +635,12 @@ func (s *Service) Questions(id string, n int) (QuestionsView, error) {
 // applied. Every batch with at least one accepted answer also emits one
 // asynchronous audit event (session, answers, outcome, residual delta) when
 // an audit log is attached — auditing never blocks the answer path.
-func (s *Service) Answers(id string, answers []Answer) (AnswersView, error) {
-	sess, err := s.store.get(id)
+func (s *Service) Answers(ctx context.Context, id string, answers []Answer) (AnswersView, error) {
+	ctx, sp := obs.StartSpan(ctx, "service.answers")
+	defer sp.End()
+	sp.SetAttr("session", id)
+	sp.SetAttr("batch", len(answers))
+	sess, err := s.store.get(ctx, id)
 	if err != nil {
 		return AnswersView{}, err
 	}
@@ -570,7 +657,7 @@ func (s *Service) Answers(id string, answers []Answer) (AnswersView, error) {
 				Err: fmt.Errorf("%w: answer %d compares tuple %d with itself", ErrBadInput, accepted, a.I)}
 			break
 		}
-		if err := sess.SubmitAnswer(tpo.Answer{Q: tpo.Question{I: a.I, J: a.J}, Yes: a.Yes}); err != nil {
+		if err := sess.SubmitAnswerCtx(ctx, tpo.Answer{Q: tpo.Question{I: a.I, J: a.J}, Yes: a.Yes}); err != nil {
 			batchErr = &BatchError{Accepted: accepted, Err: err}
 			break
 		}
@@ -586,7 +673,8 @@ func (s *Service) Answers(id string, answers []Answer) (AnswersView, error) {
 			mTransitions.With(string(st.State)).Inc()
 		}
 	}
-	s.auditAnswers(id, answers, accepted, before, st, orderingsBefore, sess.Orderings(), batchErr)
+	sp.SetAttr("accepted", accepted)
+	s.auditAnswers(ctx, id, answers, accepted, before, st, orderingsBefore, sess.Orderings(), batchErr)
 	if batchErr != nil {
 		return AnswersView{}, batchErr
 	}
@@ -614,6 +702,9 @@ type auditAnswerEvent struct {
 	OrderingsBefore int           `json:"orderings_before"`
 	OrderingsAfter  int           `json:"orderings_after"`
 	Error           string        `json:"error,omitempty"`
+	// Trace joins the event to the request's retained trace and access-log
+	// line; empty for untraced requests.
+	Trace string `json:"trace,omitempty"`
 }
 
 type auditAnswer struct {
@@ -634,12 +725,13 @@ type auditBreakerEvent struct {
 
 // auditAnswers emits the batch's audit event. Enqueueing never blocks; a
 // stalled sink drops events and counts the loss.
-func (s *Service) auditAnswers(id string, answers []Answer, accepted int,
+func (s *Service) auditAnswers(ctx context.Context, id string, answers []Answer, accepted int,
 	before, after session.Status, ordBefore, ordAfter int, batchErr error) {
 	if s.audit == nil || accepted == 0 {
 		return
 	}
 	ev := auditAnswerEvent{
+		Trace:           obs.TraceIDFrom(ctx),
 		Time:            time.Now().UTC().Format(time.RFC3339Nano),
 		Kind:            "answers",
 		Session:         id,
@@ -661,12 +753,17 @@ func (s *Service) auditAnswers(id string, answers []Answer, accepted int,
 }
 
 // Result reports the session's current top-K belief (valid in every state).
-func (s *Service) Result(id string) (ResultView, error) {
-	sess, err := s.store.get(id)
+func (s *Service) Result(ctx context.Context, id string) (ResultView, error) {
+	ctx, sp := obs.StartSpan(ctx, "service.result")
+	defer sp.End()
+	sp.SetAttr("session", id)
+	sess, err := s.store.get(ctx, id)
 	if err != nil {
 		return ResultView{}, err
 	}
+	_, rsp := obs.StartSpan(ctx, "session.result")
 	res := sess.Result()
+	rsp.End()
 	names := make([]string, len(res.Ranking))
 	for i, tid := range res.Ranking {
 		names[i] = sess.Name(tid)
@@ -688,17 +785,25 @@ func (s *Service) Result(id string) (ResultView, error) {
 // Checkpoint writes the session's versioned JSON envelope to w. Callers
 // serving slow sinks should buffer: the write happens under the session
 // lock, and backpressure would pin it.
-func (s *Service) Checkpoint(id string, w io.Writer) error {
-	sess, err := s.store.get(id)
+func (s *Service) Checkpoint(ctx context.Context, id string, w io.Writer) error {
+	ctx, sp := obs.StartSpan(ctx, "service.checkpoint")
+	defer sp.End()
+	sp.SetAttr("session", id)
+	sess, err := s.store.get(ctx, id)
 	if err != nil {
 		return err
 	}
+	_, csp := obs.StartSpan(ctx, "session.checkpoint")
+	defer csp.End()
 	return sess.Checkpoint(w)
 }
 
 // Delete drops the session from every tier. Deleting an unknown id returns
 // ErrNotFound.
-func (s *Service) Delete(id string) error {
+func (s *Service) Delete(ctx context.Context, id string) error {
+	_, sp := obs.StartSpan(ctx, "service.delete")
+	defer sp.End()
+	sp.SetAttr("session", id)
 	if !s.store.remove(id) {
 		return ErrNotFound
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
@@ -11,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"crowdtopk/internal/obs"
 	"crowdtopk/internal/persist"
 	"crowdtopk/internal/session"
 )
@@ -319,7 +321,7 @@ func (s *store) persistOne(id string) error {
 // get returns the session and refreshes its TTL, lazily hydrating from the
 // durable backend when the session is not in memory (evicted, or created by
 // a previous process).
-func (s *store) get(id string) (*session.Session, error) {
+func (s *store) get(ctx context.Context, id string) (*session.Session, error) {
 	for {
 		s.mu.Lock()
 		m := s.meta[id]
@@ -359,7 +361,13 @@ func (s *store) get(id string) (*session.Session, error) {
 		s.hydrating[id] = ch
 		s.mu.Unlock()
 
+		// The hydration span covers the durable read, WAL replay and tree
+		// rebuild — the cold-start cost a request pays when it lands on a
+		// disk-resident session.
+		_, hsp := obs.StartSpan(ctx, "persist.hydrate")
+		hsp.SetAttr("session", id)
 		sess, err := s.hydrate(id)
+		hsp.End()
 
 		s.mu.Lock()
 		delete(s.hydrating, id)

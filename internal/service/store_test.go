@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -104,7 +105,7 @@ func TestMarkDirtyResolvesHydrationFork(t *testing.T) {
 		t.Fatalf("no question issued (err %v)", err)
 	}
 	st.evictToDisk(id, time.Now().Add(time.Hour))
-	cur, err := st.get(id) // lazy hydration: a distinct object for the same id
+	cur, err := st.get(context.Background(), id) // lazy hydration: a distinct object for the same id
 	if err != nil {
 		t.Fatal(err)
 	}

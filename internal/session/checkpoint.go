@@ -2,6 +2,7 @@ package session
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -287,7 +288,7 @@ func Restore(r io.Reader, pool *par.Budget) (*Session, error) {
 	// A non-terminal session always has questions planned; a checkpoint
 	// written between rounds (or hand-trimmed) may not — replan.
 	if !s.state.Terminal() && len(s.pending) == 0 {
-		if err := s.plan(); err != nil {
+		if err := s.plan(context.Background()); err != nil {
 			return nil, err
 		}
 	}

@@ -24,14 +24,17 @@
 package session
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"crowdtopk/internal/dataset"
 	"crowdtopk/internal/dist"
 	"crowdtopk/internal/engine"
+	"crowdtopk/internal/obs"
 	"crowdtopk/internal/par"
 	"crowdtopk/internal/pcache"
 	"crowdtopk/internal/rank"
@@ -148,6 +151,13 @@ type Session struct {
 // first questions. The session starts in Created (or directly in a terminal
 // state when there is nothing to ask).
 func New(cfg Config) (*Session, error) {
+	return NewCtx(context.Background(), cfg)
+}
+
+// NewCtx is New carrying a request context for tracing: the build and the
+// first planning sweep attribute their time to the creating request's span
+// tree. The context does not cancel the build.
+func NewCtx(ctx context.Context, cfg Config) (*Session, error) {
 	m, err := validate(&cfg)
 	if err != nil {
 		return nil, err
@@ -177,7 +187,7 @@ func New(cfg Config) (*Session, error) {
 	}); err != nil {
 		return nil, err
 	}
-	if err := s.plan(); err != nil {
+	if err := s.plan(ctx); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -265,7 +275,7 @@ func (s *Session) context() *selection.Context {
 // plan fills the pending question list after construction or after the
 // previous questions were all answered, and settles terminal states. It
 // runs with s.mu held (or on a session not yet shared).
-func (s *Session) plan() error {
+func (s *Session) plan(ctx context.Context) error {
 	if s.state.Terminal() {
 		return nil
 	}
@@ -274,14 +284,17 @@ func (s *Session) plan() error {
 	}
 	remaining := s.cfg.Budget - s.asked
 	if remaining <= 0 {
-		return s.finish()
+		return s.finish(ctx)
 	}
+	ctx, sp := obs.StartSpan(ctx, "selection.plan")
+	defer sp.End()
+	sp.SetAttr("algorithm", s.cfg.Algorithm)
 	switch {
 	case engine.IsOffline(s.cfg.Algorithm):
 		// Offline strategies commit to the whole batch before any answer
 		// (§III.A); the batch is planned once, right after construction.
 		if s.asked > 0 {
-			return s.finish() // batch consumed
+			return s.finish(ctx) // batch consumed
 		}
 		strat, err := engine.OfflineStrategy(s.cfg.Algorithm, s.rng)
 		if err != nil {
@@ -292,7 +305,7 @@ func (s *Session) plan() error {
 			return err
 		}
 		if len(batch) == 0 {
-			return s.finish()
+			return s.finish(ctx)
 		}
 		s.pending = batch
 	case engine.IsOnline(s.cfg.Algorithm):
@@ -308,36 +321,44 @@ func (s *Session) plan() error {
 			return err
 		}
 		if !ok {
-			return s.finish() // early termination: all uncertainty removed
+			return s.finish(ctx) // early termination: all uncertainty removed
 		}
 		s.pending = []tpo.Question{q}
 	default: // incr
 		var batch []tpo.Question
+		var buildMS, selectMS time.Duration
 		err := s.withWorkers(func(workers int) error {
 			s.tree.SetWorkers(workers)
 			// The pool share is already held for this round: the context
 			// reuses it directly rather than re-acquiring (two sessions
 			// nesting pool acquisitions could deadlock each other).
-			ctx := &selection.Context{Tree: s.tree, Measure: s.measure, Workers: workers, Live: s.live}
+			sctx := &selection.Context{Tree: s.tree, Measure: s.measure, Workers: workers, Live: s.live}
+			var build, sel time.Duration
 			var err error
-			batch, _, _, err = engine.PlanIncrRound(s.tree, s.cfg.K, s.cfg.RoundSize, remaining, ctx)
+			batch, build, sel, err = engine.PlanIncrRound(s.tree, s.cfg.K, s.cfg.RoundSize, remaining, sctx)
+			buildMS, selectMS = build, sel
 			return err
 		})
 		if err != nil {
 			return err
 		}
+		sp.SetAttr("build_ms", float64(buildMS)/float64(time.Millisecond))
+		sp.SetAttr("select_ms", float64(selectMS)/float64(time.Millisecond))
 		if len(batch) == 0 {
-			return s.finish() // tree fully built and certain
+			return s.finish(ctx) // tree fully built and certain
 		}
 		s.pending = batch
 	}
+	sp.SetAttr("batch", len(s.pending))
 	return nil
 }
 
 // finish settles the terminal state: the tree is materialized to depth K
 // (the incr algorithm may still owe levels) and the session converges or
 // exhausts depending on whether a single ordering remains.
-func (s *Session) finish() error {
+func (s *Session) finish(ctx context.Context) error {
+	_, sp := obs.StartSpan(ctx, "session.finish")
+	defer sp.End()
 	if err := s.withWorkers(func(workers int) error {
 		s.tree.SetWorkers(workers)
 		_, err := engine.ExtendToDepth(s.tree, s.cfg.K)
@@ -398,8 +419,14 @@ func (s *Session) NextQuestions(n int) ([]tpo.Question, Status, error) {
 // answer is absorbed (counted, tree unchanged) exactly as in the batch
 // engine.
 func (s *Session) SubmitAnswer(a tpo.Answer) error {
+	return s.SubmitAnswerCtx(context.Background(), a)
+}
+
+// SubmitAnswerCtx is SubmitAnswer carrying a request context for tracing:
+// the apply and any follow-up planning sweep land in the caller's span tree.
+func (s *Session) SubmitAnswerCtx(ctx context.Context, a tpo.Answer) error {
 	s.mu.Lock()
-	err := s.submitLocked(a)
+	err := s.submitLocked(ctx, a)
 	hook := s.dirtyHook
 	s.mu.Unlock()
 	// The hook fires outside the lock: a persistence layer reacting to it may
@@ -410,7 +437,7 @@ func (s *Session) SubmitAnswer(a tpo.Answer) error {
 	return err
 }
 
-func (s *Session) submitLocked(a tpo.Answer) error {
+func (s *Session) submitLocked(ctx context.Context, a tpo.Answer) error {
 	if s.state.Terminal() {
 		return fmt.Errorf("%w (state %s)", ErrDone, s.state)
 	}
@@ -435,7 +462,17 @@ func (s *Session) submitLocked(a tpo.Answer) error {
 	// accepted, so the question stays pending and the answer log (and any
 	// later Checkpoint) never records an answer that did not condition the
 	// tree.
-	contradicted, err := engine.ApplyAnswerLive(s.tree, a, s.cfg.Reliability, s.live)
+	// The apply span closes before any follow-up planning, so plan() below
+	// parents its selection.plan span on the request (ctx), not on the
+	// already-ended apply span — keeping the tree properly nested for the
+	// self-time identity.
+	applyCtx, sp := obs.StartSpan(ctx, "session.apply")
+	sp.SetAttr("i", a.Q.I)
+	sp.SetAttr("j", a.Q.J)
+	sp.SetAttr("yes", a.Yes)
+	contradicted, err := engine.ApplyAnswerLive(applyCtx, s.tree, a, s.cfg.Reliability, s.live)
+	sp.SetAttr("contradicted", contradicted)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -449,7 +486,7 @@ func (s *Session) submitLocked(a tpo.Answer) error {
 		s.state = AwaitingAnswers
 	}
 	if len(s.pending) == 0 {
-		return s.plan()
+		return s.plan(ctx)
 	}
 	return nil
 }

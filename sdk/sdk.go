@@ -38,6 +38,7 @@ package sdk
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -209,7 +210,7 @@ func (c *Client) CreateSession(cfg SessionConfig) (SessionInfo, error) {
 	if len(dists) == 0 {
 		return SessionInfo{}, fmt.Errorf("sdk: nil or empty dataset")
 	}
-	info, err := c.svc.CreateOrRestore(service.CreateRequest{
+	info, err := c.svc.CreateOrRestore(context.Background(), service.CreateRequest{
 		Dists:        dists,
 		Names:        bridge.DatasetNames(cfg.Dataset),
 		K:            cfg.Query.K,
@@ -236,7 +237,7 @@ func (c *Client) RestoreSession(checkpoint []byte) (SessionInfo, error) {
 	if len(checkpoint) == 0 {
 		return SessionInfo{}, fmt.Errorf("sdk: empty checkpoint")
 	}
-	info, err := c.svc.CreateOrRestore(service.CreateRequest{Checkpoint: checkpoint})
+	info, err := c.svc.CreateOrRestore(context.Background(), service.CreateRequest{Checkpoint: checkpoint})
 	if err != nil {
 		return SessionInfo{}, err
 	}
@@ -275,7 +276,7 @@ type Questions struct {
 // is idempotent: questions stay pending until answered, so a crashed
 // embedder pulls the same work again.
 func (c *Client) Questions(id string, n int) (Questions, error) {
-	view, err := c.svc.Questions(id, n)
+	view, err := c.svc.Questions(context.Background(), id, n)
 	if err != nil {
 		return Questions{}, err
 	}
@@ -309,7 +310,7 @@ func (c *Client) SubmitAnswers(id string, answers ...crowdtopk.Answer) (Ack, err
 	for i, a := range answers {
 		batch[i] = service.Answer{I: a.Q.I, J: a.Q.J, Yes: a.Yes}
 	}
-	view, err := c.svc.Answers(id, batch)
+	view, err := c.svc.Answers(context.Background(), id, batch)
 	if err != nil {
 		var be *service.BatchError
 		if errors.As(err, &be) {
@@ -343,7 +344,7 @@ type Result struct {
 // Result reports the current top-K belief. It is valid in every state:
 // mid-query it reflects the answers absorbed so far.
 func (c *Client) Result(id string) (Result, error) {
-	view, err := c.svc.Result(id)
+	view, err := c.svc.Result(context.Background(), id)
 	if err != nil {
 		return Result{}, err
 	}
@@ -363,12 +364,12 @@ func (c *Client) Result(id string) (Result, error) {
 
 // Checkpoint writes the session's versioned JSON envelope to w.
 func (c *Client) Checkpoint(id string, w io.Writer) error {
-	return c.svc.Checkpoint(id, w)
+	return c.svc.Checkpoint(context.Background(), id, w)
 }
 
 // Delete drops the session from memory and, with Storage, from disk.
 // Deleting an unknown id returns ErrNotFound.
-func (c *Client) Delete(id string) error { return c.svc.Delete(id) }
+func (c *Client) Delete(id string) error { return c.svc.Delete(context.Background(), id) }
 
 // ListEntry is one row of the session listing. State, Asked and Pending are
 // populated for live (hydrated) sessions only: reading them off a
@@ -498,6 +499,11 @@ type Health struct {
 	DegradedMode bool
 	BreakerState string
 	Reasons      []string
+	// Build identity of the embedding binary, mirroring /health and the
+	// crowdtopk_build_info gauge on Metrics().
+	Version   string
+	GoVersion string
+	Revision  string
 }
 
 // Health reports the client's readiness state — the same decision the HTTP
@@ -512,6 +518,9 @@ func (c *Client) Health() Health {
 		DegradedMode:    h.DegradedMode,
 		BreakerState:    h.BreakerState,
 		Reasons:         h.Reasons,
+		Version:         h.Version,
+		GoVersion:       h.GoVersion,
+		Revision:        h.Revision,
 	}
 }
 
